@@ -1,0 +1,182 @@
+//! The learned adaptive adjacency shared by GWN and MTGNN:
+//! `A = softmax_rows(relu(E₁ · E₂ᵀ))` with node embeddings `E₁, E₂`.
+
+use dsgl_nn::init::uniform;
+use dsgl_nn::{Adam, Matrix};
+use rand::Rng;
+
+/// A trainable adjacency generator over `n` nodes with embedding
+/// dimension `d`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAdjacency {
+    e1: Matrix,
+    e2: Matrix,
+    grad_e1: Matrix,
+    grad_e2: Matrix,
+    cache: Vec<AdaptiveCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AdaptiveCache {
+    z: Matrix, // E1·E2ᵀ before relu
+    a: Matrix, // softmax(relu(z))
+}
+
+impl AdaptiveAdjacency {
+    /// Creates embeddings for `n` nodes with dimension `d`.
+    pub fn new<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
+        AdaptiveAdjacency {
+            e1: uniform(n, d, 0.5, rng),
+            e2: uniform(n, d, 0.5, rng),
+            grad_e1: Matrix::zeros(n, d),
+            grad_e2: Matrix::zeros(n, d),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.e1.rows()
+    }
+
+    /// Trainable parameter count.
+    pub fn parameter_count(&self) -> usize {
+        2 * self.e1.rows() * self.e1.cols()
+    }
+
+    /// Builds the adjacency, caching for backprop.
+    pub fn forward(&mut self) -> Matrix {
+        let z = self.e1.matmul_t(&self.e2);
+        let a = z.map(|v| v.max(0.0)).softmax_rows();
+        self.cache.push(AdaptiveCache { z: z.clone(), a: a.clone() });
+        a
+    }
+
+    /// Builds the adjacency without caching.
+    pub fn forward_inference(&self) -> Matrix {
+        self.e1.matmul_t(&self.e2).map(|v| v.max(0.0)).softmax_rows()
+    }
+
+    /// Accumulates embedding gradients from `∂L/∂A` (pops one cache
+    /// frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass is cached.
+    pub fn backward(&mut self, grad_a: &Matrix) {
+        let AdaptiveCache { z, a } = self
+            .cache
+            .pop()
+            .expect("backward called before forward");
+        // Softmax backward per row: dZr = A ⊙ (dA - rowsum(dA ⊙ A)).
+        let n = a.rows();
+        let mut dzr = Matrix::zeros(n, n);
+        for r in 0..n {
+            let dot: f64 = grad_a
+                .row(r)
+                .iter()
+                .zip(a.row(r))
+                .map(|(&g, &p)| g * p)
+                .sum();
+            for c in 0..n {
+                dzr.set(r, c, a.get(r, c) * (grad_a.get(r, c) - dot));
+            }
+        }
+        // ReLU backward.
+        let dz = dzr.hadamard(&z.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        // Z = E1·E2ᵀ: dE1 = dZ·E2, dE2 = dZᵀ·E1.
+        self.grad_e1.add_assign(&dz.matmul(&self.e2));
+        self.grad_e2.add_assign(&dz.t_matmul(&self.e1));
+    }
+
+    /// Applies gradients (slots `base_slot`, `base_slot + 1`).
+    pub fn apply_gradients(&mut self, opt: &mut Adam, base_slot: usize) {
+        opt.update(base_slot, self.e1.as_mut_slice(), self.grad_e1.as_slice());
+        opt.update(base_slot + 1, self.e2.as_mut_slice(), self.grad_e2.as_slice());
+        self.grad_e1 = Matrix::zeros(self.e1.rows(), self.e1.cols());
+        self.grad_e2 = Matrix::zeros(self.e2.rows(), self.e2.cols());
+        self.cache.clear();
+    }
+
+    /// FLOPs to build the adjacency once.
+    pub fn flops(&self) -> u64 {
+        let n = self.n();
+        let d = self.e1.cols();
+        dsgl_nn::flops::matmul(n, d, n) + dsgl_nn::flops::elementwise(n, n, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut adj = AdaptiveAdjacency::new(5, 3, &mut rng);
+        let a = adj.forward();
+        for r in 0..5 {
+            let sum: f64 = a.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(a.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn embedding_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut adj = AdaptiveAdjacency::new(4, 2, &mut rng);
+        // Loss = Σ A ⊙ T for a fixed random "target weight" T.
+        let t = uniform(4, 4, 1.0, &mut rng);
+        let a = adj.forward();
+        let _ = &a;
+        adj.backward(&t);
+        let eps = 1e-6;
+        for &(r, c) in &[(0, 0), (2, 1), (3, 0)] {
+            let orig = adj.e1.get(r, c);
+            adj.e1.set(r, c, orig + eps);
+            let lp: f64 = adj
+                .forward_inference()
+                .as_slice()
+                .iter()
+                .zip(t.as_slice())
+                .map(|(&x, &w)| x * w)
+                .sum();
+            adj.e1.set(r, c, orig - eps);
+            let lm: f64 = adj
+                .forward_inference()
+                .as_slice()
+                .iter()
+                .zip(t.as_slice())
+                .map(|(&x, &w)| x * w)
+                .sum();
+            adj.e1.set(r, c, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (adj.grad_e1.get(r, c) - fd).abs() < 1e-5,
+                "dE1[{r}][{c}] {} vs fd {fd}",
+                adj.grad_e1.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn training_shapes_adjacency() {
+        // Push A[0][1] up via gradient descent on loss = -A[0][1].
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut adj = AdaptiveAdjacency::new(3, 2, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let before = adj.forward_inference().get(0, 1);
+        for _ in 0..100 {
+            let _ = adj.forward();
+            let mut g = Matrix::zeros(3, 3);
+            g.set(0, 1, -1.0);
+            adj.backward(&g);
+            adj.apply_gradients(&mut opt, 0);
+        }
+        let after = adj.forward_inference().get(0, 1);
+        assert!(after > before, "A[0][1] {before} -> {after}");
+    }
+}

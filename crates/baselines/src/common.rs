@@ -1,0 +1,125 @@
+//! Shared interface and data plumbing for the GNN baselines.
+
+use dsgl_data::Sample;
+use dsgl_nn::{Adam, Matrix};
+
+/// A trainable spatio-temporal GNN operating on windowed samples.
+///
+/// The input is an `N × (W·F)` matrix (per node, the stacked history
+/// features, oldest frame first); the output is the `N × F` prediction
+/// of the next frame.
+pub trait StGnn {
+    /// Model name as the paper cites it.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass with caching for backprop.
+    fn forward(&mut self, x: &Matrix) -> Matrix;
+
+    /// Forward pass without caching.
+    fn forward_inference(&self, x: &Matrix) -> Matrix;
+
+    /// Backward pass from the output gradient (accumulates parameter
+    /// gradients).
+    fn backward(&mut self, grad_out: &Matrix);
+
+    /// Applies and clears accumulated gradients.
+    fn apply_gradients(&mut self, opt: &mut Adam);
+
+    /// Exact FLOPs of one inference.
+    fn inference_flops(&self) -> u64;
+
+    /// Trainable parameter count.
+    fn parameter_count(&self) -> usize;
+}
+
+/// Reshapes a sample's history into the `N × (W·F)` input matrix.
+///
+/// # Panics
+///
+/// Panics if the sample does not match `(w, n, f)`.
+pub fn sample_to_input(sample: &Sample, w: usize, n: usize, f: usize) -> Matrix {
+    assert_eq!(sample.history.len(), w * n * f, "history shape mismatch");
+    let mut m = Matrix::zeros(n, w * f);
+    for t in 0..w {
+        for i in 0..n {
+            for k in 0..f {
+                m.set(i, t * f + k, sample.history[(t * n + i) * f + k]);
+            }
+        }
+    }
+    m
+}
+
+/// Reshapes a sample's target frame into an `N × F` matrix.
+///
+/// # Panics
+///
+/// Panics if the target does not match `(n, f)`.
+pub fn target_to_matrix(sample: &Sample, n: usize, f: usize) -> Matrix {
+    assert_eq!(sample.target.len(), n * f, "target shape mismatch");
+    Matrix::from_vec(n, f, sample.target.clone()).expect("sized buffer")
+}
+
+/// Dense adjacency matrix of a graph (weights kept), used to build the
+/// normalised propagation matrix.
+pub fn graph_to_adjacency(graph: &dsgl_graph::CsrGraph) -> Matrix {
+    let n = graph.node_count();
+    let mut a = Matrix::zeros(n, n);
+    for u in 0..n {
+        for (v, w) in graph.neighbors(u) {
+            a.set(u, v, w);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_reshape() {
+        // W=2, N=2, F=1: history = [t0n0, t0n1, t1n0, t1n1]
+        let s = Sample {
+            history: vec![1.0, 2.0, 3.0, 4.0],
+            target: vec![5.0, 6.0],
+        };
+        let m = sample_to_input(&s, 2, 2, 1);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(0), &[1.0, 3.0]); // node 0: t0, t1
+        assert_eq!(m.row(1), &[2.0, 4.0]);
+        let t = target_to_matrix(&s, 2, 1);
+        assert_eq!(t.as_slice(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn multi_feature_reshape() {
+        // W=1, N=2, F=2.
+        let s = Sample {
+            history: vec![1.0, 2.0, 3.0, 4.0],
+            target: vec![0.0; 4],
+        };
+        let m = sample_to_input(&s, 1, 2, 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn adjacency_conversion() {
+        let g = dsgl_graph::CsrGraph::from_edges(3, &[(0, 1, 2.0)]).unwrap();
+        let a = graph_to_adjacency(&g);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history shape mismatch")]
+    fn bad_shape_panics() {
+        let s = Sample {
+            history: vec![0.0; 3],
+            target: vec![],
+        };
+        sample_to_input(&s, 2, 2, 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! DDGCRN analogue (Weng et al., Pattern Recognition 2023).
+//!
+//! Signature ingredients kept: a *recurrent* graph-convolutional
+//! network unrolled over the history window, and a signal
+//! *decomposition* — the raw series and its first difference are
+//! processed by separate GRU branches (the original is GRU-based) and
+//! fused at the readout, standing in for its normal/fluctuation
+//! decomposition.
+
+use crate::common::StGnn;
+use dsgl_nn::activation::{relu, relu_grad};
+use dsgl_nn::gcn::normalize_adjacency;
+use dsgl_nn::{Adam, GraphConv, GruCell, Linear, Matrix};
+use rand::Rng;
+
+/// The DDGCRN-like baseline.
+#[derive(Debug, Clone)]
+pub struct DdgcrnModel {
+    a_hat: Matrix,
+    w: usize,
+    f: usize,
+    gc_raw: GraphConv,
+    rnn_raw: GruCell,
+    gc_diff: GraphConv,
+    rnn_diff: GruCell,
+    head: Linear,
+    cache: Vec<DdgcrnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct DdgcrnCache {
+    u_pres: Vec<Matrix>,
+    v_pres: Vec<Matrix>,
+}
+
+impl DdgcrnModel {
+    /// Builds the model for the given dense `adjacency`, `w` history
+    /// steps, `f` features, and hidden width `hidden`.
+    pub fn new<R: Rng + ?Sized>(
+        adjacency: &Matrix,
+        w: usize,
+        f: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        DdgcrnModel {
+            a_hat: normalize_adjacency(adjacency),
+            w,
+            f,
+            gc_raw: GraphConv::new(f, hidden, rng),
+            rnn_raw: GruCell::new(hidden, hidden, rng),
+            gc_diff: GraphConv::new(f, hidden, rng),
+            rnn_diff: GruCell::new(hidden, hidden, rng),
+            head: Linear::new(2 * hidden, f, rng),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Splits the `N × (W·F)` stacked input into per-frame `N × F`
+    /// matrices.
+    fn frames(&self, x: &Matrix) -> Vec<Matrix> {
+        let n = x.rows();
+        (0..self.w)
+            .map(|t| {
+                let mut frame = Matrix::zeros(n, self.f);
+                for i in 0..n {
+                    for k in 0..self.f {
+                        frame.set(i, k, x.get(i, t * self.f + k));
+                    }
+                }
+                frame
+            })
+            .collect()
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        let (n, da) = a.shape();
+        let db = b.cols();
+        let mut out = Matrix::zeros(n, da + db);
+        for i in 0..n {
+            for j in 0..da {
+                out.set(i, j, a.get(i, j));
+            }
+            for j in 0..db {
+                out.set(i, da + j, b.get(i, j));
+            }
+        }
+        out
+    }
+
+    fn split(g: &Matrix, da: usize) -> (Matrix, Matrix) {
+        let (n, total) = g.shape();
+        let db = total - da;
+        let mut a = Matrix::zeros(n, da);
+        let mut b = Matrix::zeros(n, db);
+        for i in 0..n {
+            for j in 0..da {
+                a.set(i, j, g.get(i, j));
+            }
+            for j in 0..db {
+                b.set(i, j, g.get(i, da + j));
+            }
+        }
+        (a, b)
+    }
+}
+
+impl StGnn for DdgcrnModel {
+    fn name(&self) -> &'static str {
+        "DDGCRN"
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let frames = self.frames(x);
+        let n = x.rows();
+        let mut h_raw = self.rnn_raw.zero_state(n);
+        let mut h_diff = self.rnn_diff.zero_state(n);
+        self.rnn_raw.reset();
+        self.rnn_diff.reset();
+        let mut u_pres = Vec::with_capacity(self.w);
+        let mut v_pres = Vec::with_capacity(self.w);
+        for t in 0..self.w {
+            let u_pre = self.gc_raw.forward(&self.a_hat, &frames[t]);
+            let u = relu(&u_pre);
+            h_raw = self.rnn_raw.forward_step(&u, &h_raw);
+            u_pres.push(u_pre);
+
+            let diff = if t == 0 {
+                frames[0].clone()
+            } else {
+                frames[t].sub(&frames[t - 1])
+            };
+            let v_pre = self.gc_diff.forward(&self.a_hat, &diff);
+            let v = relu(&v_pre);
+            h_diff = self.rnn_diff.forward_step(&v, &h_diff);
+            v_pres.push(v_pre);
+        }
+        let fused = Self::concat(&h_raw, &h_diff);
+        let y = self.head.forward(&fused);
+        self.cache.push(DdgcrnCache { u_pres, v_pres });
+        y
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let frames = self.frames(x);
+        let n = x.rows();
+        let mut h_raw = self.rnn_raw.zero_state(n);
+        let mut h_diff = self.rnn_diff.zero_state(n);
+        for t in 0..self.w {
+            let u = relu(&self.gc_raw.forward_inference(&self.a_hat, &frames[t]));
+            h_raw = self.rnn_raw.forward_step_inference(&u, &h_raw);
+            let diff = if t == 0 {
+                frames[0].clone()
+            } else {
+                frames[t].sub(&frames[t - 1])
+            };
+            let v = relu(&self.gc_diff.forward_inference(&self.a_hat, &diff));
+            h_diff = self.rnn_diff.forward_step_inference(&v, &h_diff);
+        }
+        self.head
+            .forward_inference(&Self::concat(&h_raw, &h_diff))
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) {
+        let DdgcrnCache { u_pres, v_pres } = self.cache.pop().expect("backward before forward");
+        let hidden = self.rnn_raw.hidden_dim();
+        let d_fused = self.head.backward(grad_out);
+        let (mut gh_raw, mut gh_diff) = Self::split(&d_fused, hidden);
+        for t in (0..self.w).rev() {
+            let (gu, gh_raw_prev) = self.rnn_raw.backward_step(&gh_raw);
+            let gu_pre = gu.hadamard(&relu_grad(&u_pres[t]));
+            let _ = self.gc_raw.backward(&gu_pre);
+            gh_raw = gh_raw_prev;
+
+            let (gv, gh_diff_prev) = self.rnn_diff.backward_step(&gh_diff);
+            let gv_pre = gv.hadamard(&relu_grad(&v_pres[t]));
+            let _ = self.gc_diff.backward(&gv_pre);
+            gh_diff = gh_diff_prev;
+        }
+    }
+
+    fn apply_gradients(&mut self, opt: &mut Adam) {
+        self.gc_raw.apply_gradients(opt, 0);
+        self.rnn_raw.apply_gradients(opt, 2);
+        self.gc_diff.apply_gradients(opt, 12);
+        self.rnn_diff.apply_gradients(opt, 14);
+        self.head.apply_gradients(opt, 24);
+        self.cache.clear();
+    }
+
+    fn inference_flops(&self) -> u64 {
+        let n = self.a_hat.rows();
+        let per_step = self.gc_raw.flops(n)
+            + self.rnn_raw.flops(n)
+            + self.gc_diff.flops(n)
+            + self.rnn_diff.flops(n)
+            + dsgl_nn::flops::elementwise(n, self.rnn_raw.hidden_dim(), 3);
+        per_step * self.w as u64 + self.head.flops(n)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.gc_raw.parameter_count()
+            + self.rnn_raw.parameter_count()
+            + self.gc_diff.parameter_count()
+            + self.rnn_diff.parameter_count()
+            + self.head.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{graph_to_adjacency, sample_to_input, target_to_matrix};
+    use dsgl_nn::loss::{mse, mse_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (DdgcrnModel, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = dsgl_graph::generators::ring(5);
+        let adj = graph_to_adjacency(&g);
+        let model = DdgcrnModel::new(&adj, 3, 1, 6, &mut rng);
+        let s = dsgl_data::Sample {
+            history: (0..15).map(|i| ((i * 3) % 11) as f64 / 12.0).collect(),
+            target: (0..5).map(|i| (i as f64) / 9.0).collect(),
+        };
+        let x = sample_to_input(&s, 3, 5, 1);
+        let t = target_to_matrix(&s, 5, 1);
+        (model, x, t)
+    }
+
+    #[test]
+    fn shapes_and_metadata() {
+        let (mut m, x, _) = toy();
+        assert_eq!(m.forward(&x).shape(), (5, 1));
+        assert_eq!(m.name(), "DDGCRN");
+        assert!(m.inference_flops() > 0);
+        assert!(m.parameter_count() > 0);
+    }
+
+    #[test]
+    fn trains_on_toy_sample() {
+        let (mut m, x, t) = toy();
+        let mut opt = Adam::new(0.01);
+        let first = mse(&m.forward_inference(&x), &t);
+        for _ in 0..200 {
+            let y = m.forward(&x);
+            m.backward(&mse_grad(&y, &t));
+            m.apply_gradients(&mut opt);
+        }
+        let last = mse(&m.forward_inference(&x), &t);
+        assert!(last < first / 4.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn forward_modes_agree() {
+        let (mut m, x, _) = toy();
+        assert_eq!(m.forward(&x), m.forward_inference(&x));
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let b = Matrix::from_vec(2, 1, vec![5., 6.]).unwrap();
+        let c = DdgcrnModel::concat(&a, &b);
+        assert_eq!(c.row(0), &[1., 2., 5.]);
+        let (a2, b2) = DdgcrnModel::split(&c, 2);
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph WaveNet analogue (Wu et al., IJCAI 2019).
+//!
+//! The signature ingredients kept from the original: a gated temporal
+//! unit (`tanh ⊙ sigmoid`) over the history window, diffusion graph
+//! convolution over the *given* adjacency, a second convolution over a
+//! *learned adaptive* adjacency `softmax(relu(E₁E₂ᵀ))`, and a linear
+//! readout. Scaled down to thousands of parameters.
+
+use crate::adaptive::AdaptiveAdjacency;
+use crate::common::StGnn;
+use dsgl_nn::activation::{relu, relu_grad};
+use dsgl_nn::gcn::normalize_adjacency;
+use dsgl_nn::{Adam, GatedTemporal, GraphConv, Linear, Matrix};
+use rand::Rng;
+
+/// The GWN-like baseline.
+#[derive(Debug, Clone)]
+pub struct GwnModel {
+    a_hat: Matrix,
+    temporal: GatedTemporal,
+    gc_fixed: GraphConv,
+    gc_adapt: GraphConv,
+    adaptive: AdaptiveAdjacency,
+    head: Linear,
+    cache: Vec<(Matrix, Matrix)>, // (g1_pre, g2_pre) per forward
+}
+
+impl GwnModel {
+    /// Builds the model for `n` nodes, `w` history steps, `f` features,
+    /// and hidden width `hidden`.
+    ///
+    /// `adjacency` is the raw (unnormalised) dense graph adjacency.
+    pub fn new<R: Rng + ?Sized>(
+        adjacency: &Matrix,
+        w: usize,
+        f: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let n = adjacency.rows();
+        GwnModel {
+            a_hat: normalize_adjacency(adjacency),
+            temporal: GatedTemporal::new(w * f, hidden, rng),
+            gc_fixed: GraphConv::new(hidden, hidden, rng),
+            gc_adapt: GraphConv::new(hidden, hidden, rng),
+            adaptive: AdaptiveAdjacency::new(n, 8.min(n), rng),
+            head: Linear::new(hidden, f, rng),
+            cache: Vec::new(),
+        }
+    }
+}
+
+impl StGnn for GwnModel {
+    fn name(&self) -> &'static str {
+        "GWN"
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        // Residual (skip) connections after each conv block, as in the
+        // original architecture — without them the near-uniform initial
+        // adaptive adjacency would average node identity away.
+        let t = self.temporal.forward(x);
+        let g1_pre = self.gc_fixed.forward(&self.a_hat, &t);
+        let g1 = relu(&g1_pre).add(&t);
+        let a_adp = self.adaptive.forward();
+        let g2_pre = self.gc_adapt.forward(&a_adp, &g1);
+        let g2 = relu(&g2_pre).add(&g1);
+        let y = self.head.forward(&g2);
+        self.cache.push((g1_pre, g2_pre));
+        y
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let t = self.temporal.forward_inference(x);
+        let g1 = relu(&self.gc_fixed.forward_inference(&self.a_hat, &t)).add(&t);
+        let a_adp = self.adaptive.forward_inference();
+        let g2 = relu(&self.gc_adapt.forward_inference(&a_adp, &g1)).add(&g1);
+        self.head.forward_inference(&g2)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) {
+        let (g1_pre, g2_pre) = self.cache.pop().expect("backward before forward");
+        let d_g2 = self.head.backward(grad_out);
+        let d_g2pre = d_g2.hadamard(&relu_grad(&g2_pre));
+        let (d_g1_conv, d_a) = self.gc_adapt.backward(&d_g2pre);
+        self.adaptive.backward(&d_a);
+        let d_g1 = d_g1_conv.add(&d_g2); // residual path
+        let d_g1pre = d_g1.hadamard(&relu_grad(&g1_pre));
+        let (d_t_conv, _fixed_adjacency_grad) = self.gc_fixed.backward(&d_g1pre);
+        let d_t = d_t_conv.add(&d_g1);
+        self.temporal.backward(&d_t);
+    }
+
+    fn apply_gradients(&mut self, opt: &mut Adam) {
+        self.temporal.apply_gradients(opt, 0);
+        self.gc_fixed.apply_gradients(opt, 4);
+        self.gc_adapt.apply_gradients(opt, 6);
+        self.head.apply_gradients(opt, 8);
+        self.adaptive.apply_gradients(opt, 10);
+        self.cache.clear();
+    }
+
+    fn inference_flops(&self) -> u64 {
+        let n = self.a_hat.rows();
+        self.temporal.flops(n)
+            + self.gc_fixed.flops(n)
+            + self.gc_adapt.flops(n)
+            + self.adaptive.flops()
+            + self.head.flops(n)
+            + dsgl_nn::flops::elementwise(n, self.gc_fixed.output_dim(), 2)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.temporal.parameter_count()
+            + self.gc_fixed.parameter_count()
+            + self.gc_adapt.parameter_count()
+            + self.adaptive.parameter_count()
+            + self.head.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{graph_to_adjacency, sample_to_input, target_to_matrix};
+    use dsgl_nn::loss::{mse, mse_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (GwnModel, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = dsgl_graph::generators::ring(6);
+        let adj = graph_to_adjacency(&g);
+        let model = GwnModel::new(&adj, 3, 1, 8, &mut rng);
+        let s = dsgl_data::Sample {
+            history: (0..18).map(|i| (i as f64) / 20.0).collect(),
+            target: (0..6).map(|i| (i as f64) / 10.0).collect(),
+        };
+        let x = sample_to_input(&s, 3, 6, 1);
+        let t = target_to_matrix(&s, 6, 1);
+        (model, x, t)
+    }
+
+    #[test]
+    fn shapes() {
+        let (mut m, x, _) = toy();
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), (6, 1));
+        assert!(m.inference_flops() > 0);
+        assert!(m.parameter_count() > 0);
+        assert_eq!(m.name(), "GWN");
+    }
+
+    #[test]
+    fn input_gradient_sanity_via_training() {
+        let (mut m, x, t) = toy();
+        let mut opt = Adam::new(0.01);
+        let first = mse(&m.forward_inference(&x), &t);
+        for _ in 0..600 {
+            let y = m.forward(&x);
+            m.backward(&mse_grad(&y, &t));
+            m.apply_gradients(&mut opt);
+        }
+        let last = mse(&m.forward_inference(&x), &t);
+        assert!(last < first / 4.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let (mut m, x, _) = toy();
+        let a = m.forward(&x);
+        let b = m.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Spatio-temporal GNN baselines (the competitors of paper Table II).
+//!
+//! The paper benchmarks DS-GL against three SOTA spatio-temporal GNNs.
+//! This crate implements faithful *small-scale analogues* of each on the
+//! manual-backprop substrate of [`dsgl_nn`]:
+//!
+//! - [`GwnModel`] ≈ **Graph WaveNet** (Wu et al., 2019): a gated
+//!   temporal unit feeding diffusion graph convolutions over both the
+//!   given adjacency and a learned adaptive adjacency `softmax(relu(E₁E₂ᵀ))`;
+//! - [`MtgnnModel`] ≈ **MTGNN** (Wu et al., 2020): graph structure is
+//!   *only* learned (no predefined adjacency), with mix-hop propagation
+//!   and residual connections;
+//! - [`DdgcrnModel`] ≈ **DDGCRN** (Weng et al., 2023): a recurrent
+//!   graph-convolutional network over the history window with a
+//!   signal-decomposition flavour (raw and differenced branches).
+//!
+//! All three consume the same windowed samples DS-GL consumes, train
+//! with Adam on MSE, and report exact inference FLOPs for the platform
+//! latency model (paper Table III). They are deliberately compact —
+//! thousands of parameters, not millions — which is documented in
+//! `EXPERIMENTS.md` when comparing absolute latencies with the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod common;
+pub mod ddgcrn;
+pub mod gwn;
+pub mod mtgnn;
+pub mod trainer;
+
+pub use common::{sample_to_input, target_to_matrix, StGnn};
+pub use ddgcrn::DdgcrnModel;
+pub use gwn::GwnModel;
+pub use mtgnn::MtgnnModel;
+pub use trainer::{evaluate_gnn, train_gnn, GnnTrainConfig};

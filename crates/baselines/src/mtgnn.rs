@@ -1,0 +1,180 @@
+//! MTGNN analogue (Wu et al., KDD 2020).
+//!
+//! Signature ingredients kept: graph structure is *entirely learned*
+//! from node embeddings (no predefined adjacency is used), propagation
+//! is mix-hop over the learned graph, and residual connections preserve
+//! node-local information. Scaled down to thousands of parameters.
+
+use crate::adaptive::AdaptiveAdjacency;
+use crate::common::StGnn;
+use dsgl_nn::activation::{relu, relu_grad};
+use dsgl_nn::{Adam, GraphConv, Linear, Matrix};
+use rand::Rng;
+
+/// The MTGNN-like baseline.
+#[derive(Debug, Clone)]
+pub struct MtgnnModel {
+    input: Linear,
+    adaptive: AdaptiveAdjacency,
+    hop1: GraphConv,
+    hop2: GraphConv,
+    head: Linear,
+    cache: Vec<MtgnnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MtgnnCache {
+    h0_pre: Matrix,
+    h1_pre: Matrix,
+    h2_pre: Matrix,
+}
+
+impl MtgnnModel {
+    /// Builds the model for `n` nodes, `w` history steps, `f` features,
+    /// and hidden width `hidden`.
+    pub fn new<R: Rng + ?Sized>(
+        n: usize,
+        w: usize,
+        f: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        MtgnnModel {
+            input: Linear::new(w * f, hidden, rng),
+            adaptive: AdaptiveAdjacency::new(n, 8.min(n), rng),
+            hop1: GraphConv::new(hidden, hidden, rng),
+            hop2: GraphConv::new(hidden, hidden, rng),
+            head: Linear::new(hidden, f, rng),
+            cache: Vec::new(),
+        }
+    }
+}
+
+impl StGnn for MtgnnModel {
+    fn name(&self) -> &'static str {
+        "MTGNN"
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let h0_pre = self.input.forward(x);
+        let h0 = relu(&h0_pre);
+        let a = self.adaptive.forward();
+        let h1_pre = self.hop1.forward(&a, &h0);
+        let h1 = relu(&h1_pre).add(&h0); // mix-hop residual
+        let a2 = self.adaptive.forward();
+        let h2_pre = self.hop2.forward(&a2, &h1);
+        let h2 = relu(&h2_pre).add(&h1);
+        let y = self.head.forward(&h2);
+        self.cache.push(MtgnnCache {
+            h0_pre,
+            h1_pre,
+            h2_pre,
+        });
+        y
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let h0 = relu(&self.input.forward_inference(x));
+        let a = self.adaptive.forward_inference();
+        let h1 = relu(&self.hop1.forward_inference(&a, &h0)).add(&h0);
+        let h2 = relu(&self.hop2.forward_inference(&a, &h1)).add(&h1);
+        self.head.forward_inference(&h2)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) {
+        let MtgnnCache {
+            h0_pre,
+            h1_pre,
+            h2_pre,
+        } = self.cache.pop().expect("backward before forward");
+        let d_h2 = self.head.backward(grad_out);
+        // h2 = relu(h2_pre) + h1
+        let d_h2pre = d_h2.hadamard(&relu_grad(&h2_pre));
+        let (d_h1_conv, d_a2) = self.hop2.backward(&d_h2pre);
+        self.adaptive.backward(&d_a2);
+        let d_h1 = d_h1_conv.add(&d_h2); // residual path
+        // h1 = relu(h1_pre) + h0
+        let d_h1pre = d_h1.hadamard(&relu_grad(&h1_pre));
+        let (d_h0_conv, d_a1) = self.hop1.backward(&d_h1pre);
+        self.adaptive.backward(&d_a1);
+        let d_h0 = d_h0_conv.add(&d_h1);
+        let d_h0pre = d_h0.hadamard(&relu_grad(&h0_pre));
+        self.input.backward(&d_h0pre);
+    }
+
+    fn apply_gradients(&mut self, opt: &mut Adam) {
+        self.input.apply_gradients(opt, 0);
+        self.hop1.apply_gradients(opt, 2);
+        self.hop2.apply_gradients(opt, 4);
+        self.head.apply_gradients(opt, 6);
+        self.adaptive.apply_gradients(opt, 8);
+        self.cache.clear();
+    }
+
+    fn inference_flops(&self) -> u64 {
+        let n = self.adaptive.n();
+        self.input.flops(n)
+            + self.adaptive.flops()
+            + self.hop1.flops(n)
+            + self.hop2.flops(n)
+            + self.head.flops(n)
+            + dsgl_nn::flops::elementwise(n, self.hop1.output_dim(), 4)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.input.parameter_count()
+            + self.adaptive.parameter_count()
+            + self.hop1.parameter_count()
+            + self.hop2.parameter_count()
+            + self.head.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{sample_to_input, target_to_matrix};
+    use dsgl_nn::loss::{mse, mse_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (MtgnnModel, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MtgnnModel::new(6, 3, 1, 8, &mut rng);
+        let s = dsgl_data::Sample {
+            history: (0..18).map(|i| ((i * 7) % 13) as f64 / 15.0).collect(),
+            target: (0..6).map(|i| (i as f64) / 12.0).collect(),
+        };
+        let x = sample_to_input(&s, 3, 6, 1);
+        let t = target_to_matrix(&s, 6, 1);
+        (model, x, t)
+    }
+
+    #[test]
+    fn shapes_and_metadata() {
+        let (mut m, x, _) = toy();
+        assert_eq!(m.forward(&x).shape(), (6, 1));
+        assert_eq!(m.name(), "MTGNN");
+        assert!(m.inference_flops() > 0);
+    }
+
+    #[test]
+    fn trains_on_toy_sample() {
+        let (mut m, x, t) = toy();
+        let mut opt = Adam::new(0.01);
+        let first = mse(&m.forward_inference(&x), &t);
+        for _ in 0..200 {
+            let y = m.forward(&x);
+            m.backward(&mse_grad(&y, &t));
+            m.apply_gradients(&mut opt);
+        }
+        let last = mse(&m.forward_inference(&x), &t);
+        assert!(last < first / 4.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn forward_modes_agree() {
+        let (mut m, x, _) = toy();
+        assert_eq!(m.forward(&x), m.forward_inference(&x));
+    }
+}

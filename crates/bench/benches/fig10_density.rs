@@ -1,0 +1,35 @@
+//! Fig. 10 regeneration (scaled): one density-sweep point per pattern —
+//! decompose, refit, and co-anneal the covid system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::PatternKind;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("covid", &scale, 7);
+    let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+    let hw = pipeline::hw_config(&p, &scale);
+    let mut group = c.benchmark_group("fig10_density_point");
+    for pattern in PatternKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.name()),
+            &pattern,
+            |b, &pattern| {
+                b.iter(|| {
+                    let d = pipeline::decompose_model(&dense, &p, &scale, 0.15, pattern, 7);
+                    black_box(pipeline::eval_mapped(&d, &p, &hw, 7))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig10
+}
+criterion_main!(benches);

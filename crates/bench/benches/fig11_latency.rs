@@ -1,0 +1,35 @@
+//! Fig. 11 regeneration (scaled): mapped inference at two annealing
+//! budgets under temporal & spatial co-annealing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::PatternKind;
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("covid", &scale, 7);
+    let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+    let d = pipeline::decompose_model(&dense, &p, &scale, 0.2, PatternKind::DMesh, 7);
+    let mut hw = pipeline::hw_config(&p, &scale);
+    hw.lanes = (hw.lanes / 2).max(1); // force temporal multiplexing
+    let mut group = c.benchmark_group("fig11_budget");
+    for budget_us in [0.5, 5.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{budget_us}us")),
+            &budget_us,
+            |b, &budget_us| {
+                let hw_b = hw.with_budget(budget_us * 1000.0);
+                b.iter(|| black_box(pipeline::eval_mapped(&d, &p, &hw_b, 7)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11
+}
+criterion_main!(benches);

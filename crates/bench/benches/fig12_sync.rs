@@ -1,0 +1,34 @@
+//! Fig. 12 regeneration (scaled): mapped inference across
+//! synchronisation intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::PatternKind;
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("stock", &scale, 7);
+    let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+    let d = pipeline::decompose_model(&dense, &p, &scale, 0.15, PatternKind::DMesh, 7);
+    let hw = pipeline::hw_config(&p, &scale);
+    let mut group = c.benchmark_group("fig12_sync_interval");
+    for sync_ns in [10.0, 200.0, 2000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sync_ns}ns")),
+            &sync_ns,
+            |b, &sync_ns| {
+                let hw_s = hw.with_sync_interval(sync_ns);
+                b.iter(|| black_box(pipeline::eval_mapped(&d, &p, &hw_s, 7)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig12
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 13 regeneration (scaled): mapped inference under analog noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::PatternKind;
+use dsgl_ising::NoiseModel;
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("no2", &scale, 7);
+    let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+    let d = pipeline::decompose_model(&dense, &p, &scale, 0.15, PatternKind::DMesh, 7);
+    let hw0 = pipeline::hw_config(&p, &scale);
+    let mut group = c.benchmark_group("fig13_noise_level");
+    for pct in [0.0, 0.10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct", pct * 100.0)),
+            &pct,
+            |b, &pct| {
+                let mut hw = hw0;
+                hw.anneal.noise = NoiseModel::relative(pct);
+                b.iter(|| black_box(pipeline::eval_mapped(&d, &p, &hw, 7)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig13
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 4 regeneration: the six-spin DSPU-vs-BRIM validation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_ising::{AnnealConfig, Brim, Coupling, FlipSchedule, RealValuedDspu};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance() -> Coupling {
+    let mut j = Coupling::zeros(6);
+    j.set(0, 1, 0.8);
+    j.set(1, 2, -0.5);
+    j.set(2, 3, 0.6);
+    j.set(3, 4, -0.7);
+    j.set(4, 5, 0.9);
+    j.set(5, 0, 0.4);
+    j.set(1, 4, 0.3);
+    j
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = AnnealConfig {
+        dt_ns: 1.0,
+        max_time_ns: 500.0,
+        ..AnnealConfig::default()
+    };
+    c.bench_function("fig4_dspu_6spin_500ns", |b| {
+        b.iter(|| {
+            let mut dspu = RealValuedDspu::new(instance(), vec![-1.5; 6]).unwrap();
+            dspu.clamp(0, 0.6).unwrap();
+            dspu.clamp(2, -0.4).unwrap();
+            dspu.clamp(4, 0.5).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            dspu.randomize_free(&mut rng);
+            black_box(dspu.run(&cfg, &mut rng))
+        })
+    });
+    c.bench_function("fig4_brim_6spin_500ns", |b| {
+        b.iter(|| {
+            let mut brim = Brim::new(instance(), vec![0.0; 6]).unwrap();
+            brim.clamp(0, 0.6).unwrap();
+            brim.clamp(2, -0.4).unwrap();
+            brim.clamp(4, 0.5).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            brim.randomize(&mut rng);
+            black_box(brim.anneal(&cfg, &FlipSchedule::none(), &mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig4
+}
+criterion_main!(benches);

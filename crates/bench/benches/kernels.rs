@@ -1,0 +1,101 @@
+//! Micro-kernels underlying every experiment: mat-vec, DSPU steps,
+//! Louvain, Cholesky, ridge fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_core::ridge::fit_ridge;
+use dsgl_core::{DsGlModel, VariableLayout};
+use dsgl_data::{covid, WindowConfig};
+use dsgl_graph::{generators, Louvain};
+use dsgl_ising::{Coupling, NoiseModel, RealValuedDspu, SparseCoupling};
+use dsgl_nn::linalg::{cholesky, cholesky_solve};
+use dsgl_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_coupling(n: usize, density: f64, seed: u64) -> Coupling {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut j = Coupling::zeros(n);
+    for i in 0..n {
+        for k in (i + 1)..n {
+            if rng.random::<f64>() < density {
+                j.set(i, k, rng.random::<f64>() - 0.5);
+            }
+        }
+    }
+    j
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 256;
+    let dense = random_coupling(n, 0.15, 1);
+    let sparse = SparseCoupling::from_dense(&dense);
+    let state: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 0.5).collect();
+    let mut out = vec![0.0; n];
+
+    c.bench_function("dense_matvec_256", |b| {
+        b.iter(|| dense.matvec(black_box(&state), black_box(&mut out)))
+    });
+    c.bench_function("sparse_matvec_256_d15", |b| {
+        b.iter(|| sparse.matvec(black_box(&state), black_box(&mut out)))
+    });
+
+    let mut dspu = RealValuedDspu::new(dense.clone(), vec![-2.0; n]).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    dspu.randomize_free(&mut rng);
+    c.bench_function("dspu_step_256", |b| {
+        b.iter(|| dspu.step(2.0, &NoiseModel::none(), &mut rng))
+    });
+
+    let graph = generators::stochastic_block_model(&[40, 40, 40], 0.3, 0.01, &mut rng);
+    c.bench_function("louvain_120", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            black_box(Louvain::new().run(&graph, &mut r))
+        })
+    });
+
+    // SPD solve kernel at the harness's dense-fit size class.
+    let m = 128;
+    let mut g = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            let v = ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5;
+            g.set(i, j, v);
+        }
+    }
+    let spd = {
+        let mut a = g.t_matmul(&g);
+        for i in 0..m {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        a
+    };
+    let rhs: Vec<f64> = (0..m).map(|i| (i as f64 * 0.11).cos()).collect();
+    c.bench_function("cholesky_factor_128", |b| {
+        b.iter(|| black_box(cholesky(black_box(&spd)).unwrap()))
+    });
+    let factor = cholesky(&spd).unwrap();
+    c.bench_function("cholesky_solve_128", |b| {
+        b.iter(|| black_box(cholesky_solve(black_box(&factor), black_box(&rhs))))
+    });
+
+    // End-to-end ridge fit on a small windowed dataset.
+    let ds = covid::generate(1).truncate(20, 120);
+    let (train, _, _) = ds.split_windows(&WindowConfig::one_step(3), 0.8, 0.0);
+    let layout = VariableLayout::new(3, 20, 1);
+    c.bench_function("ridge_fit_20n_w3", |b| {
+        b.iter(|| {
+            let mut model = DsGlModel::new(layout);
+            fit_ridge(&mut model, black_box(&train), 1.0).unwrap();
+            black_box(model)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

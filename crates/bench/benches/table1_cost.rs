@@ -1,0 +1,24 @@
+//! Table I regeneration: the component-level hardware cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_hw::CostModel;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let model = CostModel::default();
+    c.bench_function("table1_three_designs", |b| {
+        b.iter(|| black_box(model.table_one()))
+    });
+    c.bench_function("table1_scaling_sweep", |b| {
+        b.iter(|| {
+            // Cost curves behind the scalability argument.
+            for k in [125, 250, 500] {
+                black_box(model.dsgl((4, 4), k, 30));
+                black_box(model.dspu_dense(16 * k));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

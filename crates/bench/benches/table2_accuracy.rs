@@ -1,0 +1,30 @@
+//! Table II regeneration (scaled): train both arms on covid and
+//! evaluate — the accuracy-comparison pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_bench::pipeline::{self, BaselineKind, Scale};
+use dsgl_core::PatternKind;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("covid", &scale, 7);
+    c.bench_function("table2_dsgl_train_map_eval", |b| {
+        b.iter(|| {
+            let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+            let d = pipeline::decompose_model(&dense, &p, &scale, 0.15, PatternKind::DMesh, 7);
+            let hw = pipeline::hw_config(&p, &scale);
+            black_box(pipeline::eval_mapped(&d, &p, &hw, 7))
+        })
+    });
+    c.bench_function("table2_gwn_train_eval", |b| {
+        b.iter(|| black_box(pipeline::run_baseline(BaselineKind::Gwn, &p, &scale, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

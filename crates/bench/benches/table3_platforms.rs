@@ -1,0 +1,27 @@
+//! Table III regeneration: FLOP counting plus the platform
+//! latency/energy model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_bench::pipeline::{self, BaselineKind, Scale};
+use dsgl_hw::platform::PLATFORMS;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("covid", &scale, 7);
+    c.bench_function("table3_flops_and_platforms", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for kind in BaselineKind::ALL {
+                let flops = pipeline::baseline_flops(kind, &p, &scale);
+                for platform in &PLATFORMS {
+                    total += platform.latency_us(flops) + platform.energy_mj(flops);
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

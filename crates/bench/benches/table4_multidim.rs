@@ -1,0 +1,26 @@
+//! Table IV regeneration (scaled): the multi-feature housing pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::PatternKind;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let p = pipeline::prepare("ca_housing", &scale, 7);
+    c.bench_function("table4_housing_dsgl", |b| {
+        b.iter(|| {
+            let (dense, _) = pipeline::train_dense(&p, &scale, 7);
+            let d = pipeline::decompose_model(&dense, &p, &scale, 0.15, PatternKind::DMesh, 7);
+            let hw = pipeline::hw_config(&p, &scale);
+            black_box(pipeline::eval_mapped(&d, &p, &hw, 7))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Experiment harness for the DS-GL reproduction.
+//!
+//! [`pipeline`] holds the shared train → decompose → map → evaluate
+//! machinery every table and figure uses; [`report`] holds text-table
+//! and CSV output helpers. The `experiments` binary (see
+//! `src/bin/experiments.rs`) regenerates each table and figure of the
+//! paper; the Criterion benches in `benches/` time the underlying
+//! kernels and run scaled-down versions of every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod report;

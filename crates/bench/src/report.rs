@@ -1,0 +1,161 @@
+//! Text-table and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table (also convertible to CSV).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the text form and writes `<out_dir>/<stem>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from creating the directory or file.
+    pub fn emit(&self, out_dir: &Path, stem: &str) -> std::io::Result<PathBuf> {
+        println!("{}", self.to_text());
+        fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(format!("{stem}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float in compact scientific notation (paper style, e.g.
+/// `3.41e-2`).
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+/// Formats a float with `d` decimals.
+pub fn fixed(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_csv() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains('a'));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        Table::new("t", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(sci(0.0341), "3.41e-2");
+        assert_eq!(fixed(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let dir = std::env::temp_dir().join("dsgl_report_test");
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into()]);
+        let path = t.emit(&dir, "demo").unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

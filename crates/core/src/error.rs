@@ -1,0 +1,89 @@
+//! Error type for the DS-GL core.
+
+use dsgl_graph::GraphError;
+use dsgl_ising::IsingError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by training, decomposition, and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A sample's length did not match the model's variable layout.
+    SampleShapeMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// No training samples were supplied.
+    EmptyTrainingSet,
+    /// An invalid configuration value.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error bubbled up from the dynamical-system substrate.
+    Ising(IsingError),
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SampleShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            CoreError::EmptyTrainingSet => write!(f, "training set is empty"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Ising(e) => write!(f, "dynamical system error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Ising(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsingError> for CoreError {
+    fn from(e: IsingError) -> Self {
+        CoreError::Ising(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(IsingError::NonFinite { what: "h" });
+        assert!(e.to_string().contains("dynamical system error"));
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyTrainingSet.source().is_none());
+    }
+
+    #[test]
+    fn from_graph_error() {
+        let e = CoreError::from(GraphError::SelfLoop { node: 3 });
+        assert!(matches!(e, CoreError::Graph(_)));
+    }
+}

@@ -1,0 +1,304 @@
+//! GL inference as natural annealing (paper Sec. III.C).
+
+use crate::error::CoreError;
+use crate::metrics::pooled_rmse;
+use crate::model::DsGlModel;
+use crate::windows::observed_state;
+use dsgl_data::Sample;
+use dsgl_ising::{AnnealConfig, AnnealReport, RealValuedDspu};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Builds a [`RealValuedDspu`] programmed with the model's parameters,
+/// history variables clamped to the sample's observations and target
+/// variables randomised.
+///
+/// # Errors
+///
+/// Returns shape mismatches and invalid-parameter errors.
+pub fn machine_for_sample<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    rng: &mut R,
+) -> Result<RealValuedDspu, CoreError> {
+    let layout = model.layout();
+    let state = observed_state(&layout, sample)?;
+    let mut dspu = RealValuedDspu::new(model.coupling().clone(), model.h().to_vec())?;
+    for (v, &obs) in state.iter().enumerate().take(layout.history_len()) {
+        dspu.clamp(v, obs.clamp(-dspu.rail(), dspu.rail()))?;
+    }
+    dspu.randomize_free(rng);
+    Ok(dspu)
+}
+
+/// Runs one annealed inference on the full (dense or decomposed) model:
+/// clamp history, anneal, read the target block.
+///
+/// Returns the predicted target frame and the annealing report (whose
+/// `sim_time_ns` is the inference latency).
+///
+/// # Errors
+///
+/// Returns shape mismatches and invalid-parameter errors.
+pub fn infer_dense<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    config: &AnnealConfig,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport), CoreError> {
+    let mut dspu = machine_for_sample(model, sample, rng)?;
+    let report = dspu.run(config, rng);
+    let layout = model.layout();
+    Ok((dspu.state()[layout.target_range()].to_vec(), report))
+}
+
+/// Fixed-point inference without simulating the analog dynamics: damped
+/// iteration of the regression formula over the target block. Fast
+/// surrogate used by parameter sweeps; agrees with annealed inference
+/// when the contraction projection held during training.
+///
+/// # Errors
+///
+/// Returns shape mismatches.
+pub fn infer_fixed_point(
+    model: &DsGlModel,
+    sample: &Sample,
+    iterations: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let layout = model.layout();
+    let mut state = observed_state(&layout, sample)?;
+    let target: Vec<usize> = layout.target_range().collect();
+    for _ in 0..iterations {
+        for &v in &target {
+            let row = model.coupling().row(v);
+            let mut dot = 0.0;
+            for (j, &s) in state.iter().enumerate() {
+                dot += row[j] * s;
+            }
+            state[v] = dot / (-model.h()[v]);
+        }
+    }
+    Ok(state[layout.target_range()].to_vec())
+}
+
+/// Runs one annealed *imputation* inference: besides the history block,
+/// the listed target-frame entries (indices into the target frame) are
+/// also clamped to their ground-truth values, and only the remaining
+/// unknown targets anneal. This is the paper's core definition of graph
+/// learning — "acquisition of unknown graph node features using observed
+/// node features" — and the regime where coupling the outputs lets
+/// observed nodes inform unobserved ones through the machine's joint
+/// relaxation.
+///
+/// Returns the full predicted target frame (observed entries echo their
+/// clamped values) and the annealing report.
+///
+/// # Errors
+///
+/// Returns shape mismatches, invalid parameters, and out-of-range
+/// observed indices.
+pub fn infer_dense_imputation<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    observed_targets: &[usize],
+    config: &AnnealConfig,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport), CoreError> {
+    let layout = model.layout();
+    let mut dspu = machine_for_sample(model, sample, rng)?;
+    for &t_idx in observed_targets {
+        if t_idx >= layout.target_len() {
+            return Err(CoreError::SampleShapeMismatch {
+                what: "observed target index",
+                expected: layout.target_len(),
+                actual: t_idx,
+            });
+        }
+        let v = layout.history_len() + t_idx;
+        let value = sample.target[t_idx].clamp(-dspu.rail(), dspu.rail());
+        dspu.clamp(v, value)?;
+    }
+    let report = dspu.run(config, rng);
+    Ok((dspu.state()[layout.target_range()].to_vec(), report))
+}
+
+/// Fixed-point imputation (see [`infer_dense_imputation`]): damped
+/// iteration with the observed target entries held at their true values.
+///
+/// # Errors
+///
+/// Returns shape mismatches and out-of-range observed indices.
+pub fn infer_fixed_point_imputation(
+    model: &DsGlModel,
+    sample: &Sample,
+    observed_targets: &[usize],
+    iterations: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let layout = model.layout();
+    let mut state = observed_state(&layout, sample)?;
+    let mut held = vec![false; layout.target_len()];
+    for &t_idx in observed_targets {
+        if t_idx >= layout.target_len() {
+            return Err(CoreError::SampleShapeMismatch {
+                what: "observed target index",
+                expected: layout.target_len(),
+                actual: t_idx,
+            });
+        }
+        state[layout.history_len() + t_idx] = sample.target[t_idx];
+        held[t_idx] = true;
+    }
+    let target: Vec<usize> = layout.target_range().collect();
+    for _ in 0..iterations {
+        for (t_idx, &v) in target.iter().enumerate() {
+            if held[t_idx] {
+                continue;
+            }
+            let row = model.coupling().row(v);
+            let mut dot = 0.0;
+            for (j, &s) in state.iter().enumerate() {
+                dot += row[j] * s;
+            }
+            state[v] = dot / (-model.h()[v]);
+        }
+    }
+    Ok(state[layout.target_range()].to_vec())
+}
+
+/// Result of evaluating a model over a test set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Pooled RMSE over all samples and target variables.
+    pub rmse: f64,
+    /// Mean annealing latency per inference, ns.
+    pub mean_latency_ns: f64,
+    /// Number of samples evaluated.
+    pub samples: usize,
+    /// Fraction of inferences that converged within budget.
+    pub converged_fraction: f64,
+}
+
+/// Evaluates annealed inference over a test set.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty test set, or any
+/// per-sample inference error.
+pub fn evaluate<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    rng: &mut R,
+) -> Result<EvalReport, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    let mut per_sample = Vec::with_capacity(samples.len());
+    let mut latency_sum = 0.0;
+    let mut converged = 0usize;
+    for s in samples {
+        let (pred, report) = infer_dense(model, s, config, rng)?;
+        per_sample.push((crate::metrics::rmse(&pred, &s.target), pred.len()));
+        latency_sum += report.sim_time_ns;
+        converged += report.converged as usize;
+    }
+    Ok(EvalReport {
+        rmse: pooled_rmse(&per_sample),
+        mean_latency_ns: latency_sum / samples.len() as f64,
+        samples: samples.len(),
+        converged_fraction: converged as f64 / samples.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VariableLayout;
+    use crate::trainer::{TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn trained_model(seed: u64) -> (DsGlModel, Vec<Sample>) {
+        // target_i = 0.5 * history_i + 0.2 * history_{(i+1)%n}
+        let n = 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Sample> = (0..50)
+            .map(|_| {
+                let hist: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 0.8).collect();
+                let target: Vec<f64> = (0..n)
+                    .map(|i| 0.5 * hist[i] + 0.2 * hist[(i + 1) % n])
+                    .collect();
+                Sample {
+                    history: hist,
+                    target,
+                }
+            })
+            .collect();
+        let layout = VariableLayout::new(1, n, 1);
+        let mut model = DsGlModel::new(layout);
+        let cfg = TrainConfig {
+            epochs: 80,
+            lr: 0.05,
+            lr_decay: 0.98,
+            ..TrainConfig::default()
+        };
+        Trainer::new(cfg)
+            .fit(&mut model, &samples, &mut rng)
+            .unwrap();
+        (model, samples)
+    }
+
+    #[test]
+    fn annealed_inference_matches_truth() {
+        let (model, samples) = trained_model(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (pred, report) =
+            infer_dense(&model, &samples[0], &AnnealConfig::default(), &mut rng).unwrap();
+        assert!(report.converged);
+        let rmse = crate::metrics::rmse(&pred, &samples[0].target);
+        assert!(rmse < 0.03, "annealed rmse {rmse}");
+    }
+
+    #[test]
+    fn fixed_point_agrees_with_annealing() {
+        let (model, samples) = trained_model(2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (annealed, _) =
+            infer_dense(&model, &samples[1], &AnnealConfig::default(), &mut rng).unwrap();
+        let fp = infer_fixed_point(&model, &samples[1], 200).unwrap();
+        for (a, f) in annealed.iter().zip(&fp) {
+            assert!((a - f).abs() < 5e-3, "annealed {a} vs fixed point {f}");
+        }
+    }
+
+    #[test]
+    fn evaluation_report() {
+        let (model, samples) = trained_model(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let report = evaluate(&model, &samples[..10], &AnnealConfig::default(), &mut rng).unwrap();
+        assert_eq!(report.samples, 10);
+        assert!(report.rmse < 0.05, "rmse {}", report.rmse);
+        assert!(report.mean_latency_ns > 0.0);
+        assert!(report.converged_fraction > 0.9);
+    }
+
+    #[test]
+    fn empty_eval_rejected() {
+        let (model, _) = trained_model(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            evaluate(&model, &[], &AnnealConfig::default(), &mut rng),
+            Err(CoreError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn latency_reflects_budget() {
+        let (model, samples) = trained_model(5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut cfg = AnnealConfig::with_budget(5.0);
+        cfg.tolerance = 0.0; // never converge early
+        let (_, report) = infer_dense(&model, &samples[0], &cfg, &mut rng).unwrap();
+        assert!((report.sim_time_ns - 5.0).abs() < cfg.dt_ns + 1e-9);
+    }
+}

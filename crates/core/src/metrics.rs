@@ -1,0 +1,82 @@
+//! Accuracy metrics (the paper evaluates in RMSE).
+
+/// Root mean squared error between predictions and ground truth.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty slices");
+    let ss: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    (ss / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty slices");
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Pools per-sample squared errors into one RMSE: each entry is
+/// `(rmse_of_sample, element_count)`.
+///
+/// # Panics
+///
+/// Panics if the total element count is zero.
+pub fn pooled_rmse(per_sample: &[(f64, usize)]) -> f64 {
+    let total: usize = per_sample.iter().map(|&(_, n)| n).sum();
+    assert!(total > 0, "pooled rmse over zero elements");
+    let ss: f64 = per_sample
+        .iter()
+        .map(|&(r, n)| r * r * n as f64)
+        .sum();
+    (ss / total as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known() {
+        assert!((rmse(&[3.0, 0.0], &[0.0, 4.0]) - 12.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_known() {
+        assert!((mae(&[1.0, -1.0], &[0.0, 1.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_matches_flat() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 1.0, 3.5];
+        let flat = rmse(&a, &b);
+        let pooled = pooled_rmse(&[
+            (rmse(&a[..2], &b[..2]), 2),
+            (rmse(&a[2..], &b[2..]), 1),
+        ]);
+        assert!((flat - pooled).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

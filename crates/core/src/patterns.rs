@@ -1,0 +1,383 @@
+//! Interconnect patterns for decomposed dynamical systems
+//! (paper Sec. IV.B(3), Fig. 6).
+//!
+//! Super-communities sit on a 2-D PE grid; couplings between two PEs are
+//! only realisable when the pattern allows a physical path:
+//!
+//! - **Chain**: consecutive PEs in boustrophedon (snake) order — the
+//!   cheapest wiring;
+//! - **Mesh**: all 4-neighbour grid links (a superset of Chain);
+//! - **DMesh**: Mesh plus diagonal links (Hu et al.'s diagonally-linked
+//!   mesh);
+//! - **Wormholes**: a small budget of arbitrary PE-pair
+//!   super-connections for the unavoidable long-range outlier couplings.
+
+use dsgl_ising::Coupling;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The inter-PE connection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Consecutive PEs in snake order.
+    Chain,
+    /// 4-neighbour grid links (includes all Chain links).
+    Mesh,
+    /// Mesh plus diagonals.
+    DMesh,
+}
+
+impl PatternKind {
+    /// All patterns, weakest first.
+    pub const ALL: [PatternKind; 3] = [PatternKind::Chain, PatternKind::Mesh, PatternKind::DMesh];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternKind::Chain => "Chain",
+            PatternKind::Mesh => "Mesh",
+            PatternKind::DMesh => "DMesh",
+        }
+    }
+}
+
+/// Grid coordinate of a PE (row-major indexing).
+fn coord(grid: (usize, usize), pe: usize) -> (usize, usize) {
+    (pe / grid.1, pe % grid.1)
+}
+
+/// Position of a PE along the boustrophedon (snake) traversal of the
+/// grid: row 0 left→right, row 1 right→left, and so on.
+pub fn snake_position(grid: (usize, usize), pe: usize) -> usize {
+    let (r, c) = coord(grid, pe);
+    if r % 2 == 0 {
+        r * grid.1 + c
+    } else {
+        r * grid.1 + (grid.1 - 1 - c)
+    }
+}
+
+/// Whether the pattern directly connects two PEs (same PE is always
+/// connected through its internal crossbar).
+///
+/// # Panics
+///
+/// Panics if either PE is outside the grid.
+pub fn pe_allowed(kind: PatternKind, grid: (usize, usize), a: usize, b: usize) -> bool {
+    let pes = grid.0 * grid.1;
+    assert!(a < pes && b < pes, "PE index outside grid");
+    if a == b {
+        return true;
+    }
+    let (ar, ac) = coord(grid, a);
+    let (br, bc) = coord(grid, b);
+    let dr = ar.abs_diff(br);
+    let dc = ac.abs_diff(bc);
+    match kind {
+        PatternKind::Chain => {
+            snake_position(grid, a).abs_diff(snake_position(grid, b)) == 1
+        }
+        PatternKind::Mesh => dr + dc == 1,
+        PatternKind::DMesh => dr.max(dc) == 1,
+    }
+}
+
+/// A set of wormhole super-connections between PE pairs (stored with
+/// `min <= max` normalisation).
+pub type WormholeSet = HashSet<(usize, usize)>;
+
+fn pair(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Plans up to `budget` wormholes: the pattern-forbidden PE pairs
+/// carrying the largest aggregate coupling magnitude get
+/// super-connections (paper: "rare connections between any two
+/// super-communities").
+///
+/// # Panics
+///
+/// Panics if `var_to_pe` is shorter than the coupling matrix.
+pub fn plan_wormholes(
+    coupling: &Coupling,
+    var_to_pe: &[usize],
+    grid: (usize, usize),
+    kind: PatternKind,
+    budget: usize,
+) -> WormholeSet {
+    assert!(
+        var_to_pe.len() >= coupling.n(),
+        "placement does not cover all variables"
+    );
+    let mut demand: HashMap<(usize, usize), f64> = HashMap::new();
+    for (i, j, w) in coupling.nonzeros() {
+        let (pa, pb) = (var_to_pe[i], var_to_pe[j]);
+        if pa != pb && !pe_allowed(kind, grid, pa, pb) {
+            *demand.entry(pair(pa, pb)).or_insert(0.0) += w.abs();
+        }
+    }
+    let mut ranked: Vec<((usize, usize), f64)> = demand.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demand").then(a.0.cmp(&b.0)));
+    ranked.into_iter().take(budget).map(|(p, _)| p).collect()
+}
+
+/// Builds the structural coupling mask for a placement under a pattern:
+/// entry `i·n + j` is `true` when variables `i` and `j` may stay
+/// coupled — same PE, pattern-adjacent PEs, or a planned wormhole.
+///
+/// # Panics
+///
+/// Panics if `var_to_pe.len() != n_vars`.
+pub fn build_mask(
+    n_vars: usize,
+    var_to_pe: &[usize],
+    grid: (usize, usize),
+    kind: PatternKind,
+    wormholes: &WormholeSet,
+) -> Vec<bool> {
+    assert_eq!(var_to_pe.len(), n_vars, "placement does not cover variables");
+    // Precompute the PE-pair admissibility table.
+    let pes = grid.0 * grid.1;
+    let mut pe_ok = vec![false; pes * pes];
+    for a in 0..pes {
+        for b in 0..pes {
+            pe_ok[a * pes + b] =
+                pe_allowed(kind, grid, a, b) || wormholes.contains(&pair(a, b));
+        }
+    }
+    let mut mask = vec![false; n_vars * n_vars];
+    for i in 0..n_vars {
+        for j in 0..n_vars {
+            mask[i * n_vars + j] = pe_ok[var_to_pe[i] * pes + var_to_pe[j]];
+        }
+    }
+    mask
+}
+
+/// The King's-graph node-level topology of prior scalable Ising machines
+/// (paper Sec. I: "partially connected interconnects with uniform
+/// patterns, such as King's graph topology, fall short in handling
+/// high-degree nodes").
+///
+/// Variables are laid out in raster order on a `⌈n/cols⌉ × cols` grid of
+/// *physical nodes* and may couple only within Chebyshev distance 1
+/// (8 neighbours). Unlike DS-GL's community-aware decomposition, the
+/// placement ignores the problem's structure entirely — which is exactly
+/// why it fails for graphs with high-degree nodes and long-range
+/// couplings; the ablation experiment quantifies that.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`.
+pub fn kings_graph_mask(n_vars: usize, cols: usize) -> Vec<bool> {
+    assert!(cols > 0, "king's grid needs at least one column");
+    let coord = |v: usize| (v / cols, v % cols);
+    let mut mask = vec![false; n_vars * n_vars];
+    for i in 0..n_vars {
+        let (ri, ci) = coord(i);
+        for j in 0..n_vars {
+            let (rj, cj) = coord(j);
+            if ri.abs_diff(rj).max(ci.abs_diff(cj)) <= 1 {
+                mask[i * n_vars + j] = true;
+            }
+        }
+    }
+    mask
+}
+
+/// Fraction of coupling magnitude a mask would remove — the accuracy
+/// pressure a pattern puts on fine-tuning.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != n²`.
+pub fn masked_weight_fraction(coupling: &Coupling, mask: &[bool]) -> f64 {
+    let n = coupling.n();
+    assert_eq!(mask.len(), n * n, "mask length mismatch");
+    let mut kept = 0.0;
+    let mut total = 0.0;
+    for (i, j, w) in coupling.nonzeros() {
+        total += w.abs();
+        if mask[i * n + j] && mask[j * n + i] {
+            kept += w.abs();
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        1.0 - kept / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID: (usize, usize) = (2, 2); // PEs 0 1 / 2 3
+
+    #[test]
+    fn snake_order_2x2() {
+        // Snake: 0, 1 then row 1 reversed: 3, 2.
+        assert_eq!(snake_position(GRID, 0), 0);
+        assert_eq!(snake_position(GRID, 1), 1);
+        assert_eq!(snake_position(GRID, 3), 2);
+        assert_eq!(snake_position(GRID, 2), 3);
+    }
+
+    #[test]
+    fn chain_follows_snake() {
+        assert!(pe_allowed(PatternKind::Chain, GRID, 0, 1));
+        assert!(pe_allowed(PatternKind::Chain, GRID, 1, 3));
+        assert!(pe_allowed(PatternKind::Chain, GRID, 3, 2));
+        assert!(!pe_allowed(PatternKind::Chain, GRID, 0, 2)); // not consecutive in snake
+        assert!(!pe_allowed(PatternKind::Chain, GRID, 0, 3));
+    }
+
+    #[test]
+    fn mesh_is_grid_neighbours() {
+        assert!(pe_allowed(PatternKind::Mesh, GRID, 0, 1));
+        assert!(pe_allowed(PatternKind::Mesh, GRID, 0, 2));
+        assert!(!pe_allowed(PatternKind::Mesh, GRID, 0, 3)); // diagonal
+    }
+
+    #[test]
+    fn dmesh_adds_diagonals() {
+        assert!(pe_allowed(PatternKind::DMesh, GRID, 0, 3));
+        assert!(pe_allowed(PatternKind::DMesh, GRID, 1, 2));
+        let grid3 = (3, 3);
+        assert!(!pe_allowed(PatternKind::DMesh, grid3, 0, 2)); // two apart
+    }
+
+    #[test]
+    fn pattern_inclusion_chain_mesh_dmesh() {
+        // Chain ⊆ Mesh ⊆ DMesh on a 3x4 grid.
+        let grid = (3, 4);
+        for a in 0..12 {
+            for b in 0..12 {
+                if pe_allowed(PatternKind::Chain, grid, a, b) {
+                    assert!(
+                        pe_allowed(PatternKind::Mesh, grid, a, b),
+                        "chain link {a}-{b} missing from mesh"
+                    );
+                }
+                if pe_allowed(PatternKind::Mesh, grid, a, b) {
+                    assert!(
+                        pe_allowed(PatternKind::DMesh, grid, a, b),
+                        "mesh link {a}-{b} missing from dmesh"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_pe_always_allowed() {
+        for kind in PatternKind::ALL {
+            assert!(pe_allowed(kind, GRID, 2, 2));
+        }
+    }
+
+    #[test]
+    fn wormholes_pick_heaviest_forbidden_pair() {
+        // 4 variables on 4 PEs; forbidden diagonal 0-3 carries the most
+        // weight, so it gets the single wormhole.
+        let mut j = Coupling::zeros(4);
+        j.set(0, 3, 5.0); // PE0-PE3: forbidden under Mesh
+        j.set(1, 2, 0.1); // PE1-PE2: forbidden under Mesh
+        j.set(0, 1, 9.0); // PE0-PE1: allowed, irrelevant
+        let var_to_pe = [0, 1, 2, 3];
+        let w = plan_wormholes(&j, &var_to_pe, GRID, PatternKind::Mesh, 1);
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn mask_respects_pattern_and_wormholes() {
+        let var_to_pe = [0, 1, 2, 3];
+        let mut wormholes = WormholeSet::new();
+        wormholes.insert((0, 3));
+        let mask = build_mask(4, &var_to_pe, GRID, PatternKind::Mesh, &wormholes);
+        let at = |i: usize, j: usize| mask[i * 4 + j];
+        assert!(at(0, 1), "mesh link");
+        assert!(at(0, 2), "mesh link");
+        assert!(at(0, 3), "wormhole");
+        assert!(!at(1, 2), "forbidden diagonal without wormhole");
+        assert!(at(2, 2), "same PE");
+        // Symmetry.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(at(i, j), at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn kings_graph_is_eight_neighbour() {
+        // 3x3 raster of 9 variables: the centre sees everyone, corners
+        // see their 3 neighbours + self.
+        let mask = kings_graph_mask(9, 3);
+        let at = |i: usize, j: usize| mask[i * 9 + j];
+        for j in 0..9 {
+            assert!(at(4, j), "centre must reach {j}");
+        }
+        assert!(at(0, 1) && at(0, 3) && at(0, 4));
+        assert!(!at(0, 2), "corner must not reach across the row");
+        assert!(!at(0, 8), "corner must not reach the far corner");
+        // Symmetry.
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(at(i, j), at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn kings_graph_removes_long_range_weight() {
+        let n = 16;
+        let mut j = Coupling::zeros(n);
+        j.set(0, 15, 10.0); // long-range, heavy
+        j.set(0, 1, 0.1); // local
+        let mask = kings_graph_mask(n, 4);
+        assert!((masked_weight_fraction(&j, &mask) - 10.0 / 10.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_weight_fraction_counts() {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 1.0);
+        j.set(1, 2, 3.0);
+        let var_to_pe = [0, 1, 2, 3];
+        let mask = build_mask(4, &var_to_pe, GRID, PatternKind::Mesh, &WormholeSet::new());
+        // (0,1) allowed, (1,2) forbidden -> 3/4 of the weight removed.
+        assert!((masked_weight_fraction(&j, &mask) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_patterns_remove_less() {
+        // Random-ish couplings over a 3x3 grid of single-variable PEs.
+        let n = 9;
+        let mut j = Coupling::zeros(n);
+        let mut w = 0.1;
+        for i in 0..n {
+            for k in (i + 1)..n {
+                j.set(i, k, w);
+                w += 0.07;
+            }
+        }
+        let var_to_pe: Vec<usize> = (0..n).collect();
+        let grid = (3, 3);
+        let removed: Vec<f64> = PatternKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mask = build_mask(n, &var_to_pe, grid, kind, &WormholeSet::new());
+                masked_weight_fraction(&j, &mask)
+            })
+            .collect();
+        assert!(removed[0] >= removed[1], "chain {} mesh {}", removed[0], removed[1]);
+        assert!(removed[1] >= removed[2], "mesh {} dmesh {}", removed[1], removed[2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Converting dataset samples to and from dynamical-system states.
+
+use crate::error::CoreError;
+use crate::model::VariableLayout;
+use dsgl_data::Sample;
+
+/// Assembles a full ground-truth state vector (history ++ target) from a
+/// sample — the teacher-forced state the trainer regresses on.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SampleShapeMismatch`] when the sample does not
+/// match the layout.
+pub fn full_state(layout: &VariableLayout, sample: &Sample) -> Result<Vec<f64>, CoreError> {
+    check_sample(layout, sample)?;
+    let mut state = Vec::with_capacity(layout.total());
+    state.extend_from_slice(&sample.history);
+    state.extend_from_slice(&sample.target);
+    Ok(state)
+}
+
+/// Assembles the inference-time state: history filled in, target block
+/// zeroed (to be randomised and annealed by the machine).
+///
+/// # Errors
+///
+/// Returns [`CoreError::SampleShapeMismatch`] when the sample does not
+/// match the layout.
+pub fn observed_state(layout: &VariableLayout, sample: &Sample) -> Result<Vec<f64>, CoreError> {
+    check_sample(layout, sample)?;
+    let mut state = vec![0.0; layout.total()];
+    state[..layout.history_len()].copy_from_slice(&sample.history);
+    Ok(state)
+}
+
+/// Extracts the target block from a full state vector.
+///
+/// # Panics
+///
+/// Panics if `state.len() != layout.total()`.
+pub fn extract_target(layout: &VariableLayout, state: &[f64]) -> Vec<f64> {
+    assert_eq!(state.len(), layout.total(), "state length mismatch");
+    state[layout.target_range()].to_vec()
+}
+
+fn check_sample(layout: &VariableLayout, sample: &Sample) -> Result<(), CoreError> {
+    if sample.history.len() != layout.history_len() {
+        return Err(CoreError::SampleShapeMismatch {
+            what: "sample history",
+            expected: layout.history_len(),
+            actual: sample.history.len(),
+        });
+    }
+    if sample.target.len() != layout.target_len() {
+        return Err(CoreError::SampleShapeMismatch {
+            what: "sample target",
+            expected: layout.target_len(),
+            actual: sample.target.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample {
+            history: vec![1.0, 2.0, 3.0, 4.0],
+            target: vec![5.0, 6.0],
+        }
+    }
+
+    #[test]
+    fn full_state_layout() {
+        let l = VariableLayout::new(2, 2, 1);
+        let s = full_state(&l, &sample()).unwrap();
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(extract_target(&l, &s), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn observed_state_zeroes_target() {
+        let l = VariableLayout::new(2, 2, 1);
+        let s = observed_state(&l, &sample()).unwrap();
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let l = VariableLayout::new(3, 2, 1);
+        assert!(matches!(
+            full_state(&l, &sample()),
+            Err(CoreError::SampleShapeMismatch { .. })
+        ));
+        let l2 = VariableLayout::new(2, 3, 1);
+        assert!(observed_state(&l2, &sample()).is_err());
+    }
+}

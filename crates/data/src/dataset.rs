@@ -1,0 +1,278 @@
+//! Dataset and time-series containers.
+
+use crate::split::{make_windows, Sample, WindowConfig};
+use dsgl_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// A `T × N × F` spatio-temporal series: `T` timesteps, `N` graph nodes,
+/// `F` features per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    t: usize,
+    n: usize,
+    f: usize,
+    data: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an all-zero series.
+    pub fn zeros(t: usize, n: usize, f: usize) -> Self {
+        TimeSeries {
+            t,
+            n,
+            f,
+            data: vec![0.0; t * n * f],
+        }
+    }
+
+    /// Number of timesteps.
+    pub fn len_t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of nodes.
+    pub fn len_n(&self) -> usize {
+        self.n
+    }
+
+    /// Features per node.
+    pub fn len_f(&self) -> usize {
+        self.f
+    }
+
+    #[inline]
+    fn idx(&self, t: usize, i: usize, k: usize) -> usize {
+        debug_assert!(t < self.t && i < self.n && k < self.f);
+        (t * self.n + i) * self.f + k
+    }
+
+    /// Value at `(t, node, feature)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range (debug builds check all three indices).
+    pub fn get(&self, t: usize, i: usize, k: usize) -> f64 {
+        self.data[self.idx(t, i, k)]
+    }
+
+    /// Sets the value at `(t, node, feature)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, t: usize, i: usize, k: usize, v: f64) {
+        let idx = self.idx(t, i, k);
+        self.data[idx] = v;
+    }
+
+    /// The `N·F` frame at timestep `t`, node-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn frame(&self, t: usize) -> &[f64] {
+        &self.data[t * self.n * self.f..(t + 1) * self.n * self.f]
+    }
+
+    /// Mutable frame at timestep `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn frame_mut(&mut self, t: usize) -> &mut [f64] {
+        &mut self.data[t * self.n * self.f..(t + 1) * self.n * self.f]
+    }
+
+    /// The raw buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Minimum and maximum values (`None` when empty).
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+}
+
+/// A named evaluation dataset: a spatial graph plus a normalised series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Short machine-readable name (e.g. `"pm25"`).
+    pub name: String,
+    /// The spatial graph connecting nodes.
+    pub graph: CsrGraph,
+    /// Normalised node signals over time.
+    pub series: TimeSeries,
+}
+
+impl Dataset {
+    /// Number of graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.series.len_n()
+    }
+
+    /// Features per node.
+    pub fn feature_count(&self) -> usize {
+        self.series.len_f()
+    }
+
+    /// Number of timesteps.
+    pub fn time_steps(&self) -> usize {
+        self.series.len_t()
+    }
+
+    /// Restricts the dataset to its first `nodes` nodes and `steps`
+    /// timesteps (taking induced subgraph and series prefix). Caps
+    /// larger than the dataset are no-ops. Used to scale experiments to
+    /// the available compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cap is zero.
+    pub fn truncate(&self, nodes: usize, steps: usize) -> Dataset {
+        assert!(nodes > 0 && steps > 0, "caps must be positive");
+        let n = nodes.min(self.node_count());
+        let t = steps.min(self.time_steps());
+        let f = self.feature_count();
+        let keep: Vec<usize> = (0..n).collect();
+        let graph = self.graph.subgraph(&keep).expect("prefix nodes exist");
+        let mut series = TimeSeries::zeros(t, n, f);
+        for ti in 0..t {
+            for i in 0..n {
+                for k in 0..f {
+                    series.set(ti, i, k, self.series.get(ti, i, k));
+                }
+            }
+        }
+        Dataset {
+            name: self.name.clone(),
+            graph,
+            series,
+        }
+    }
+
+    /// Chronological train/validation/test windowing.
+    ///
+    /// `train_frac` and `val_frac` are fractions of the *windows* (the
+    /// remainder is test). Windows never straddle split boundaries'
+    /// targets, keeping evaluation honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are not in `[0, 1]` or sum above 1.
+    pub fn split_windows(
+        &self,
+        config: &WindowConfig,
+        train_frac: f64,
+        val_frac: f64,
+    ) -> (Vec<Sample>, Vec<Sample>, Vec<Sample>) {
+        assert!(
+            (0.0..=1.0).contains(&train_frac)
+                && (0.0..=1.0).contains(&val_frac)
+                && train_frac + val_frac <= 1.0,
+            "invalid split fractions"
+        );
+        let windows = make_windows(&self.series, config);
+        let n = windows.len();
+        let n_train = (n as f64 * train_frac).floor() as usize;
+        let n_val = (n as f64 * val_frac).floor() as usize;
+        let mut it = windows.into_iter();
+        let train: Vec<Sample> = it.by_ref().take(n_train).collect();
+        let val: Vec<Sample> = it.by_ref().take(n_val).collect();
+        let test: Vec<Sample> = it.collect();
+        (train, val, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_indexing() {
+        let mut s = TimeSeries::zeros(3, 2, 2);
+        s.set(1, 1, 0, 7.0);
+        assert_eq!(s.get(1, 1, 0), 7.0);
+        assert_eq!(s.get(0, 0, 0), 0.0);
+        assert_eq!(s.frame(1), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn value_range() {
+        let mut s = TimeSeries::zeros(1, 2, 1);
+        s.set(0, 0, 0, -1.0);
+        s.set(0, 1, 0, 3.0);
+        assert_eq!(s.value_range(), Some((-1.0, 3.0)));
+        assert_eq!(TimeSeries::zeros(0, 0, 0).value_range(), None);
+    }
+
+    #[test]
+    fn split_is_chronological_and_complete() {
+        let mut s = TimeSeries::zeros(20, 1, 1);
+        for t in 0..20 {
+            s.set(t, 0, 0, t as f64);
+        }
+        let ds = Dataset {
+            name: "test".into(),
+            graph: CsrGraph::empty(1),
+            series: s,
+        };
+        let cfg = WindowConfig::one_step(3);
+        let (train, val, test) = ds.split_windows(&cfg, 0.5, 0.25);
+        let total = train.len() + val.len() + test.len();
+        assert_eq!(total, 17); // 20 - 3 windows
+        // Chronological: last train target < first test target.
+        let last_train = train.last().unwrap().target[0];
+        let first_test = test.first().unwrap().target[0];
+        assert!(last_train < first_test);
+    }
+
+    #[test]
+    fn truncate_takes_prefix() {
+        let mut s = TimeSeries::zeros(5, 3, 1);
+        for t in 0..5 {
+            for i in 0..3 {
+                s.set(t, i, 0, (t * 3 + i) as f64);
+            }
+        }
+        let ds = Dataset {
+            name: "x".into(),
+            graph: CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap(),
+            series: s,
+        };
+        let small = ds.truncate(2, 3);
+        assert_eq!(small.node_count(), 2);
+        assert_eq!(small.time_steps(), 3);
+        assert_eq!(small.graph.edge_count(), 1); // edge (0,1) kept, (1,2) cut
+        assert_eq!(small.series.get(2, 1, 0), 7.0);
+        // Caps beyond the size are no-ops.
+        let same = ds.truncate(99, 99);
+        assert_eq!(same.node_count(), 3);
+        assert_eq!(same.time_steps(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn bad_fractions_panic() {
+        let ds = Dataset {
+            name: "x".into(),
+            graph: CsrGraph::empty(1),
+            series: TimeSeries::zeros(5, 1, 1),
+        };
+        ds.split_windows(&WindowConfig::one_step(1), 0.9, 0.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Value normalisation.
+
+use crate::dataset::TimeSeries;
+
+/// Min-max normalises a series in place into `[lo, hi]`.
+///
+/// Degenerate (constant) series map to the midpoint. Returns the original
+/// `(min, max)` so predictions can be denormalised.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or the series is empty.
+pub fn min_max_normalize(series: &mut TimeSeries, lo: f64, hi: f64) -> (f64, f64) {
+    assert!(lo < hi, "lo must be below hi");
+    let (min, max) = series.value_range().expect("non-empty series");
+    let span = max - min;
+    let mid = (lo + hi) / 2.0;
+    for v in series.as_mut_slice() {
+        *v = if span == 0.0 {
+            mid
+        } else {
+            lo + (*v - min) / span * (hi - lo)
+        };
+    }
+    (min, max)
+}
+
+/// The standard normalisation band for capacitor voltages: `[0.05, 0.95]`
+/// leaves headroom below the rails for annealing transients.
+pub const VOLTAGE_BAND: (f64, f64) = (0.05, 0.95);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_range() {
+        let mut s = TimeSeries::zeros(2, 2, 1);
+        s.set(0, 0, 0, -10.0);
+        s.set(0, 1, 0, 0.0);
+        s.set(1, 0, 0, 10.0);
+        s.set(1, 1, 0, 5.0);
+        let (min, max) = min_max_normalize(&mut s, 0.0, 1.0);
+        assert_eq!((min, max), (-10.0, 10.0));
+        assert_eq!(s.get(0, 0, 0), 0.0);
+        assert_eq!(s.get(1, 0, 0), 1.0);
+        assert_eq!(s.get(0, 1, 0), 0.5);
+    }
+
+    #[test]
+    fn constant_series_maps_to_midpoint() {
+        let mut s = TimeSeries::zeros(2, 1, 1);
+        s.set(0, 0, 0, 4.0);
+        s.set(1, 0, 0, 4.0);
+        min_max_normalize(&mut s, 0.0, 1.0);
+        assert_eq!(s.get(0, 0, 0), 0.5);
+        assert_eq!(s.get(1, 0, 0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn bad_band_panics() {
+        let mut s = TimeSeries::zeros(1, 1, 1);
+        min_max_normalize(&mut s, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Power-grid load dataset (extension).
+//!
+//! The paper's introduction motivates DS-GL with *power-grid cascading
+//! failure prediction* even though its evaluation does not include a
+//! grid dataset; this module provides one so downstream users can try
+//! the motivating application. Buses form an IEEE-style meshed ring
+//! (a ring backbone with chords — transmission grids are sparse but
+//! 2-connected); bus loads follow strong daily cycles with occasional
+//! load-shedding shocks, and neighbouring buses share flow (diffusion).
+
+use crate::dataset::Dataset;
+use crate::normalize::{min_max_normalize, VOLTAGE_BAND};
+use crate::synth::{generate_with_stats, DiffusionConfig, GenStats, GraphKind};
+use dsgl_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The generator configuration for the power-grid stand-in. The graph
+/// from this config is replaced by [`grid_topology`]; only the dynamics
+/// fields are used.
+pub fn config() -> DiffusionConfig {
+    DiffusionConfig {
+        nodes: 96,
+        steps: 480,
+        features: 1,
+        graph: GraphKind::Sbm {
+            blocks: 6,
+            p_in: 0.3,
+            p_out: 0.01,
+        }, // placeholder; replaced below
+        diffusion: 0.35, // power flow couples neighbours strongly
+        persistence: 0.92,
+        season_amp: 0.6, // pronounced daily load curve
+        season_period: 24.0,
+        trend: 0.0,
+        shock_prob: 0.004,
+        shock_amp: 0.6, // load shedding / outages
+        innovation_std: 0.05,
+        feature_coupling: 0.0,
+        heterogeneity: 0.5,
+        shock_correlation: 0.4, // system-wide frequency events
+    }
+}
+
+/// An IEEE-style meshed ring over `n` buses: a ring backbone plus a
+/// deterministic set of chords every `chord_stride` buses and a few
+/// seeded long lines — sparse, 2-connected, with the low diameter real
+/// transmission grids have.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn grid_topology<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 4, "a grid needs at least 4 buses");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u, (u + 1) % n, 1.0).expect("ring edge");
+    }
+    // Chords: every 7th bus ties across a quarter of the ring.
+    let mut u = 0;
+    while u < n {
+        let v = (u + n / 4) % n;
+        if v != u {
+            b.add_edge(u, v, 0.7).expect("chord edge");
+        }
+        u += 7;
+    }
+    // A few random long interties.
+    for _ in 0..(n / 16).max(1) {
+        let a = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        if a != c {
+            b.add_edge(a, c, 0.5).expect("intertie edge");
+        }
+    }
+    b.build()
+}
+
+/// Generates the power-grid dataset deterministically from `seed`.
+pub fn generate(seed: u64) -> Dataset {
+    generate_full(seed).0
+}
+
+/// Like [`generate`] but also reports calibration statistics.
+pub fn generate_full(seed: u64) -> (Dataset, GenStats) {
+    let cfg = config();
+    // Generate dynamics on a placeholder graph, then rebuild on the
+    // grid topology so the diffusion actually flows over power lines.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9f1d));
+    let graph = grid_topology(cfg.nodes, &mut rng);
+
+    // Re-run the shared engine manually over the grid graph: reuse the
+    // synth generator by temporarily treating the topology as given.
+    // (The engine's graph field only supports its own families, so the
+    // level dynamics are re-integrated here with the same conventions.)
+    let (mut dataset, stats) =
+        generate_with_stats("powergrid", &cfg, seed.wrapping_add(0x9f1d));
+    // Replace the series with one diffused over the actual grid.
+    let n = cfg.nodes;
+    let mut series = crate::dataset::TimeSeries::zeros(cfg.steps, n, 1);
+    let norm: Vec<f64> = (0..n)
+        .map(|i| {
+            let s: f64 = graph.neighbors(i).map(|(_, w)| w).sum();
+            if s > 0.0 {
+                1.0 / s
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut phase = vec![0.0; n];
+    for p in phase.iter_mut() {
+        *p = rng.random::<f64>();
+    }
+    let mut level = vec![0.0; n];
+    for l in level.iter_mut() {
+        *l = (rng.random::<f64>() - 0.5) * 0.5;
+    }
+    let mut next = vec![0.0; n];
+    for t in 0..cfg.steps {
+        for i in 0..n {
+            let season = cfg.season_amp
+                * (std::f64::consts::TAU * (t as f64 / cfg.season_period + phase[i])).sin();
+            series.set(t, i, 0, level[i] + season);
+        }
+        let common = gaussian(&mut rng);
+        for i in 0..n {
+            let mut neigh = 0.0;
+            for (j, w) in graph.neighbors(i) {
+                neigh += w * level[j];
+            }
+            neigh *= norm[i];
+            let innovation = cfg.innovation_std
+                * ((1.0 - cfg.shock_correlation).sqrt() * gaussian(&mut rng)
+                    + cfg.shock_correlation.sqrt() * common);
+            let mut v = cfg.persistence * level[i]
+                + cfg.diffusion * (neigh - level[i])
+                + innovation;
+            if rng.random::<f64>() < cfg.shock_prob {
+                v += (rng.random::<f64>() * 2.0 - 1.0) * cfg.shock_amp;
+            }
+            next[i] = v;
+        }
+        level.copy_from_slice(&next);
+    }
+    min_max_normalize(&mut series, VOLTAGE_BAND.0, VOLTAGE_BAND.1);
+    dataset.graph = graph;
+    dataset.series = series;
+    (dataset, stats)
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::persistence_rmse;
+
+    #[test]
+    fn topology_is_two_connected_ring_with_chords() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = grid_topology(48, &mut rng);
+        assert_eq!(g.node_count(), 48);
+        // Ring alone would have 48 edges; chords/interties add more.
+        assert!(g.edge_count() > 48);
+        // Connected, and no bus is isolated by a single line cut:
+        // minimum degree 2.
+        assert_eq!(g.connected_components().len(), 1);
+        for u in 0..48 {
+            assert!(g.degree(u) >= 2, "bus {u} degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_normalised() {
+        let a = generate(5);
+        let b = generate(5);
+        assert_eq!(a, b);
+        let (lo, hi) = a.series.value_range().unwrap();
+        assert!(lo >= VOLTAGE_BAND.0 - 1e-12 && hi <= VOLTAGE_BAND.1 + 1e-12);
+        assert_eq!(a.name, "powergrid");
+    }
+
+    #[test]
+    fn grid_load_is_predictable() {
+        // Strong daily cycles + high persistence: the naive predictor
+        // should sit in the air-quality difficulty band, not traffic's.
+        let ds = generate(1);
+        let p = persistence_rmse(&ds.series);
+        assert!((0.01..0.12).contains(&p), "persistence rmse {p}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Windowing a series into supervised samples.
+
+use crate::dataset::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Windowing configuration: `history` observed steps predict the next
+/// `horizon` steps (the paper's tables use one-step RMSE; multi-step
+/// forecasting is the natural extension of "predicting future states").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Number of observed history steps `W`.
+    pub history: usize,
+    /// Number of predicted future steps `H` (default 1).
+    #[serde(default = "default_horizon")]
+    pub horizon: usize,
+}
+
+fn default_horizon() -> usize {
+    1
+}
+
+impl WindowConfig {
+    /// One-step-ahead windows with the given history.
+    pub fn one_step(history: usize) -> Self {
+        WindowConfig {
+            history,
+            horizon: 1,
+        }
+    }
+}
+
+impl Default for WindowConfig {
+    /// Four history steps, one-step horizon.
+    fn default() -> Self {
+        WindowConfig {
+            history: 4,
+            horizon: 1,
+        }
+    }
+}
+
+/// One supervised sample: `W` frames of history and the next `H` frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flattened history, ordered oldest→newest, each frame node-major
+    /// (`W · N · F` values).
+    pub history: Vec<f64>,
+    /// The target frames, oldest→newest, each node-major (`H · N · F`
+    /// values).
+    pub target: Vec<f64>,
+}
+
+impl Sample {
+    /// Number of history frames given the frame size.
+    pub fn history_steps(&self, frame_len: usize) -> usize {
+        if frame_len == 0 {
+            0
+        } else {
+            self.history.len() / frame_len
+        }
+    }
+
+    /// The `i`-th history frame (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn history_frame(&self, i: usize, frame_len: usize) -> &[f64] {
+        &self.history[i * frame_len..(i + 1) * frame_len]
+    }
+}
+
+/// Slides a length-`W+1` window over the series producing one [`Sample`]
+/// per position. Returns an empty vector when the series is shorter than
+/// `W + 1`.
+///
+/// # Panics
+///
+/// Panics if `config.history == 0`.
+pub fn make_windows(series: &TimeSeries, config: &WindowConfig) -> Vec<Sample> {
+    assert!(config.history > 0, "history must be at least 1");
+    assert!(config.horizon > 0, "horizon must be at least 1");
+    let w = config.history;
+    let h = config.horizon;
+    let t_total = series.len_t();
+    if t_total < w + h {
+        return Vec::new();
+    }
+    let frame_len = series.len_n() * series.len_f();
+    let mut out = Vec::with_capacity(t_total - w - h + 1);
+    for t0 in 0..=(t_total - w - h) {
+        let mut history = Vec::with_capacity(w * frame_len);
+        for t in t0..t0 + w {
+            history.extend_from_slice(series.frame(t));
+        }
+        let mut target = Vec::with_capacity(h * frame_len);
+        for t in t0 + w..t0 + w + h {
+            target.extend_from_slice(series.frame(t));
+        }
+        out.push(Sample { history, target });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_series(t: usize, n: usize) -> TimeSeries {
+        let mut s = TimeSeries::zeros(t, n, 1);
+        for ti in 0..t {
+            for i in 0..n {
+                s.set(ti, i, 0, (ti * 10 + i) as f64);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn window_contents() {
+        let s = counting_series(5, 2);
+        let ws = make_windows(&s, &WindowConfig::one_step(2));
+        assert_eq!(ws.len(), 3);
+        // First window: frames t=0,1 history, t=2 target.
+        assert_eq!(ws[0].history, vec![0.0, 1.0, 10.0, 11.0]);
+        assert_eq!(ws[0].target, vec![20.0, 21.0]);
+        assert_eq!(ws[0].history_steps(2), 2);
+        assert_eq!(ws[0].history_frame(1, 2), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn too_short_series() {
+        let s = counting_series(3, 1);
+        assert!(make_windows(&s, &WindowConfig::one_step(3)).is_empty());
+        assert_eq!(make_windows(&s, &WindowConfig::one_step(2)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "history must be at least 1")]
+    fn zero_history_panics() {
+        make_windows(&counting_series(3, 1), &WindowConfig { history: 0, horizon: 1 });
+    }
+}

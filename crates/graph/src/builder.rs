@@ -1,0 +1,180 @@
+//! Incremental, deduplicating graph construction.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use std::collections::HashMap;
+
+/// How duplicate edges are combined by a [`GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeRule {
+    /// Add the weights together (default).
+    #[default]
+    Sum,
+    /// Keep the weight of largest magnitude.
+    MaxAbs,
+    /// Keep the most recently added weight.
+    Last,
+}
+
+/// Builder for [`CsrGraph`] that deduplicates parallel edges.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::builder::{GraphBuilder, MergeRule};
+///
+/// let mut b = GraphBuilder::new(3).merge_rule(MergeRule::Sum);
+/// b.add_edge(0, 1, 1.0).unwrap();
+/// b.add_edge(1, 0, 2.0).unwrap(); // duplicate, summed
+/// let g = b.build();
+/// assert_eq!(g.edge_weight(0, 1), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    rule: MergeRule,
+    allow_self_loops: bool,
+    edges: HashMap<(u32, u32), f64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            rule: MergeRule::Sum,
+            allow_self_loops: false,
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Sets the duplicate-edge merge rule.
+    pub fn merge_rule(mut self, rule: MergeRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Permits self-loops (needed for aggregated community graphs).
+    pub fn allow_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Adds an undirected edge, merging with any existing one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeEndpointOutOfRange`] for endpoints `>= n`
+    /// and [`GraphError::SelfLoop`] when self-loops are disallowed.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::EdgeEndpointOutOfRange { node: u, len: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::EdgeEndpointOutOfRange { node: v, len: self.n });
+        }
+        if u == v && !self.allow_self_loops {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let key = if u <= v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
+        let rule = self.rule;
+        self.edges
+            .entry(key)
+            .and_modify(|old| {
+                *old = match rule {
+                    MergeRule::Sum => *old + w,
+                    MergeRule::MaxAbs => {
+                        if w.abs() > old.abs() {
+                            w
+                        } else {
+                            *old
+                        }
+                    }
+                    MergeRule::Last => w,
+                }
+            })
+            .or_insert(w);
+        Ok(self)
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the builder into a [`CsrGraph`].
+    pub fn build(self) -> CsrGraph {
+        let n = self.n;
+        let pairs = self.edges.into_iter().flat_map(|((u, v), w)| {
+            let (u, v) = (u as usize, v as usize);
+            if u == v {
+                vec![(u, v, w)]
+            } else {
+                vec![(u, v, w), (v, u, w)]
+            }
+        });
+        CsrGraph::from_directed_pairs(n, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_sum() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.5).unwrap();
+        b.add_edge(1, 0, 0.5).unwrap();
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn dedup_max_abs() {
+        let mut b = GraphBuilder::new(2).merge_rule(MergeRule::MaxAbs);
+        b.add_edge(0, 1, -3.0).unwrap();
+        b.add_edge(0, 1, 2.0).unwrap();
+        assert_eq!(b.build().edge_weight(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn dedup_last() {
+        let mut b = GraphBuilder::new(2).merge_rule(MergeRule::Last);
+        b.add_edge(0, 1, -3.0).unwrap();
+        b.add_edge(0, 1, 2.0).unwrap();
+        assert_eq!(b.build().edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn self_loop_policy() {
+        let mut strict = GraphBuilder::new(2);
+        assert!(strict.add_edge(1, 1, 1.0).is_err());
+        let mut lax = GraphBuilder::new(2).allow_self_loops();
+        lax.add_edge(1, 1, 4.0).unwrap();
+        let g = lax.build();
+        assert_eq!(g.edge_weight(1, 1), Some(4.0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn chaining() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0)
+            .unwrap()
+            .add_edge(1, 2, 1.0)
+            .unwrap();
+        assert_eq!(b.edge_count(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Community assignments over a node set.
+
+use serde::{Deserialize, Serialize};
+
+/// A partition of nodes `0..n` into communities `0..count`.
+///
+/// Community labels are always compact (every label in `0..count` is used).
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::Communities;
+///
+/// let c = Communities::from_assignment(vec![0, 0, 1, 1, 1]);
+/// assert_eq!(c.count(), 2);
+/// assert_eq!(c.size(1), 3);
+/// assert_eq!(c.members(0), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communities {
+    assignment: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl Communities {
+    /// Builds communities from a per-node label vector. Labels are
+    /// renumbered to be compact, in order of first appearance.
+    pub fn from_assignment(labels: Vec<usize>) -> Self {
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut assignment = Vec::with_capacity(labels.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (node, &label) in labels.iter().enumerate() {
+            if label >= remap.len() {
+                remap.resize(label + 1, None);
+            }
+            let compact = match remap[label] {
+                Some(c) => c,
+                None => {
+                    let c = members.len();
+                    remap[label] = Some(c);
+                    members.push(Vec::new());
+                    c
+                }
+            };
+            assignment.push(compact);
+            members[compact].push(node);
+        }
+        Communities { assignment, members }
+    }
+
+    /// One community per node (the trivial starting partition).
+    pub fn singletons(n: usize) -> Self {
+        Communities::from_assignment((0..n).collect())
+    }
+
+    /// Number of communities.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Community label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn label(&self, node: usize) -> usize {
+        self.assignment[node]
+    }
+
+    /// The per-node label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Members of community `c`, in ascending node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= count()`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Size of community `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= count()`.
+    pub fn size(&self, c: usize) -> usize {
+        self.members[c].len()
+    }
+
+    /// Community indices sorted by decreasing size (ties by index), the
+    /// order in which the redistribution step considers them.
+    pub fn by_decreasing_size(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.count()).collect();
+        idx.sort_by_key(|&c| (std::cmp::Reverse(self.size(c)), c));
+        idx
+    }
+
+    /// Composes this partition with a coarser partition of its communities:
+    /// `coarser.label(c)` gives the new community of old community `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarser` does not cover exactly `self.count()` items.
+    pub fn compose(&self, coarser: &Communities) -> Communities {
+        assert_eq!(
+            coarser.node_count(),
+            self.count(),
+            "coarser partition must cover the communities"
+        );
+        let labels = self
+            .assignment
+            .iter()
+            .map(|&c| coarser.label(c))
+            .collect();
+        Communities::from_assignment(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_labels() {
+        let c = Communities::from_assignment(vec![5, 5, 9, 2]);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.labels(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn singleton_partition() {
+        let c = Communities::singletons(4);
+        assert_eq!(c.count(), 4);
+        for i in 0..4 {
+            assert_eq!(c.label(i), i);
+            assert_eq!(c.members(i), &[i]);
+        }
+    }
+
+    #[test]
+    fn members_and_sizes() {
+        let c = Communities::from_assignment(vec![1, 0, 1, 1]);
+        assert_eq!(c.members(0), &[0, 2, 3]);
+        assert_eq!(c.members(1), &[1]);
+        assert_eq!(c.size(0), 3);
+    }
+
+    #[test]
+    fn decreasing_size_order() {
+        let c = Communities::from_assignment(vec![0, 1, 1, 2, 2, 2]);
+        assert_eq!(c.by_decreasing_size(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn compose_partitions() {
+        let fine = Communities::from_assignment(vec![0, 0, 1, 2]);
+        let coarse = Communities::from_assignment(vec![0, 0, 1]); // merge comms 0,1
+        let merged = fine.compose(&coarse);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.labels(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarser partition")]
+    fn compose_size_mismatch() {
+        let fine = Communities::from_assignment(vec![0, 1]);
+        let coarse = Communities::from_assignment(vec![0]);
+        fine.compose(&coarse);
+    }
+}

@@ -1,0 +1,387 @@
+//! Weighted undirected graphs in compressed sparse row (CSR) form.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// A weighted, undirected graph stored in compressed sparse row form.
+///
+/// Every undirected edge `{u, v}` is stored twice (once per direction) so
+/// that neighbourhood iteration is a contiguous slice scan. Self-loops are
+/// permitted (stored once) because aggregated community graphs produced by
+/// Louvain carry them; most constructors reject them explicitly.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            n,
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Each `(u, v, w)` entry adds one undirected edge. Duplicate edges are
+    /// kept as parallel entries; use [`crate::GraphBuilder`] to deduplicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeEndpointOutOfRange`] if an endpoint is `>= n`
+    /// and [`GraphError::SelfLoop`] for `u == v` entries.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, GraphError> {
+        for &(u, v, _) in edges {
+            if u >= n {
+                return Err(GraphError::EdgeEndpointOutOfRange { node: u, len: n });
+            }
+            if v >= n {
+                return Err(GraphError::EdgeEndpointOutOfRange { node: v, len: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+        Ok(Self::from_directed_pairs(n, edges.iter().flat_map(|&(u, v, w)| {
+            [(u, v, w), (v, u, w)]
+        })))
+    }
+
+    /// Builds a graph from an iterator of *directed* `(src, dst, w)` pairs.
+    ///
+    /// The caller is responsible for supplying both directions of each
+    /// undirected edge (self-loops appear once). All endpoints must be `< n`.
+    pub(crate) fn from_directed_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let pairs: Vec<(usize, usize, f64)> = pairs.into_iter().collect();
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _, _) in &pairs {
+            counts[u + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; pairs.len()];
+        let mut weights = vec![0f64; pairs.len()];
+        for (u, v, w) in pairs {
+            let slot = cursor[u];
+            targets[slot] = v as u32;
+            weights[slot] = w;
+            cursor[u] += 1;
+        }
+        // Sort each adjacency slice by target for deterministic iteration.
+        let mut g = CsrGraph {
+            n,
+            offsets,
+            targets,
+            weights,
+        };
+        g.sort_adjacency();
+        g
+    }
+
+    fn sort_adjacency(&mut self) {
+        for u in 0..self.n {
+            let (s, e) = (self.offsets[u], self.offsets[u + 1]);
+            let mut pairs: Vec<(u32, f64)> = self.targets[s..e]
+                .iter()
+                .copied()
+                .zip(self.weights[s..e].iter().copied())
+                .collect();
+            pairs.sort_by_key(|&(t, _)| t);
+            for (i, (t, w)) in pairs.into_iter().enumerate() {
+                self.targets[s + i] = t;
+                self.weights[s + i] = w;
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn edge_count(&self) -> usize {
+        let loops = self.self_loop_count();
+        (self.targets.len() - loops) / 2 + loops
+    }
+
+    fn self_loop_count(&self) -> usize {
+        (0..self.n)
+            .map(|u| {
+                self.neighbors(u)
+                    .filter(|&(v, _)| v == u)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Degree of `u` (number of incident directed entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= node_count()`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sum of weights of edges incident to `u` (self-loops counted twice,
+    /// the convention modularity computations require).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= node_count()`.
+    pub fn weighted_degree(&self, u: usize) -> f64 {
+        self.neighbors(u)
+            .map(|(v, w)| if v == u { 2.0 * w } else { w })
+            .sum()
+    }
+
+    /// Iterates over the neighbours of `u` as `(target, weight)` pairs,
+    /// sorted by target index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= node_count()`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.offsets[u], self.offsets[u + 1]);
+        self.targets[s..e]
+            .iter()
+            .zip(&self.weights[s..e])
+            .map(|(&t, &w)| (t as usize, w))
+    }
+
+    /// Returns the weight of edge `{u, v}` if present (first parallel entry).
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+    }
+
+    /// Total weight of all undirected edges (self-loops once).
+    pub fn total_weight(&self) -> f64 {
+        let mut total = 0.0;
+        for u in 0..self.n {
+            for (v, w) in self.neighbors(u) {
+                if v > u {
+                    total += w;
+                } else if v == u {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+
+    /// Enumerates undirected edges `(u, v, w)` with `u <= v`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for u in 0..self.n {
+            for (v, w) in self.neighbors(u) {
+                if v >= u {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Edge density: `2m / (n (n-1))` for a simple graph (self-loops ignored).
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let m = (self.edge_count() - self.self_loop_count()) as f64;
+        2.0 * m / (self.n as f64 * (self.n as f64 - 1.0))
+    }
+
+    /// Extracts the induced subgraph on `nodes`, relabelling them
+    /// `0..nodes.len()` in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any requested node does not
+    /// exist.
+    pub fn subgraph(&self, nodes: &[usize]) -> Result<CsrGraph, GraphError> {
+        let mut remap = vec![usize::MAX; self.n];
+        for (new, &old) in nodes.iter().enumerate() {
+            if old >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: old,
+                    len: self.n,
+                });
+            }
+            remap[old] = new;
+        }
+        let mut pairs = Vec::new();
+        for (new_u, &old_u) in nodes.iter().enumerate() {
+            for (old_v, w) in self.neighbors(old_u) {
+                let new_v = remap[old_v];
+                if new_v != usize::MAX {
+                    pairs.push((new_u, new_v, w));
+                }
+            }
+        }
+        Ok(CsrGraph::from_directed_pairs(nodes.len(), pairs))
+    }
+
+    /// Returns the connected components as lists of node indices.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            seen[start] = true;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for (v, _) in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+impl Default for CsrGraph {
+    fn default() -> Self {
+        CsrGraph::empty(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_target() {
+        let g = CsrGraph::from_edges(4, &[(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let ns: Vec<usize> = g.neighbors(0).map(|(v, _)| v).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g.edge_weight(2, 1), Some(2.0));
+        assert_eq!(g.edge_weight(0, 0), None);
+        assert_eq!(g.edge_weight(9, 1), None);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_self_loops() {
+        assert!(matches!(
+            CsrGraph::from_edges(2, &[(0, 2, 1.0)]),
+            Err(GraphError::EdgeEndpointOutOfRange { node: 2, len: 2 })
+        ));
+        assert!(matches!(
+            CsrGraph::from_edges(2, &[(1, 1, 1.0)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn subgraph_relabels() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
+        let s = g.subgraph(&[1, 2, 3]).unwrap();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.edge_weight(0, 1), Some(1.0));
+        assert_eq!(s.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn subgraph_bad_node() {
+        let g = triangle();
+        assert!(g.subgraph(&[0, 7]).is_err());
+    }
+
+    #[test]
+    fn connected_components_found() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let g = triangle();
+        let edges = g.edges();
+        let g2 = CsrGraph::from_edges(3, &edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn weighted_degree_simple() {
+        let g = triangle();
+        assert!((g.weighted_degree(0) - 4.0).abs() < 1e-12);
+        assert!((g.weighted_degree(2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let g = CsrGraph::default();
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for graph construction and partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, queries, and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge list referenced a node beyond the declared node count.
+    EdgeEndpointOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// Declared node count.
+        len: usize,
+    },
+    /// A self-loop was supplied where self-loops are not allowed.
+    SelfLoop {
+        /// The node carrying the self-loop.
+        node: usize,
+    },
+    /// A partition request that cannot be satisfied.
+    InfeasiblePartition {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph of {len} nodes")
+            }
+            GraphError::EdgeEndpointOutOfRange { node, len } => {
+                write!(f, "edge endpoint {node} out of range for graph of {len} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed here")
+            }
+            GraphError::InfeasiblePartition { reason } => {
+                write!(f, "infeasible partition: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            GraphError::NodeOutOfRange { node: 3, len: 2 },
+            GraphError::EdgeEndpointOutOfRange { node: 9, len: 4 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::InfeasiblePartition {
+                reason: "capacity too small".into(),
+            },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::SelfLoop { node: 0 });
+        assert!(e.source().is_none());
+    }
+}

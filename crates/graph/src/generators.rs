@@ -1,0 +1,222 @@
+//! Deterministic random-graph generators.
+//!
+//! All generators take an explicit [`rand::Rng`] so every dataset and
+//! experiment in the workspace is reproducible from a seed.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::{Rng, RngExt};
+
+/// Stochastic block model: nodes split into blocks of the given `sizes`;
+/// an edge appears within a block with probability `p_in` and between
+/// blocks with probability `p_out` (weight 1).
+///
+/// This is the canonical generator for graphs with planted community
+/// structure, the property the DS-GL decomposition (paper Sec. IV.B)
+/// exploits.
+///
+/// # Panics
+///
+/// Panics if `p_in` or `p_out` is outside `[0, 1]`.
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be in [0,1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be in [0,1]");
+    let n: usize = sizes.iter().sum();
+    let mut block = vec![0usize; n];
+    let mut idx = 0;
+    for (b, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            block[idx] = b;
+            idx += 1;
+        }
+    }
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block[u] == block[v] { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                builder.add_edge(u, v, 1.0).expect("endpoints valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Random geometric graph on the unit square: `n` nodes at uniform random
+/// positions, connected when within `radius`; edge weight decays linearly
+/// with distance. Returns the graph and the node positions.
+///
+/// Used by the spatio-temporal datasets (sensor networks, counties,
+/// stations are all spatially embedded).
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> (CsrGraph, Vec<(f64, f64)>) {
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pos[u].0 - pos[v].0;
+            let dy = pos[u].1 - pos[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d < radius {
+                let w = 1.0 - d / radius;
+                builder.add_edge(u, v, w).expect("endpoints valid");
+            }
+        }
+    }
+    (builder.build(), pos)
+}
+
+/// Erdős–Rényi `G(n, p)` graph with unit weights.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                builder.add_edge(u, v, 1.0).expect("endpoints valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A `rows x cols` 4-neighbour grid (the shape of the PE mesh itself).
+pub fn grid_2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                edges.push((u, u + 1, 1.0));
+            }
+            if r + 1 < rows {
+                edges.push((u, u + cols, 1.0));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges).expect("grid edges are valid")
+}
+
+/// A ring of `n` nodes (`n >= 3`), unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let edges: Vec<(usize, usize, f64)> =
+        (0..n).map(|u| (u, (u + 1) % n, 1.0)).collect();
+    CsrGraph::from_edges(n, &edges).expect("ring edges are valid")
+}
+
+/// The complete graph on `n` nodes with unit weights (the all-to-all
+/// coupling topology of a dense Ising machine).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, 1.0));
+        }
+    }
+    CsrGraph::from_edges(n, &edges).expect("complete edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sbm_dense_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = stochastic_block_model(&[20, 20], 0.9, 0.0, &mut rng);
+        assert_eq!(g.node_count(), 40);
+        // No cross-block edges at p_out = 0.
+        for (u, v, _) in g.edges() {
+            assert_eq!(u < 20, v < 20, "edge {u}-{v} crosses blocks");
+        }
+        // Dense within blocks.
+        assert!(g.edge_count() > 2 * (20 * 19 / 2) * 7 / 10);
+    }
+
+    #[test]
+    fn sbm_deterministic() {
+        let g1 = stochastic_block_model(&[10, 10], 0.5, 0.1, &mut StdRng::seed_from_u64(42));
+        let g2 = stochastic_block_model(&[10, 10], 0.5, 0.1, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_in")]
+    fn sbm_rejects_bad_probability() {
+        stochastic_block_model(&[5], 1.5, 0.0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn geometric_edges_within_radius() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, pos) = random_geometric(50, 0.3, &mut rng);
+        for (u, v, w) in g.edges() {
+            let dx = pos[u].0 - pos[v].0;
+            let dy = pos[u].1 - pos[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!(d < 0.3);
+            assert!((w - (1.0 - d / 0.3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small() {
+        ring(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+}

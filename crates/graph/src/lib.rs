@@ -1,0 +1,47 @@
+//! Graph substrate for the DS-GL framework.
+//!
+//! This crate provides the graph machinery that the DS-GL decomposition
+//! pipeline (paper Sec. IV.B) is built on:
+//!
+//! - [`CsrGraph`]: a compact, weighted, undirected graph in compressed
+//!   sparse row form, the common currency of every other crate;
+//! - [`builder::GraphBuilder`]: incremental, deduplicating construction;
+//! - [`generators`]: deterministic random-graph generators (stochastic block
+//!   model, random geometric, Erdős–Rényi, grids, rings) used by the
+//!   synthetic datasets;
+//! - [`louvain`]: the Louvain community-detection algorithm the paper adopts
+//!   for extracting communities from pruned coupling matrices;
+//! - [`partition`]: grouping of communities into per-PE "super-communities"
+//!   with capacity limits and locality-aware redistribution (paper Fig. 5/6).
+//!
+//! # Example
+//!
+//! ```
+//! use dsgl_graph::{generators, louvain::Louvain};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = generators::stochastic_block_model(&[30, 30, 30], 0.3, 0.01, &mut rng);
+//! let communities = Louvain::new().run(&g, &mut rng);
+//! assert!(communities.count() >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod community;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod louvain;
+pub mod metrics;
+pub mod modularity;
+pub mod partition;
+
+pub use builder::GraphBuilder;
+pub use community::Communities;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use louvain::Louvain;
+pub use partition::{Partitioner, Placement};

@@ -1,0 +1,308 @@
+//! The Louvain community-detection algorithm.
+//!
+//! DS-GL adopts Louvain (paper Sec. IV.B, citing Blondel et al. 2008) to
+//! extract communities from the pruned coupling matrix before mapping them
+//! onto PEs. This implementation follows the classic two-phase scheme:
+//! local moving until no gain, then graph aggregation, repeated until the
+//! partition stabilises.
+
+use crate::builder::{GraphBuilder, MergeRule};
+use crate::community::Communities;
+use crate::csr::CsrGraph;
+use crate::modularity::modularity;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Configurable Louvain runner.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::{generators, Louvain};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let g = generators::stochastic_block_model(&[25, 25, 25], 0.4, 0.005, &mut rng);
+/// let comms = Louvain::new().run(&g, &mut rng);
+/// assert!(comms.count() >= 3 && comms.count() <= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Louvain {
+    min_gain: f64,
+    max_levels: usize,
+    max_sweeps: usize,
+    resolution: f64,
+}
+
+impl Louvain {
+    /// Creates a runner with default thresholds (gain `1e-9`, 16 levels,
+    /// 64 local-move sweeps per level).
+    pub fn new() -> Self {
+        Louvain {
+            min_gain: 1e-9,
+            max_levels: 16,
+            max_sweeps: 64,
+            resolution: 1.0,
+        }
+    }
+
+    /// Sets the resolution parameter `γ` (Reichardt–Bornholdt): values
+    /// above 1 favour more, smaller communities; below 1, fewer, larger
+    /// ones. Useful for matching community sizes to a PE capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `γ` is finite and positive.
+    pub fn resolution(mut self, gamma: f64) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "resolution must be positive");
+        self.resolution = gamma;
+        self
+    }
+
+    /// Minimum modularity gain for a node move to be accepted.
+    pub fn min_gain(mut self, g: f64) -> Self {
+        self.min_gain = g;
+        self
+    }
+
+    /// Maximum number of aggregation levels.
+    pub fn max_levels(mut self, l: usize) -> Self {
+        self.max_levels = l.max(1);
+        self
+    }
+
+    /// Runs Louvain on `graph`, shuffling node visit order with `rng`.
+    ///
+    /// Edge weights must be non-negative (use `|J|` when clustering a
+    /// coupling matrix). Returns the final flat partition.
+    pub fn run<R: Rng + ?Sized>(&self, graph: &CsrGraph, rng: &mut R) -> Communities {
+        let mut partition = Communities::singletons(graph.node_count());
+        if graph.node_count() == 0 {
+            return partition;
+        }
+        let mut level_graph = graph.clone();
+        for _ in 0..self.max_levels {
+            let (level_partition, moved) = self.local_moving(&level_graph, rng);
+            if !moved {
+                break;
+            }
+            partition = partition.compose(&level_partition);
+            level_graph = aggregate(&level_graph, &level_partition);
+            if level_partition.count() == level_partition.node_count() {
+                break;
+            }
+        }
+        partition
+    }
+
+    /// Phase 1: move nodes between communities while modularity improves.
+    /// Returns the partition of this level and whether any move happened.
+    fn local_moving<R: Rng + ?Sized>(
+        &self,
+        graph: &CsrGraph,
+        rng: &mut R,
+    ) -> (Communities, bool) {
+        let n = graph.node_count();
+        let two_m: f64 = (0..n).map(|u| graph.weighted_degree(u)).sum();
+        if two_m <= 0.0 {
+            return (Communities::singletons(n), false);
+        }
+        let m = two_m / 2.0;
+        let mut label: Vec<usize> = (0..n).collect();
+        // Σ of weighted degrees per community.
+        let mut tot: Vec<f64> = (0..n).map(|u| graph.weighted_degree(u)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut any_move = false;
+
+        for _ in 0..self.max_sweeps {
+            order.shuffle(rng);
+            let mut moved_this_sweep = false;
+            for &u in &order {
+                let ku = graph.weighted_degree(u);
+                let cu = label[u];
+                // Weights from u to each neighbouring community.
+                let mut k_to: HashMap<usize, f64> = HashMap::new();
+                for (v, w) in graph.neighbors(u) {
+                    if v != u {
+                        *k_to.entry(label[v]).or_insert(0.0) += w;
+                    }
+                }
+                // Remove u from its community for gain evaluation.
+                tot[cu] -= ku;
+                let stay_gain =
+                    gain(*k_to.get(&cu).unwrap_or(&0.0), tot[cu], ku, m, self.resolution);
+                let mut best_c = cu;
+                let mut best_gain = stay_gain;
+                let mut cands: Vec<(&usize, &f64)> = k_to.iter().collect();
+                cands.sort_by_key(|(c, _)| **c); // determinism
+                for (&c, &k) in cands {
+                    if c == cu {
+                        continue;
+                    }
+                    let g = gain(k, tot[c], ku, m, self.resolution);
+                    if g > best_gain + self.min_gain {
+                        best_gain = g;
+                        best_c = c;
+                    }
+                }
+                tot[best_c] += ku;
+                if best_c != cu {
+                    label[u] = best_c;
+                    moved_this_sweep = true;
+                    any_move = true;
+                }
+            }
+            if !moved_this_sweep {
+                break;
+            }
+        }
+        (Communities::from_assignment(label), any_move)
+    }
+}
+
+impl Default for Louvain {
+    fn default() -> Self {
+        Louvain::new()
+    }
+}
+
+/// Modularity gain (at resolution `γ`) of adding a node with degree `ku`
+/// and `k_uc` links into community `c` with total degree `tot_c` (node
+/// already removed).
+fn gain(k_uc: f64, tot_c: f64, ku: f64, m: f64, gamma: f64) -> f64 {
+    k_uc / m - gamma * tot_c * ku / (2.0 * m * m)
+}
+
+/// Phase 2: builds the aggregated community graph. Intra-community weight
+/// becomes a self-loop; inter-community weights are summed.
+fn aggregate(graph: &CsrGraph, partition: &Communities) -> CsrGraph {
+    let mut builder = GraphBuilder::new(partition.count())
+        .merge_rule(MergeRule::Sum)
+        .allow_self_loops();
+    for (u, v, w) in graph.edges() {
+        let (cu, cv) = (partition.label(u), partition.label(v));
+        builder.add_edge(cu, cv, w).expect("community labels valid");
+    }
+    builder.build()
+}
+
+/// Runs Louvain and reports `(partition, modularity)` in one call.
+pub fn detect_communities<R: Rng + ?Sized>(
+    graph: &CsrGraph,
+    rng: &mut R,
+) -> (Communities, f64) {
+    let partition = Louvain::new().run(graph, rng);
+    let q = modularity(graph, &partition);
+    (partition, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_cliques_split() {
+        // Two 5-cliques joined by one bridge.
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v, 1.0));
+                edges.push((u + 5, v + 5, 1.0));
+            }
+        }
+        edges.push((4, 5, 1.0));
+        let g = CsrGraph::from_edges(10, &edges).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Louvain::new().run(&g, &mut rng);
+        assert_eq!(c.count(), 2);
+        for u in 0..5 {
+            assert_eq!(c.label(u), c.label(0));
+            assert_eq!(c.label(u + 5), c.label(5));
+        }
+        assert_ne!(c.label(0), c.label(5));
+    }
+
+    #[test]
+    fn recovers_planted_blocks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::stochastic_block_model(&[30, 30, 30, 30], 0.5, 0.01, &mut rng);
+        let (c, q) = detect_communities(&g, &mut rng);
+        assert!(q > 0.5, "modularity {q} too low");
+        assert!((3..=8).contains(&c.count()), "found {} communities", c.count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Louvain::new().run(&g, &mut rng);
+        assert_eq!(c.count(), 5);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let g = CsrGraph::empty(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Louvain::new().run(&g, &mut rng);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn improves_modularity_over_singletons() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::stochastic_block_model(&[20, 20], 0.6, 0.02, &mut rng);
+        let singles = Communities::singletons(g.node_count());
+        let (c, q) = detect_communities(&g, &mut rng);
+        assert!(q > modularity(&g, &singles));
+        assert!(c.count() < g.node_count());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::stochastic_block_model(&[15, 15], 0.5, 0.05, &mut rng);
+        let c1 = Louvain::new().run(&g, &mut StdRng::seed_from_u64(77));
+        let c2 = Louvain::new().run(&g, &mut StdRng::seed_from_u64(77));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn higher_resolution_yields_more_communities() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generators::stochastic_block_model(&[20, 20, 20], 0.5, 0.05, &mut rng);
+        let coarse = Louvain::new()
+            .resolution(0.2)
+            .run(&g, &mut StdRng::seed_from_u64(1));
+        let fine = Louvain::new()
+            .resolution(4.0)
+            .run(&g, &mut StdRng::seed_from_u64(1));
+        assert!(
+            fine.count() >= coarse.count(),
+            "γ=4 gave {} vs γ=0.2 gave {}",
+            fine.count(),
+            coarse.count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn bad_resolution_panics() {
+        Louvain::new().resolution(0.0);
+    }
+
+    #[test]
+    fn aggregate_preserves_total_weight() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)]).unwrap();
+        let p = Communities::from_assignment(vec![0, 0, 1, 1]);
+        let agg = aggregate(&g, &p);
+        assert_eq!(agg.node_count(), 2);
+        assert!((agg.total_weight() - g.total_weight()).abs() < 1e-12);
+        assert_eq!(agg.edge_weight(0, 0), Some(2.0)); // intra 0-1
+        assert_eq!(agg.edge_weight(0, 1), Some(3.0)); // bridge
+        assert_eq!(agg.edge_weight(1, 1), Some(4.0)); // intra 2-3
+    }
+}

@@ -1,0 +1,134 @@
+//! Structural graph metrics used in evaluation and sanity checks.
+
+use crate::community::Communities;
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes degree statistics; `None` for an empty graph.
+pub fn degree_stats(graph: &CsrGraph) -> Option<DegreeStats> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let degrees: Vec<usize> = (0..n).map(|u| graph.degree(u)).collect();
+    Some(DegreeStats {
+        min: *degrees.iter().min().expect("non-empty"),
+        max: *degrees.iter().max().expect("non-empty"),
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+    })
+}
+
+/// Fraction of edge weight crossing community boundaries — the
+/// "communication demand" a placement must carry over the mesh.
+///
+/// Returns `0.0` for graphs without edges.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover the graph.
+pub fn cut_fraction(graph: &CsrGraph, communities: &Communities) -> f64 {
+    assert_eq!(
+        communities.node_count(),
+        graph.node_count(),
+        "partition must cover the graph"
+    );
+    let mut cut = 0.0;
+    let mut total = 0.0;
+    for (u, v, w) in graph.edges() {
+        if u == v {
+            continue;
+        }
+        total += w.abs();
+        if communities.label(u) != communities.label(v) {
+            cut += w.abs();
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        cut / total
+    }
+}
+
+/// Global clustering coefficient (transitivity): `3·triangles / wedges`.
+///
+/// Weights are ignored; parallel edges and self-loops are not expected.
+pub fn clustering_coefficient(graph: &CsrGraph) -> f64 {
+    let n = graph.node_count();
+    let mut triangles = 0usize;
+    let mut wedges = 0usize;
+    for u in 0..n {
+        let neigh: Vec<usize> = graph.neighbors(u).map(|(v, _)| v).filter(|&v| v != u).collect();
+        let d = neigh.len();
+        wedges += d * d.saturating_sub(1) / 2;
+        for i in 0..neigh.len() {
+            for j in (i + 1)..neigh.len() {
+                if graph.edge_weight(neigh[i], neigh[j]).is_some() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_stats_triangle_plus_isolate() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        assert!(degree_stats(&CsrGraph::empty(0)).is_none());
+    }
+
+    #[test]
+    fn cut_fraction_extremes() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (1, 2, 2.0)]).unwrap();
+        let aligned = Communities::from_assignment(vec![0, 0, 1, 1]);
+        assert!((cut_fraction(&g, &aligned) - 0.5).abs() < 1e-12);
+        let one = Communities::from_assignment(vec![0, 0, 0, 0]);
+        assert_eq!(cut_fraction(&g, &one), 0.0);
+    }
+
+    #[test]
+    fn cut_fraction_no_edges() {
+        let g = CsrGraph::empty(3);
+        let c = Communities::singletons(3);
+        assert_eq!(cut_fraction(&g, &c), 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_path_is_zero() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+}

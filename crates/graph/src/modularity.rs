@@ -1,0 +1,118 @@
+//! Newman modularity of a community partition.
+
+use crate::community::Communities;
+use crate::csr::CsrGraph;
+
+/// Computes the (weighted) Newman modularity
+/// `Q = (1/2m) * Σ_ij [A_ij - k_i k_j / 2m] δ(c_i, c_j)`.
+///
+/// Self-loops contribute to both edge weight and degrees with the standard
+/// convention (a self-loop of weight `w` adds `2w` to its node's degree).
+/// Returns `0.0` for graphs with no edges.
+///
+/// # Panics
+///
+/// Panics if `communities` does not cover exactly the graph's nodes.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::{CsrGraph, Communities, modularity::modularity};
+///
+/// // Two disjoint triangles, perfectly split: Q = 1/2.
+/// let g = CsrGraph::from_edges(6, &[
+///     (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+///     (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+/// ]).unwrap();
+/// let c = Communities::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+/// assert!((modularity(&g, &c) - 0.5).abs() < 1e-12);
+/// ```
+pub fn modularity(graph: &CsrGraph, communities: &Communities) -> f64 {
+    assert_eq!(
+        communities.node_count(),
+        graph.node_count(),
+        "partition must cover the graph"
+    );
+    let two_m: f64 = (0..graph.node_count())
+        .map(|u| graph.weighted_degree(u))
+        .sum();
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let nc = communities.count();
+    // Sum of intra-community edge weights (directed double-count) and of
+    // community degrees.
+    let mut intra = vec![0.0; nc];
+    let mut degree = vec![0.0; nc];
+    for u in 0..graph.node_count() {
+        let cu = communities.label(u);
+        degree[cu] += graph.weighted_degree(u);
+        for (v, w) in graph.neighbors(u) {
+            if communities.label(v) == cu {
+                // Both directions of an undirected edge are visited, which
+                // is the `Σ_ij A_ij` double-count; a self-loop entry appears
+                // once and counts A_ii = 2w.
+                intra[cu] += if v == u { 2.0 * w } else { w };
+            }
+        }
+    }
+    (0..nc)
+        .map(|c| intra[c] / two_m - (degree[c] / two_m).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_community_zero() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let c = Communities::from_assignment(vec![0, 0, 0]);
+        assert!(modularity(&g, &c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let g = CsrGraph::empty(4);
+        let c = Communities::singletons(4);
+        assert_eq!(modularity(&g, &c), 0.0);
+    }
+
+    #[test]
+    fn split_triangles() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
+        )
+        .unwrap();
+        let good = Communities::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let bad = Communities::from_assignment(vec![0, 1, 0, 1, 0, 1]);
+        assert!(modularity(&g, &good) > modularity(&g, &bad));
+        assert!((modularity(&g, &good) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_edges_matter() {
+        // Heavy edge inside community 0, light bridge.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 10.0), (1, 2, 0.1), (2, 3, 10.0)]).unwrap();
+        let aligned = Communities::from_assignment(vec![0, 0, 1, 1]);
+        let misaligned = Communities::from_assignment(vec![0, 1, 0, 1]);
+        assert!(modularity(&g, &aligned) > modularity(&g, &misaligned));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn size_mismatch_panics() {
+        let g = CsrGraph::empty(3);
+        let c = Communities::singletons(2);
+        modularity(&g, &c);
+    }
+}

@@ -1,0 +1,423 @@
+//! Grouping communities into per-PE "super-communities".
+//!
+//! Implements the community-redistribution step of the DS-GL decomposition
+//! (paper Sec. IV.B(2) and Fig. 6): communities extracted by Louvain are
+//! packed onto a 2-D grid of PEs with a hard per-PE node capacity. Oversized
+//! communities are split into sub-communities; larger communities get
+//! priority and central placement; sub-communities of the same parent are
+//! kept on nearby PEs so their couplings stay on short mesh links; small
+//! communities and isolated nodes fill the remaining blanks to balance load.
+
+use crate::community::Communities;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// Packs communities onto a PE grid.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::{Communities, Partitioner};
+///
+/// let comms = Communities::from_assignment(vec![0, 0, 0, 1, 1, 2]);
+/// let placement = Partitioner::new(2, (2, 2)).place(&comms).unwrap();
+/// assert_eq!(placement.pe_count(), 4);
+/// assert!(placement.max_load() <= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioner {
+    capacity: usize,
+    grid: (usize, usize),
+}
+
+/// The result of placing nodes onto a PE grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    node_to_pe: Vec<usize>,
+    pe_nodes: Vec<Vec<usize>>,
+    grid: (usize, usize),
+    capacity: usize,
+}
+
+impl Partitioner {
+    /// Creates a partitioner for PEs of `capacity` nodes arranged in a
+    /// `(rows, cols)` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the grid is empty.
+    pub fn new(capacity: usize, grid: (usize, usize)) -> Self {
+        assert!(capacity > 0, "PE capacity must be positive");
+        assert!(grid.0 > 0 && grid.1 > 0, "PE grid must be non-empty");
+        Partitioner { capacity, grid }
+    }
+
+    /// Total node capacity of the whole grid.
+    pub fn total_capacity(&self) -> usize {
+        self.capacity * self.grid.0 * self.grid.1
+    }
+
+    /// Places the communities onto the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InfeasiblePartition`] when the node count
+    /// exceeds the total grid capacity.
+    pub fn place(&self, communities: &Communities) -> Result<Placement, GraphError> {
+        self.place_impl(communities, None)
+    }
+
+    /// Like [`place`](Self::place), but when an oversized community must
+    /// be split into capacity-sized chunks, members are ordered by a BFS
+    /// over `graph` so strongly-connected members land in the same chunk
+    /// (splitting a community by raw index order can sever exactly the
+    /// couplings the community was built around).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InfeasiblePartition`] when the node count
+    /// exceeds the total grid capacity, or a node error if `graph` does
+    /// not cover the communities' nodes.
+    pub fn place_with_graph(
+        &self,
+        communities: &Communities,
+        graph: &CsrGraph,
+    ) -> Result<Placement, GraphError> {
+        if graph.node_count() < communities.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: communities.node_count() - 1,
+                len: graph.node_count(),
+            });
+        }
+        self.place_impl(communities, Some(graph))
+    }
+
+    fn place_impl(
+        &self,
+        communities: &Communities,
+        graph: Option<&CsrGraph>,
+    ) -> Result<Placement, GraphError> {
+        let n = communities.node_count();
+        if n > self.total_capacity() {
+            return Err(GraphError::InfeasiblePartition {
+                reason: format!(
+                    "{n} nodes exceed grid capacity {}",
+                    self.total_capacity()
+                ),
+            });
+        }
+        let (rows, cols) = self.grid;
+        let pe_count = rows * cols;
+        let mut free = vec![self.capacity; pe_count];
+        let mut pe_nodes: Vec<Vec<usize>> = vec![Vec::new(); pe_count];
+        let mut node_to_pe = vec![usize::MAX; n];
+        // Where each parent community's chunks have landed (for locality).
+        let mut parent_pes: Vec<Vec<usize>> = vec![Vec::new(); communities.count()];
+
+        // 1. Split oversized communities into capacity-sized chunks.
+        //    Larger communities are handled first (paper: higher priority).
+        let mut chunks: Vec<(usize, Vec<usize>)> = Vec::new();
+        for c in communities.by_decreasing_size() {
+            let members = match graph {
+                Some(g) if communities.size(c) > self.capacity => {
+                    bfs_order(g, communities.members(c))
+                }
+                _ => communities.members(c).to_vec(),
+            };
+            for chunk in members.chunks(self.capacity) {
+                chunks.push((c, chunk.to_vec()));
+            }
+        }
+        chunks.sort_by_key(|(c, chunk)| (std::cmp::Reverse(chunk.len()), *c));
+
+        let center = ((rows - 1) / 2, (cols - 1) / 2);
+        for (parent, mut chunk) in chunks {
+            while !chunk.is_empty() {
+                let Some(pe) = self.pick_pe(&free, chunk.len(), &parent_pes[parent], center)
+                else {
+                    // No PE fits the whole remainder: split to the roomiest PE.
+                    let pe = (0..pe_count)
+                        .max_by_key(|&p| free[p])
+                        .expect("grid is non-empty");
+                    let take = free[pe].min(chunk.len());
+                    debug_assert!(take > 0, "capacity accounting broken");
+                    let rest = chunk.split_off(take);
+                    assign(&mut chunk, pe, &mut free, &mut pe_nodes, &mut node_to_pe);
+                    parent_pes[parent].push(pe);
+                    chunk = rest;
+                    continue;
+                };
+                assign(&mut chunk, pe, &mut free, &mut pe_nodes, &mut node_to_pe);
+                parent_pes[parent].push(pe);
+            }
+        }
+
+        for nodes in &mut pe_nodes {
+            nodes.sort_unstable();
+        }
+        Ok(Placement {
+            node_to_pe,
+            pe_nodes,
+            grid: self.grid,
+            capacity: self.capacity,
+        })
+    }
+
+    /// Chooses the best PE with room for `need` nodes: closest to already
+    /// placed chunks of the same parent community, then closest to the grid
+    /// centre, then fullest (to leave big holes for big chunks).
+    fn pick_pe(
+        &self,
+        free: &[usize],
+        need: usize,
+        siblings: &[usize],
+        center: (usize, usize),
+    ) -> Option<usize> {
+        let (_, cols) = self.grid;
+        let coord = |pe: usize| (pe / cols, pe % cols);
+        let dist = |a: (usize, usize), b: (usize, usize)| {
+            a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+        };
+        (0..free.len())
+            .filter(|&pe| free[pe] >= need)
+            .min_by_key(|&pe| {
+                let c = coord(pe);
+                let sib = siblings
+                    .iter()
+                    .map(|&s| dist(c, coord(s)))
+                    .min()
+                    .unwrap_or(0);
+                (sib, dist(c, center), free[pe])
+            })
+    }
+}
+
+/// Orders `members` by weighted-BFS over their induced subgraph,
+/// starting from the member with the largest intra-community weighted
+/// degree; disconnected members are appended in index order and used as
+/// new BFS seeds. Neighbour visits are ordered by descending edge
+/// weight, so tightly-coupled members stay contiguous.
+fn bfs_order(graph: &CsrGraph, members: &[usize]) -> Vec<usize> {
+    use std::collections::{HashSet, VecDeque};
+    let member_set: HashSet<usize> = members.iter().copied().collect();
+    let intra_degree = |u: usize| -> f64 {
+        graph
+            .neighbors(u)
+            .filter(|(v, _)| member_set.contains(v))
+            .map(|(_, w)| w.abs())
+            .sum()
+    };
+    let mut remaining: Vec<usize> = members.to_vec();
+    remaining.sort_by(|&a, &b| {
+        intra_degree(b)
+            .partial_cmp(&intra_degree(a))
+            .expect("finite degrees")
+            .then(a.cmp(&b))
+    });
+    let mut visited: HashSet<usize> = HashSet::new();
+    let mut order = Vec::with_capacity(members.len());
+    let mut queue = VecDeque::new();
+    for &seed in &remaining {
+        if visited.contains(&seed) {
+            continue;
+        }
+        visited.insert(seed);
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut neigh: Vec<(usize, f64)> = graph
+                .neighbors(u)
+                .filter(|(v, _)| member_set.contains(v) && !visited.contains(v))
+                .collect();
+            neigh.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .expect("finite weights")
+                    .then(a.0.cmp(&b.0))
+            });
+            for (v, _) in neigh {
+                visited.insert(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+fn assign(
+    chunk: &mut Vec<usize>,
+    pe: usize,
+    free: &mut [usize],
+    pe_nodes: &mut [Vec<usize>],
+    node_to_pe: &mut [usize],
+) {
+    free[pe] -= chunk.len();
+    for &node in chunk.iter() {
+        node_to_pe[node] = pe;
+        pe_nodes[pe].push(node);
+    }
+    chunk.clear();
+}
+
+impl Placement {
+    /// Grid shape `(rows, cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        self.grid
+    }
+
+    /// Number of PEs in the grid.
+    pub fn pe_count(&self) -> usize {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Per-PE node capacity this placement was built for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of placed nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_to_pe.len()
+    }
+
+    /// The PE hosting `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn pe_of(&self, node: usize) -> usize {
+        self.node_to_pe[node]
+    }
+
+    /// Nodes hosted on `pe`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= pe_count()`.
+    pub fn nodes_on(&self, pe: usize) -> &[usize] {
+        &self.pe_nodes[pe]
+    }
+
+    /// Grid coordinate `(row, col)` of `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= pe_count()`.
+    pub fn pe_coord(&self, pe: usize) -> (usize, usize) {
+        assert!(pe < self.pe_count(), "PE index out of range");
+        (pe / self.grid.1, pe % self.grid.1)
+    }
+
+    /// Manhattan distance between two PEs on the grid.
+    pub fn pe_distance(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.pe_coord(a);
+        let (br, bc) = self.pe_coord(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// Largest PE load.
+    pub fn max_load(&self) -> usize {
+        self.pe_nodes.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fraction of total capacity in use.
+    pub fn utilization(&self) -> f64 {
+        self.node_count() as f64 / (self.capacity * self.pe_count()) as f64
+    }
+
+    /// Per-PE loads.
+    pub fn loads(&self) -> Vec<usize> {
+        self.pe_nodes.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_placement_respects_capacity() {
+        let comms = Communities::from_assignment(vec![0, 0, 0, 1, 1, 2, 2, 3]);
+        let p = Partitioner::new(3, (2, 2)).place(&comms).unwrap();
+        assert_eq!(p.node_count(), 8);
+        assert!(p.max_load() <= 3);
+        for node in 0..8 {
+            let pe = p.pe_of(node);
+            assert!(p.nodes_on(pe).contains(&node));
+        }
+    }
+
+    #[test]
+    fn oversized_community_is_split() {
+        // One community of 10 nodes, capacity 4 -> at least 3 PEs used.
+        let comms = Communities::from_assignment(vec![0; 10]);
+        let p = Partitioner::new(4, (2, 2)).place(&comms).unwrap();
+        assert!(p.max_load() <= 4);
+        let used = p.loads().iter().filter(|&&l| l > 0).count();
+        assert!(used >= 3);
+    }
+
+    #[test]
+    fn split_chunks_stay_adjacent() {
+        // 8 nodes, capacity 4, 3x3 grid: the two halves should land on
+        // neighbouring PEs thanks to the sibling-distance heuristic.
+        let comms = Communities::from_assignment(vec![0; 8]);
+        let p = Partitioner::new(4, (3, 3)).place(&comms).unwrap();
+        let pes: Vec<usize> = (0..8).map(|n| p.pe_of(n)).collect();
+        let mut distinct = pes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 2);
+        assert_eq!(p.pe_distance(distinct[0], distinct[1]), 1);
+    }
+
+    #[test]
+    fn infeasible_when_over_capacity() {
+        let comms = Communities::from_assignment(vec![0; 10]);
+        let err = Partitioner::new(2, (2, 2)).place(&comms).unwrap_err();
+        assert!(matches!(err, GraphError::InfeasiblePartition { .. }));
+    }
+
+    #[test]
+    fn exact_fit() {
+        let comms = Communities::from_assignment(vec![0, 1, 2, 3]);
+        let p = Partitioner::new(1, (2, 2)).place(&comms).unwrap();
+        assert_eq!(p.utilization(), 1.0);
+        assert_eq!(p.max_load(), 1);
+    }
+
+    #[test]
+    fn coords_and_distance() {
+        let comms = Communities::from_assignment(vec![0]);
+        let p = Partitioner::new(1, (2, 3)).place(&comms).unwrap();
+        assert_eq!(p.pe_coord(0), (0, 0));
+        assert_eq!(p.pe_coord(4), (1, 1));
+        assert_eq!(p.pe_distance(0, 5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Partitioner::new(0, (1, 1));
+    }
+
+    #[test]
+    fn empty_communities() {
+        let comms = Communities::from_assignment(vec![]);
+        let p = Partitioner::new(4, (2, 2)).place(&comms).unwrap();
+        assert_eq!(p.node_count(), 0);
+        assert_eq!(p.utilization(), 0.0);
+    }
+
+    #[test]
+    fn largest_community_centred() {
+        // Big community should take the centre PE of a 3x3 grid.
+        let mut labels = vec![0; 5];
+        labels.extend(vec![1, 2, 3]);
+        let comms = Communities::from_assignment(labels);
+        let p = Partitioner::new(5, (3, 3)).place(&comms).unwrap();
+        let centre_pe = 4; // (1,1) on a 3x3 grid
+        assert_eq!(p.pe_of(0), centre_pe);
+    }
+}

@@ -1,0 +1,671 @@
+//! Co-annealing simulation of a decomposed model on the PE/CU mesh
+//! (paper Sec. IV.D).
+//!
+//! Three physical effects distinguish the mapped machine from an ideal
+//! dense DSPU, and all three are modelled here:
+//!
+//! 1. **Synchronisation staleness**: time-multiplexed mappings see
+//!    remote node voltages as snapshots refreshed every
+//!    `sync_interval_ns` (Fig. 12's knob). Links annealing purely
+//!    spatially are continuous analog paths and always see live values —
+//!    the paper needs no synchronisation within a single mapping;
+//! 2. **Temporal multiplexing**: links whose boundary demand exceeds the
+//!    `L` portal lanes rotate through coupling slices (switch-in-turn).
+//!    A coupling's remote value is *sampled and held* while its slice is
+//!    active and the held value keeps driving the coupler between
+//!    activations (the In-CU Weight Buffer plus hold capacitors), so the
+//!    machine performs a Jacobi-style iteration with values whose
+//!    staleness is the rotation period — converging to the same fixed
+//!    point as the dense machine, just more slowly. This is why higher
+//!    density (more slices) needs a longer annealing budget (Fig. 11);
+//! 3. **Wormholes**: long-range couplings ride CU super-connections and
+//!    behave like ordinary cross-PE couplings once routed.
+
+use crate::config::HwConfig;
+use crate::schedule::{active_slice, schedule_link, CrossCoupling, LinkSchedule};
+use dsgl_core::inference::EvalReport;
+use dsgl_core::metrics::{pooled_rmse, rmse};
+use dsgl_core::{CoreError, DecomposedModel};
+use dsgl_data::Sample;
+use dsgl_ising::convergence::max_rate;
+use dsgl_ising::noise::gaussian;
+use dsgl_ising::{AnnealReport, Coupling, SparseCoupling, RC_NS};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of one mapped inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoAnnealReport {
+    /// The underlying annealing run (latency = `anneal.sim_time_ns`).
+    pub anneal: AnnealReport,
+    /// Active PE-pair links.
+    pub links: usize,
+    /// Links that needed temporal multiplexing.
+    pub temporal_links: usize,
+    /// Largest slice count on any link.
+    pub max_slices: usize,
+    /// Wormhole super-connections in use.
+    pub wormholes: usize,
+}
+
+/// A decomposed model loaded onto the simulated mesh hardware.
+#[derive(Debug, Clone)]
+pub struct MappedMachine {
+    n: usize,
+    intra: SparseCoupling,
+    links: Vec<LinkSchedule>,
+    /// Sample-and-hold values per sliced link: for each coupling of each
+    /// slice, the held remote values `(held_of_b_for_a, held_of_a_for_b)`.
+    held: Vec<Vec<Vec<(f64, f64)>>>,
+    h: Vec<f64>,
+    state: Vec<f64>,
+    free: Vec<bool>,
+    snapshot: Vec<f64>,
+    rail: f64,
+    capacitance: f64,
+    target_range: std::ops::Range<usize>,
+    history_len: usize,
+    wormholes: usize,
+    readout: Option<Vec<f64>>,
+}
+
+impl MappedMachine {
+    /// Programs the mesh with a decomposed model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `lanes == 0`.
+    pub fn new(decomposed: &DecomposedModel, lanes: usize) -> Result<Self, CoreError> {
+        if lanes == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "hardware must have at least one lane per portal".into(),
+            });
+        }
+        let model = &decomposed.model;
+        let n = model.layout().total();
+        let mut intra = Coupling::zeros(n);
+        let mut cross: BTreeMap<(usize, usize), Vec<CrossCoupling>> = BTreeMap::new();
+        for (i, j, w) in model.coupling().nonzeros() {
+            let (pa, pb) = (decomposed.var_to_pe[i], decomposed.var_to_pe[j]);
+            if pa == pb {
+                intra.set(i, j, w);
+            } else {
+                let key = (pa.min(pb), pa.max(pb));
+                let (va, vb) = if pa < pb { (i, j) } else { (j, i) };
+                cross.entry(key).or_default().push(CrossCoupling {
+                    var_a: va,
+                    var_b: vb,
+                    weight: w,
+                });
+            }
+        }
+        let links: Vec<LinkSchedule> = cross
+            .into_iter()
+            .map(|((a, b), cs)| schedule_link(a, b, &cs, lanes))
+            .collect();
+        let held = links
+            .iter()
+            .map(|l| {
+                l.slices
+                    .iter()
+                    .map(|s| vec![(0.0, 0.0); s.len()])
+                    .collect()
+            })
+            .collect();
+        let layout = model.layout();
+        Ok(MappedMachine {
+            n,
+            intra: SparseCoupling::from_dense(&intra),
+            links,
+            held,
+            h: model.h().to_vec(),
+            state: vec![0.0; n],
+            free: vec![true; n],
+            snapshot: vec![0.0; n],
+            rail: 1.0,
+            capacitance: RC_NS,
+            target_range: layout.target_range(),
+            history_len: layout.history_len(),
+            wormholes: decomposed.wormholes.len(),
+            readout: None,
+        })
+    }
+
+    /// Number of PE-pair links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Links requiring temporal multiplexing at the built lane count.
+    pub fn temporal_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.is_temporal()).count()
+    }
+
+    /// Largest slice count across links (1 = pure spatial).
+    pub fn max_slices(&self) -> usize {
+        self.links.iter().map(LinkSchedule::slice_count).max().unwrap_or(1)
+    }
+
+    /// Current node voltages.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Loads a sample: history variables clamped, target variables
+    /// randomised near zero.
+    pub fn load_sample<R: Rng + ?Sized>(&mut self, sample: &Sample, rng: &mut R) -> Result<(), CoreError> {
+        if sample.history.len() != self.history_len
+            || sample.target.len() != self.target_range.len()
+        {
+            return Err(CoreError::SampleShapeMismatch {
+                what: "sample",
+                expected: self.n,
+                actual: sample.history.len() + sample.target.len(),
+            });
+        }
+        for (v, &obs) in sample.history.iter().enumerate() {
+            self.state[v] = obs.clamp(-self.rail, self.rail);
+            self.free[v] = false;
+        }
+        for v in self.target_range.clone() {
+            self.state[v] = (rng.random::<f64>() - 0.5) * 0.2 * self.rail;
+            self.free[v] = true;
+        }
+        self.snapshot.copy_from_slice(&self.state);
+        // Prime the sample-and-hold buffers with the loaded state.
+        for (li, link) in self.links.iter().enumerate() {
+            for (slice, helds) in link.slices.iter().zip(self.held[li].iter_mut()) {
+                for (c, h) in slice.iter().zip(helds.iter_mut()) {
+                    h.0 = self.snapshot[c.var_b];
+                    h.1 = self.snapshot[c.var_a];
+                }
+            }
+        }
+        self.readout = None;
+        Ok(())
+    }
+
+    /// One integrator step at simulated time `t` (shared by the main
+    /// annealing loop and the integrating readout).
+    fn step_once<R: Rng + ?Sized>(
+        &mut self,
+        t: f64,
+        last_sync: &mut f64,
+        config: &HwConfig,
+        currents: &mut [f64],
+        rng: &mut R,
+    ) {
+        let anneal = &config.anneal;
+        // Inter-tile synchronisation: refresh remote views.
+        if t - *last_sync >= config.sync_interval_ns {
+            self.snapshot.copy_from_slice(&self.state);
+            *last_sync = t;
+        }
+        // Intra-PE couplings act on live voltages.
+        self.intra.matvec(&self.state, currents);
+        // Cross-PE couplings: spatially co-annealed links (one slice)
+        // are continuous analog paths through the CU crossbar and act on
+        // live voltages — the paper needs no synchronisation within a
+        // mapping. Time-multiplexed links sample-and-hold: the active
+        // slice refreshes its held remote values (from the synchronised
+        // snapshot), and every coupling keeps driving with its held
+        // value between activations.
+        for (li, link) in self.links.iter().enumerate() {
+            let s = link.slice_count();
+            if s == 1 {
+                for c in &link.slices[0] {
+                    currents[c.var_a] += c.weight * self.state[c.var_b];
+                    currents[c.var_b] += c.weight * self.state[c.var_a];
+                }
+            } else {
+                let active = active_slice(s, config.slice_dwell_ns, t);
+                for (c, h) in link.slices[active]
+                    .iter()
+                    .zip(self.held[li][active].iter_mut())
+                {
+                    h.0 = self.snapshot[c.var_b];
+                    h.1 = self.snapshot[c.var_a];
+                }
+                for (slice, helds) in link.slices.iter().zip(&self.held[li]) {
+                    for (c, h) in slice.iter().zip(helds) {
+                        currents[c.var_a] += c.weight * h.0;
+                        currents[c.var_b] += c.weight * h.1;
+                    }
+                }
+            }
+        }
+        // Integrate.
+        for i in 0..self.n {
+            if !self.free[i] {
+                continue;
+            }
+            let mut current = currents[i];
+            if anneal.noise.coupler_std > 0.0 {
+                current *= 1.0 + anneal.noise.coupler_std * gaussian(rng);
+            }
+            let dv = (current + self.h[i] * self.state[i]) / self.capacitance;
+            let mut next = self.state[i] + dv * anneal.dt_ns;
+            if anneal.noise.node_std > 0.0 {
+                let sigma = anneal.noise.node_std
+                    * self.rail
+                    * (2.0 * self.h[i].abs() * anneal.dt_ns / self.capacitance).sqrt();
+                next += sigma * gaussian(rng);
+            }
+            self.state[i] = next.clamp(-self.rail, self.rail);
+        }
+    }
+
+    /// Loads a sample in imputation mode: history variables *and* the
+    /// listed target-frame entries are clamped to their true values;
+    /// only the remaining targets anneal (paper: acquiring unknown node
+    /// features from observed ones).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape mismatches and out-of-range observed indices.
+    pub fn load_sample_imputation<R: Rng + ?Sized>(
+        &mut self,
+        sample: &Sample,
+        observed_targets: &[usize],
+        rng: &mut R,
+    ) -> Result<(), CoreError> {
+        self.load_sample(sample, rng)?;
+        let frame_len = self.target_range.len();
+        for &t_idx in observed_targets {
+            if t_idx >= frame_len {
+                return Err(CoreError::SampleShapeMismatch {
+                    what: "observed target index",
+                    expected: frame_len,
+                    actual: t_idx,
+                });
+            }
+            let v = self.history_len + t_idx;
+            self.state[v] = sample.target[t_idx].clamp(-self.rail, self.rail);
+            self.free[v] = false;
+        }
+        self.snapshot.copy_from_slice(&self.state);
+        for (li, link) in self.links.iter().enumerate() {
+            for (slice, helds) in link.slices.iter().zip(self.held[li].iter_mut()) {
+                for (c, h) in slice.iter().zip(helds.iter_mut()) {
+                    h.0 = self.snapshot[c.var_b];
+                    h.1 = self.snapshot[c.var_a];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs co-annealing under `config`, returning the report.
+    pub fn run<R: Rng + ?Sized>(&mut self, config: &HwConfig, rng: &mut R) -> CoAnnealReport {
+        let anneal = &config.anneal;
+        let mut t = 0.0;
+        let mut steps = 0usize;
+        let mut last_sync = 0.0;
+        let mut converged = false;
+        let mut rate = f64::INFINITY;
+        let mut prev = self.state.clone();
+        let mut currents = vec![0.0; self.n];
+        self.snapshot.copy_from_slice(&self.state);
+
+        while t < anneal.max_time_ns {
+            self.step_once(t, &mut last_sync, config, &mut currents, rng);
+            t += anneal.dt_ns;
+            steps += 1;
+            if steps % anneal.check_every == 0 {
+                rate = max_rate(
+                    &prev,
+                    &self.state,
+                    &self.free,
+                    anneal.dt_ns * anneal.check_every as f64,
+                );
+                prev.copy_from_slice(&self.state);
+                if rate < anneal.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        // Integrating readout: when slices rotate (or noise is injected),
+        // the voltages ripple around the fixed point, so the node-control
+        // unit integrates over one full rotation period before latching
+        // the output — this is how analog machines average duty-cycled
+        // couplings and dynamic noise out of the readout.
+        self.readout = None;
+        if self.max_slices() > 1 || !anneal.noise.is_none() {
+            let mut period_ns = (self.max_slices() as f64 * config.slice_dwell_ns)
+                .max(4.0 * anneal.dt_ns);
+            if !anneal.noise.is_none() {
+                // Average over several RC constants to filter noise.
+                let min_h = self
+                    .h
+                    .iter()
+                    .fold(f64::INFINITY, |m, h| m.min(h.abs()))
+                    .max(1e-9);
+                period_ns = period_ns.max(8.0 * self.capacitance / min_h);
+            }
+            let avg_steps = (period_ns / anneal.dt_ns).ceil() as usize;
+            let mut acc = vec![0.0; self.n];
+            for _ in 0..avg_steps {
+                self.step_once(t, &mut last_sync, config, &mut currents, rng);
+                t += anneal.dt_ns;
+                steps += 1;
+                for (a, &s) in acc.iter_mut().zip(&self.state) {
+                    *a += s;
+                }
+            }
+            let inv = 1.0 / avg_steps as f64;
+            self.readout = Some(acc.into_iter().map(|a| a * inv).collect());
+        }
+        CoAnnealReport {
+            anneal: AnnealReport {
+                converged,
+                steps,
+                sim_time_ns: t,
+                final_rate: rate,
+                energy: 0.0,
+            },
+            links: self.link_count(),
+            temporal_links: self.temporal_link_count(),
+            max_slices: self.max_slices(),
+            wormholes: self.wormholes,
+        }
+    }
+
+    /// The target-block prediction after a run: the integrated readout
+    /// when one was latched, the instantaneous voltages otherwise.
+    pub fn prediction(&self) -> Vec<f64> {
+        let source = self.readout.as_deref().unwrap_or(&self.state);
+        source[self.target_range.clone()].to_vec()
+    }
+}
+
+/// One mapped inference: program, load, co-anneal, read out.
+///
+/// # Errors
+///
+/// Returns configuration and shape errors from machine construction.
+pub fn infer_mapped<R: Rng + ?Sized>(
+    decomposed: &DecomposedModel,
+    sample: &Sample,
+    config: &HwConfig,
+    rng: &mut R,
+) -> Result<(Vec<f64>, CoAnnealReport), CoreError> {
+    let mut machine = MappedMachine::new(decomposed, config.lanes)?;
+    machine.load_sample(sample, rng)?;
+    let report = machine.run(config, rng);
+    Ok((machine.prediction(), report))
+}
+
+/// Evaluates mapped inference over a test set (machine built once,
+/// reloaded per sample).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty test set.
+pub fn evaluate_mapped<R: Rng + ?Sized>(
+    decomposed: &DecomposedModel,
+    samples: &[Sample],
+    config: &HwConfig,
+    rng: &mut R,
+) -> Result<EvalReport, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    let mut machine = MappedMachine::new(decomposed, config.lanes)?;
+    let mut per_sample = Vec::with_capacity(samples.len());
+    let mut latency = 0.0;
+    let mut converged = 0usize;
+    for s in samples {
+        machine.load_sample(s, rng)?;
+        let report = machine.run(config, rng);
+        let pred = machine.prediction();
+        per_sample.push((rmse(&pred, &s.target), pred.len()));
+        latency += report.anneal.sim_time_ns;
+        converged += report.anneal.converged as usize;
+    }
+    Ok(EvalReport {
+        rmse: pooled_rmse(&per_sample),
+        mean_latency_ns: latency / samples.len() as f64,
+        samples: samples.len(),
+        converged_fraction: converged as f64 / samples.len() as f64,
+    })
+}
+
+/// Evaluates mapped *imputation*: for each sample a seeded random
+/// `observe_fraction` of the target frame is clamped to ground truth and
+/// the rest is annealed; RMSE is pooled over the unobserved entries
+/// only.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty test set and
+/// [`CoreError::InvalidConfig`] for a fraction outside `[0, 1)`.
+pub fn evaluate_mapped_imputation<R: Rng + ?Sized>(
+    decomposed: &DecomposedModel,
+    samples: &[Sample],
+    observe_fraction: f64,
+    config: &HwConfig,
+    rng: &mut R,
+) -> Result<EvalReport, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    if !(0.0..1.0).contains(&observe_fraction) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("observe fraction {observe_fraction} outside [0, 1)"),
+        });
+    }
+    let mut machine = MappedMachine::new(decomposed, config.lanes)?;
+    let frame_len = decomposed.model.layout().frame_len();
+    let observe_count = ((frame_len as f64) * observe_fraction).round() as usize;
+    let mut per_sample = Vec::with_capacity(samples.len());
+    let mut latency = 0.0;
+    let mut converged = 0usize;
+    for s in samples {
+        // Seeded pseudo-random observed subset (shuffle of indices).
+        let mut idx: Vec<usize> = (0..frame_len).collect();
+        use rand::seq::SliceRandom;
+        idx.shuffle(rng);
+        let observed = &idx[..observe_count];
+        machine.load_sample_imputation(s, observed, rng)?;
+        let report = machine.run(config, rng);
+        let pred = machine.prediction();
+        let hidden: Vec<usize> = idx[observe_count..].to_vec();
+        if hidden.is_empty() {
+            continue;
+        }
+        let p: Vec<f64> = hidden.iter().map(|&i| pred[i]).collect();
+        let t: Vec<f64> = hidden.iter().map(|&i| s.target[i]).collect();
+        per_sample.push((rmse(&p, &t), p.len()));
+        latency += report.anneal.sim_time_ns;
+        converged += report.anneal.converged as usize;
+    }
+    Ok(EvalReport {
+        rmse: pooled_rmse(&per_sample),
+        mean_latency_ns: latency / samples.len() as f64,
+        samples: samples.len(),
+        converged_fraction: converged as f64 / samples.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsgl_core::inference::infer_fixed_point;
+    use dsgl_core::{decompose, DecomposeConfig, DsGlModel, PatternKind, TrainConfig, Trainer, VariableLayout};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_decomposed(
+        nodes: usize,
+        density: f64,
+        seed: u64,
+    ) -> (DecomposedModel, Vec<Sample>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Sample> = (0..40)
+            .map(|_| {
+                let hist: Vec<f64> = (0..nodes).map(|_| rng.random::<f64>() * 0.8).collect();
+                let target: Vec<f64> = (0..nodes)
+                    .map(|i| 0.55 * hist[i] + 0.25 * hist[(i + 1) % nodes])
+                    .collect();
+                Sample { history: hist, target }
+            })
+            .collect();
+        let layout = VariableLayout::new(1, nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        Trainer::new(TrainConfig {
+            epochs: 50,
+            lr: 0.05,
+            lr_decay: 0.98,
+            ..TrainConfig::default()
+        })
+        .fit(&mut model, &samples, &mut rng)
+        .unwrap();
+        let cfg = DecomposeConfig {
+            density,
+            pattern: PatternKind::DMesh,
+            wormhole_budget: 2,
+            pe_capacity: nodes.div_ceil(2),
+            grid: (2, 2),
+            finetune: Some(TrainConfig {
+                epochs: 15,
+                lr: 0.05,
+                lr_decay: 0.98,
+                ..TrainConfig::default()
+            }),
+        };
+        let d = decompose(&model, &samples, &cfg, &mut rng).unwrap();
+        (d, samples)
+    }
+
+    #[test]
+    fn mapped_inference_close_to_fixed_point() {
+        let (d, samples) = trained_decomposed(8, 0.6, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hw = HwConfig::default().with_sync_interval(10.0);
+        let (pred, report) = infer_mapped(&d, &samples[0], &hw, &mut rng).unwrap();
+        assert!(report.anneal.converged, "did not converge: {report:?}");
+        let fp = infer_fixed_point(&d.model, &samples[0], 300).unwrap();
+        let diff = rmse(&pred, &fp);
+        assert!(diff < 0.02, "mapped vs fixed point rmse {diff}");
+    }
+
+    #[test]
+    fn temporal_multiplexing_engages_with_few_lanes() {
+        let (d, samples) = trained_decomposed(8, 0.6, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let spacious = MappedMachine::new(&d, 30).unwrap();
+        assert_eq!(spacious.max_slices(), 1, "30 lanes should be plenty");
+        let tight = MappedMachine::new(&d, 1).unwrap();
+        if tight.link_count() > 0 {
+            // With one lane, any link exporting >1 node must slice.
+            let boundary: usize = d
+                .cross_pe_couplings()
+                .len();
+            if boundary > 1 {
+                assert!(tight.max_slices() >= 1);
+            }
+        }
+        // A sliced machine still anneals to a sensible answer.
+        let hw = HwConfig {
+            lanes: 1,
+            slice_dwell_ns: 20.0,
+            ..HwConfig::default()
+        };
+        let (pred, report) = infer_mapped(&d, &samples[0], &hw, &mut rng).unwrap();
+        assert_eq!(pred.len(), samples[0].target.len());
+        assert!(report.max_slices >= 1);
+        let err = rmse(&pred, &samples[0].target);
+        assert!(err < 0.3, "sliced inference way off: {err}");
+    }
+
+    #[test]
+    fn stale_sync_hurts_accuracy() {
+        let (d, samples) = trained_decomposed(8, 0.6, 5);
+        if d.cross_pe_couplings().is_empty() {
+            return; // placement happened to be fully local; nothing to test
+        }
+        let eval = |sync: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hw = HwConfig::default().with_sync_interval(sync).with_budget(4_000.0);
+            evaluate_mapped(&d, &samples[..10], &hw, &mut rng).unwrap().rmse
+        };
+        let fresh = eval(10.0, 7);
+        let stale = eval(4_000.0, 7);
+        assert!(
+            stale >= fresh - 1e-6,
+            "staleness should not help: fresh {fresh}, stale {stale}"
+        );
+    }
+
+    #[test]
+    fn evaluate_mapped_reports() {
+        let (d, samples) = trained_decomposed(8, 0.6, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let hw = HwConfig::default();
+        let report = evaluate_mapped(&d, &samples[..5], &hw, &mut rng).unwrap();
+        assert_eq!(report.samples, 5);
+        assert!(report.rmse < 0.2, "rmse {}", report.rmse);
+        assert!(report.mean_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn zero_lanes_rejected() {
+        let (d, _) = trained_decomposed(8, 0.6, 10);
+        assert!(matches!(
+            MappedMachine::new(&d, 0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn imputation_clamps_observed_targets() {
+        let (d, samples) = trained_decomposed(8, 0.6, 12);
+        let mut machine = MappedMachine::new(&d, 30).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let observed = [0usize, 2, 4];
+        machine
+            .load_sample_imputation(&samples[0], &observed, &mut rng)
+            .unwrap();
+        let hw = HwConfig::default();
+        machine.run(&hw, &mut rng);
+        let pred = machine.prediction();
+        for &i in &observed {
+            assert!(
+                (pred[i] - samples[0].target[i]).abs() < 1e-12,
+                "observed target {i} must stay clamped"
+            );
+        }
+        // Out-of-range observed index rejected.
+        assert!(machine
+            .load_sample_imputation(&samples[0], &[999], &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_mapped_imputation_reports() {
+        let (d, samples) = trained_decomposed(8, 0.6, 13);
+        let mut rng = StdRng::seed_from_u64(6);
+        let hw = HwConfig::default();
+        let report =
+            evaluate_mapped_imputation(&d, &samples[..6], 0.5, &hw, &mut rng).unwrap();
+        assert_eq!(report.samples, 6);
+        assert!(report.rmse.is_finite() && report.rmse < 0.5);
+        // Bad fraction rejected.
+        assert!(evaluate_mapped_imputation(&d, &samples[..2], 1.5, &hw, &mut rng).is_err());
+        assert!(evaluate_mapped_imputation(&d, &[], 0.5, &hw, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bad_sample_shape_rejected() {
+        let (d, _) = trained_decomposed(8, 0.6, 11);
+        let mut machine = MappedMachine::new(&d, 30).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad = Sample {
+            history: vec![0.0; 3],
+            target: vec![0.0; 8],
+        };
+        assert!(machine.load_sample(&bad, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The Scalable DSPU architecture model (paper Sec. IV.C–D and the
+//! hardware side of the evaluation).
+//!
+//! A Scalable DSPU is a 2-D grid of Processing Elements — each a small
+//! fully-coupled Real-Valued DSPU of `K` nodes — joined through Coupling
+//! Units (CUs) sitting at mesh intersections. This crate models:
+//!
+//! - [`topology`]: the PE/CU mesh — which CUs serve which PE pairs,
+//!   portals, and wormhole routes over the CU super-connection grid;
+//! - [`schedule`]: lane allocation. Each PE portal has `L` analog lanes;
+//!   when a PE pair's boundary demand exceeds `L`, the coupling list is
+//!   cut into slices that rotate in turn (Temporal & Spatial
+//!   co-annealing, paper Fig. 9);
+//! - [`coanneal`]: a cycle-level simulator of the mapped machine. Intra-PE
+//!   couplings act on live voltages; cross-PE couplings act on snapshot
+//!   values refreshed every synchronisation interval (paper Fig. 12), and
+//!   time-multiplexed slices are driven at boosted conductance so their
+//!   duty-cycled average matches the trained coupling;
+//! - [`cost`]: the component-level power/area model behind paper
+//!   Table I;
+//! - [`platform`]: the peak-TFLOPS platform model behind paper
+//!   Table III.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dsgl_hw::{coanneal, HwConfig};
+//! # use dsgl_core::{DsGlModel, VariableLayout, DecomposeConfig, decompose};
+//! # use rand::SeedableRng;
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! # let model = DsGlModel::new(VariableLayout::new(1, 8, 1));
+//! # let cfg = DecomposeConfig::fitting(16, 6);
+//! # let decomposed = decompose(&model, &[], &cfg, &mut rng).unwrap();
+//! # let sample = dsgl_data::Sample { history: vec![0.0; 8], target: vec![0.0; 8] };
+//! let hw = HwConfig::default();
+//! let (prediction, report) = coanneal::infer_mapped(&decomposed, &sample, &hw, &mut rng)?;
+//! println!("latency {} ns, slices {}", report.anneal.sim_time_ns, report.max_slices);
+//! # Ok::<(), dsgl_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coanneal;
+pub mod config;
+pub mod cost;
+pub mod platform;
+pub mod schedule;
+pub mod topology;
+pub mod validate;
+
+pub use coanneal::{infer_mapped, CoAnnealReport, MappedMachine};
+pub use config::HwConfig;
+pub use cost::{CostModel, HwCost};
+pub use platform::{Platform, PLATFORMS};
+pub use topology::MeshTopology;
+pub use validate::{validate_mapping, MappingReport};

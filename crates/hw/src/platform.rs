@@ -1,0 +1,128 @@
+//! Platform latency/energy model (paper Table III).
+//!
+//! The paper compares DS-GL against GNNs running on five platforms —
+//! four FPGA accelerators assumed to run at *peak* TFLOPS with full
+//! utilisation, and an A100 GPU with measured (far-below-peak)
+//! efficiency. The same methodology is reproduced here: accelerator
+//! latency is `FLOPs / peak`, GPU latency applies a measured-derating
+//! utilisation factor, and energy is `latency × typical power`.
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware platform row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name.
+    pub name: &'static str,
+    /// Accelerator works evaluated on it in the paper.
+    pub works: &'static str,
+    /// Peak TFLOPS.
+    pub peak_tflops: f64,
+    /// Typical power in W (the paper uses typical, not max).
+    pub typical_power_w: f64,
+    /// Fraction of peak actually sustained. 1.0 for the accelerators
+    /// (the paper's full-utilisation assumption); well below 1 for the
+    /// GPU, matching the paper's measured-latency column where the A100
+    /// lands orders of magnitude above its peak-FLOPS bound on small
+    /// irregular GNN inference.
+    pub utilization: f64,
+}
+
+impl Platform {
+    /// Inference latency in µs for a model of `flops` floating-point
+    /// operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform constants are non-positive.
+    pub fn latency_us(&self, flops: u64) -> f64 {
+        assert!(self.peak_tflops > 0.0 && self.utilization > 0.0);
+        flops as f64 / (self.peak_tflops * 1e12 * self.utilization) * 1e6
+    }
+
+    /// Energy per inference in mJ.
+    pub fn energy_mj(&self, flops: u64) -> f64 {
+        self.latency_us(flops) * 1e-6 * self.typical_power_w * 1e3
+    }
+}
+
+/// The five platforms of paper Table III.
+pub const PLATFORMS: [Platform; 5] = [
+    Platform {
+        name: "Stratix 10 SX",
+        works: "AWB-GCN / I-GCN",
+        peak_tflops: 2.7,
+        typical_power_w: 137.0,
+        utilization: 1.0,
+    },
+    Platform {
+        name: "Alveo U200",
+        works: "NTGAT",
+        peak_tflops: 1.4,
+        typical_power_w: 100.0,
+        utilization: 1.0,
+    },
+    Platform {
+        name: "Alveo U250",
+        works: "GraphAGILE",
+        peak_tflops: 2.8,
+        typical_power_w: 110.0,
+        utilization: 1.0,
+    },
+    Platform {
+        name: "Alveo U280",
+        works: "RACE",
+        peak_tflops: 2.1,
+        typical_power_w: 100.0,
+        utilization: 1.0,
+    },
+    Platform {
+        name: "A100 SXM",
+        works: "GPU (measured-derated)",
+        peak_tflops: 156.0,
+        typical_power_w: 250.0,
+        utilization: 0.002,
+    },
+];
+
+/// The DS-GL row: latency is the measured co-annealing time; energy is
+/// that latency times the chip power from the cost model.
+pub fn dsgl_energy_mj(latency_us: f64, chip_power_mw: f64) -> f64 {
+    latency_us * 1e-6 * chip_power_mw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_flops() {
+        let p = PLATFORMS[0];
+        assert!((p.latency_us(2_700_000_000) - 1000.0).abs() < 1e-9);
+        assert_eq!(p.latency_us(0), 0.0);
+    }
+
+    #[test]
+    fn energy_consistent() {
+        let p = PLATFORMS[1]; // 1.4 TFLOPS, 100 W
+        let flops = 1_400_000_000; // -> 1000 µs -> 0.1 J = 100 mJ
+        assert!((p.energy_mj(flops) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_is_slowest_per_flop() {
+        // The paper's GPU column exceeds every accelerator's latency.
+        let flops = 1_000_000_000;
+        let gpu = PLATFORMS[4].latency_us(flops);
+        for p in &PLATFORMS[..4] {
+            assert!(gpu > p.latency_us(flops), "{} beat the GPU", p.name);
+        }
+    }
+
+    #[test]
+    fn dsgl_energy_matches_paper_decade() {
+        // ~1 µs at 550 mW -> ~5.5e-4 mJ, the decade Table III reports.
+        let e = dsgl_energy_mj(1.0, 550.0);
+        assert!((e - 5.5e-4).abs() < 1e-12);
+    }
+}

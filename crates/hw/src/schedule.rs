@@ -1,0 +1,193 @@
+//! Lane allocation and temporal slicing (paper Fig. 9).
+//!
+//! Every cross-PE coupling must ride an analog lane through a CU. A PE
+//! pair whose boundary demand fits within the `L` lanes per portal
+//! anneals purely spatially; beyond that, the spatial scheduler hands
+//! the node lists to the temporal scheduler, which divides them into
+//! slices of at most `L` exported nodes per side and rotates the active
+//! slice (switch-in-turn).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One cross-PE coupling to be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossCoupling {
+    /// Variable on the first PE.
+    pub var_a: usize,
+    /// Variable on the second PE.
+    pub var_b: usize,
+    /// Coupling weight.
+    pub weight: f64,
+}
+
+/// The schedule of one PE-pair link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSchedule {
+    /// The PE pair (normalised `a < b`).
+    pub pes: (usize, usize),
+    /// Couplings grouped per slice; all slices of a link rotate in turn.
+    pub slices: Vec<Vec<CrossCoupling>>,
+    /// Distinct exported nodes on side `a` / side `b`.
+    pub boundary: (usize, usize),
+}
+
+impl LinkSchedule {
+    /// Number of slices (1 = pure spatial co-annealing).
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether temporal multiplexing is engaged on this link.
+    pub fn is_temporal(&self) -> bool {
+        self.slices.len() > 1
+    }
+
+    /// Total couplings carried.
+    pub fn coupling_count(&self) -> usize {
+        self.slices.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds the slice schedule for one PE pair given `lanes` per portal.
+///
+/// Couplings are grouped by exported node on the heavier side, and nodes
+/// are packed into slices of at most `lanes` exports, so each slice's
+/// demand fits the portal (the paper's "divide into slices, each size
+/// not greater than L").
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` or `couplings` is empty.
+pub fn schedule_link(
+    pe_a: usize,
+    pe_b: usize,
+    couplings: &[CrossCoupling],
+    lanes: usize,
+) -> LinkSchedule {
+    assert!(lanes > 0, "need at least one lane");
+    assert!(!couplings.is_empty(), "cannot schedule an empty link");
+    let side_a: BTreeSet<usize> = couplings.iter().map(|c| c.var_a).collect();
+    let side_b: BTreeSet<usize> = couplings.iter().map(|c| c.var_b).collect();
+    let boundary = (side_a.len(), side_b.len());
+
+    // Group couplings by their export node on the heavier side.
+    let by_a = side_a.len() >= side_b.len();
+    let mut groups: BTreeMap<usize, Vec<CrossCoupling>> = BTreeMap::new();
+    for &c in couplings {
+        let key = if by_a { c.var_a } else { c.var_b };
+        groups.entry(key).or_default().push(c);
+    }
+    // Pack node groups into slices of ≤ `lanes` exported nodes.
+    let mut slices: Vec<Vec<CrossCoupling>> = Vec::new();
+    let mut current: Vec<CrossCoupling> = Vec::new();
+    let mut current_nodes = 0usize;
+    for (_, group) in groups {
+        if current_nodes == lanes {
+            slices.push(std::mem::take(&mut current));
+            current_nodes = 0;
+        }
+        current.extend(group);
+        current_nodes += 1;
+    }
+    if !current.is_empty() {
+        slices.push(current);
+    }
+    LinkSchedule {
+        pes: (pe_a.min(pe_b), pe_a.max(pe_b)),
+        slices,
+        boundary,
+    }
+}
+
+/// The active slice of a rotating link at simulated time `t_ns`.
+pub fn active_slice(slice_count: usize, dwell_ns: f64, t_ns: f64) -> usize {
+    if slice_count <= 1 || dwell_ns <= 0.0 {
+        return 0;
+    }
+    ((t_ns / dwell_ns).floor() as usize) % slice_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coupling(a: usize, b: usize) -> CrossCoupling {
+        CrossCoupling {
+            var_a: a,
+            var_b: b,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn fits_in_one_slice_when_demand_low() {
+        let cs: Vec<CrossCoupling> = (0..5).map(|i| coupling(i, 100 + i)).collect();
+        let s = schedule_link(0, 1, &cs, 30);
+        assert_eq!(s.slice_count(), 1);
+        assert!(!s.is_temporal());
+        assert_eq!(s.boundary, (5, 5));
+        assert_eq!(s.coupling_count(), 5);
+    }
+
+    #[test]
+    fn slices_when_demand_exceeds_lanes() {
+        // 7 exported nodes on side a, 2 lanes -> 4 slices.
+        let cs: Vec<CrossCoupling> = (0..7).map(|i| coupling(i, 100)).collect();
+        let s = schedule_link(0, 1, &cs, 2);
+        assert_eq!(s.slice_count(), 4);
+        assert!(s.is_temporal());
+        // Every coupling appears exactly once across all slices.
+        assert_eq!(s.coupling_count(), 7);
+        let mut seen: Vec<usize> = s
+            .slices
+            .iter()
+            .flatten()
+            .map(|c| c.var_a)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn slices_bound_exported_nodes() {
+        // 5 nodes each exporting 3 couplings; 2 lanes -> each slice has ≤ 2 nodes.
+        let mut cs = Vec::new();
+        for node in 0..5 {
+            for k in 0..3 {
+                cs.push(coupling(node, 200 + k));
+            }
+        }
+        let s = schedule_link(2, 1, &cs, 2);
+        assert_eq!(s.pes, (1, 2), "normalised pair");
+        for slice in &s.slices {
+            let nodes: BTreeSet<usize> = slice.iter().map(|c| c.var_a).collect();
+            assert!(nodes.len() <= 2, "slice exports {} nodes", nodes.len());
+        }
+    }
+
+    #[test]
+    fn groups_by_heavier_side() {
+        // Side b has more distinct nodes; grouping should use b.
+        let cs: Vec<CrossCoupling> = (0..6).map(|i| coupling(7, 100 + i)).collect();
+        let s = schedule_link(0, 1, &cs, 3);
+        assert_eq!(s.boundary, (1, 6));
+        assert_eq!(s.slice_count(), 2);
+    }
+
+    #[test]
+    fn rotation() {
+        assert_eq!(active_slice(3, 10.0, 0.0), 0);
+        assert_eq!(active_slice(3, 10.0, 9.9), 0);
+        assert_eq!(active_slice(3, 10.0, 10.0), 1);
+        assert_eq!(active_slice(3, 10.0, 25.0), 2);
+        assert_eq!(active_slice(3, 10.0, 30.0), 0);
+        assert_eq!(active_slice(1, 10.0, 99.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty link")]
+    fn empty_link_panics() {
+        schedule_link(0, 1, &[], 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! The PE/CU mesh topology (paper Fig. 7).
+//!
+//! PEs tile a `(rows, cols)` grid. A Coupling Unit sits at every interior
+//! intersection — between each 2×2 quad of PEs — so a `R×C` PE grid has
+//! `(R-1)·(C-1)` CUs. Each CU exposes four portals, one toward each
+//! corner PE, and a `4L × 3L` analog crossbar coupling nodes from
+//! different corner PEs. Neighbouring CUs are joined by super
+//! connections (the orange grid), which wormholes ride to couple remote
+//! PEs.
+
+use serde::{Deserialize, Serialize};
+
+/// The static mesh of PEs and CUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshTopology {
+    rows: usize,
+    cols: usize,
+}
+
+impl MeshTopology {
+    /// Creates the topology of a `(rows, cols)` PE grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid.
+    pub fn new(grid: (usize, usize)) -> Self {
+        assert!(grid.0 > 0 && grid.1 > 0, "PE grid must be non-empty");
+        MeshTopology {
+            rows: grid.0,
+            cols: grid.1,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of CUs (interior intersections).
+    pub fn cu_count(&self) -> usize {
+        self.rows.saturating_sub(1) * self.cols.saturating_sub(1)
+    }
+
+    /// Grid coordinate of a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range PEs.
+    pub fn pe_coord(&self, pe: usize) -> (usize, usize) {
+        assert!(pe < self.pe_count(), "PE index out of range");
+        (pe / self.cols, pe % self.cols)
+    }
+
+    /// Grid coordinate of a CU (CU `(r, c)` touches PEs `(r, c)`,
+    /// `(r, c+1)`, `(r+1, c)`, `(r+1, c+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range CUs.
+    pub fn cu_coord(&self, cu: usize) -> (usize, usize) {
+        assert!(cu < self.cu_count(), "CU index out of range");
+        (cu / (self.cols - 1), cu % (self.cols - 1))
+    }
+
+    /// The four PEs at the corners of a CU, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range CUs.
+    pub fn cu_corner_pes(&self, cu: usize) -> [usize; 4] {
+        let (r, c) = self.cu_coord(cu);
+        [
+            r * self.cols + c,
+            r * self.cols + c + 1,
+            (r + 1) * self.cols + c,
+            (r + 1) * self.cols + c + 1,
+        ]
+    }
+
+    /// CUs whose crossbars can couple the two (distinct) PEs directly —
+    /// i.e. CUs having both as corners. Horizontally/vertically adjacent
+    /// interior PE pairs share two CUs; diagonal pairs share one; remote
+    /// pairs share none (they need a wormhole).
+    pub fn cus_between(&self, pe_a: usize, pe_b: usize) -> Vec<usize> {
+        (0..self.cu_count())
+            .filter(|&cu| {
+                let corners = self.cu_corner_pes(cu);
+                corners.contains(&pe_a) && corners.contains(&pe_b)
+            })
+            .collect()
+    }
+
+    /// The CU nearest to a PE (its top-left-most adjacent CU), used as a
+    /// wormhole anchor.
+    ///
+    /// Returns `None` when the grid has no CUs at all (1×N or N×1).
+    pub fn anchor_cu(&self, pe: usize) -> Option<usize> {
+        if self.cu_count() == 0 {
+            return None;
+        }
+        // The CU at (min(r, rows-2), min(c, cols-2)) always touches PE (r, c).
+        let (r, c) = self.pe_coord(pe);
+        let rr = r.min(self.rows - 2);
+        let cc = c.min(self.cols - 2);
+        Some(rr * (self.cols - 1) + cc)
+    }
+
+    /// Length (in CU-grid hops) of the super-connection route a wormhole
+    /// between two PEs takes: Manhattan distance between their anchor
+    /// CUs. `None` when the grid has no CUs.
+    pub fn wormhole_route_len(&self, pe_a: usize, pe_b: usize) -> Option<usize> {
+        let ca = self.anchor_cu(pe_a)?;
+        let cb = self.anchor_cu(pe_b)?;
+        let (ar, ac) = self.cu_coord(ca);
+        let (br, bc) = self.cu_coord(cb);
+        Some(ar.abs_diff(br) + ac.abs_diff(bc))
+    }
+
+    /// Ports per CU given `L` lanes per portal (four portals).
+    pub fn cu_ports(&self, lanes: usize) -> usize {
+        4 * lanes
+    }
+
+    /// Crossbar size of one CU: `4L × 3L` (nodes from the same PE are
+    /// already coupled inside the PE, so a full `4L × 4L` is unneeded).
+    pub fn cu_crossbar_couplers(&self, lanes: usize) -> usize {
+        4 * lanes * 3 * lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let t = MeshTopology::new((4, 4));
+        assert_eq!(t.pe_count(), 16);
+        assert_eq!(t.cu_count(), 9);
+        assert_eq!(MeshTopology::new((1, 5)).cu_count(), 0);
+    }
+
+    #[test]
+    fn cu_corners() {
+        let t = MeshTopology::new((3, 3));
+        // CU 0 at (0,0) touches PEs 0,1,3,4.
+        assert_eq!(t.cu_corner_pes(0), [0, 1, 3, 4]);
+        // CU 3 at (1,1) touches PEs 4,5,7,8.
+        assert_eq!(t.cu_corner_pes(3), [4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn shared_cus() {
+        let t = MeshTopology::new((3, 3));
+        // Interior horizontal pair 4-5 shares CUs (0,1) and (1,1) = ids 1, 3.
+        assert_eq!(t.cus_between(4, 5), vec![1, 3]);
+        // Diagonal pair 0-4 shares exactly CU 0.
+        assert_eq!(t.cus_between(0, 4), vec![0]);
+        // Remote pair 0-8 shares none.
+        assert!(t.cus_between(0, 8).is_empty());
+    }
+
+    #[test]
+    fn anchors_touch_their_pe() {
+        let t = MeshTopology::new((3, 4));
+        for pe in 0..t.pe_count() {
+            let cu = t.anchor_cu(pe).unwrap();
+            assert!(
+                t.cu_corner_pes(cu).contains(&pe),
+                "anchor CU {cu} does not touch PE {pe}"
+            );
+        }
+    }
+
+    #[test]
+    fn wormhole_routes() {
+        let t = MeshTopology::new((4, 4));
+        assert_eq!(t.wormhole_route_len(0, 15), Some(4)); // corner to corner
+        assert_eq!(t.wormhole_route_len(0, 1), Some(1)); // neighbouring anchors
+        assert_eq!(MeshTopology::new((1, 3)).wormhole_route_len(0, 2), None);
+    }
+
+    #[test]
+    fn cu_crossbar_shape() {
+        let t = MeshTopology::new((2, 2));
+        assert_eq!(t.cu_ports(30), 120);
+        assert_eq!(t.cu_crossbar_couplers(30), 10_800);
+    }
+}

@@ -1,0 +1,262 @@
+//! Mapping legality checks: does a decomposed model actually fit the
+//! physical machine?
+//!
+//! The decomposition pipeline produces placements and masks; this module
+//! independently audits the result against the PE/CU topology — the kind
+//! of checker a hardware compiler runs before programming a chip.
+
+use crate::topology::MeshTopology;
+use dsgl_core::patterns::pe_allowed;
+use dsgl_core::DecomposedModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One legality violation found by [`validate_mapping`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A PE hosts more variables than its capacity.
+    PeOverCapacity {
+        /// The overloaded PE.
+        pe: usize,
+        /// Variables placed on it.
+        load: usize,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A coupling crosses PEs with no CU between them, no pattern link,
+    /// and no wormhole.
+    UnroutableCoupling {
+        /// First variable.
+        var_a: usize,
+        /// Second variable.
+        var_b: usize,
+        /// Its PEs.
+        pes: (usize, usize),
+    },
+    /// A wormhole references a PE outside the grid.
+    WormholeOutOfGrid {
+        /// The offending PE pair.
+        pes: (usize, usize),
+    },
+    /// A variable index in the placement exceeds the model's variables.
+    PlacementOutOfRange {
+        /// Number of placed variables.
+        placed: usize,
+        /// Model variables.
+        expected: usize,
+    },
+}
+
+/// Per-link lane-demand summary produced alongside validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkDemand {
+    /// The PE pair (normalised).
+    pub pes: (usize, usize),
+    /// Distinct exporting nodes on each side.
+    pub boundary: (usize, usize),
+    /// Couplings carried.
+    pub couplings: usize,
+    /// Slices needed at the given lane count.
+    pub slices: usize,
+}
+
+/// Full validation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingReport {
+    /// All violations found (empty = legal mapping).
+    pub violations: Vec<Violation>,
+    /// Demand of every active PE-pair link.
+    pub links: Vec<LinkDemand>,
+    /// Fraction of links needing temporal multiplexing.
+    pub temporal_fraction: f64,
+}
+
+impl MappingReport {
+    /// Whether the mapping is legal.
+    pub fn is_legal(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audits a decomposed model against the machine topology at `lanes`
+/// lanes per portal.
+pub fn validate_mapping(d: &DecomposedModel, lanes: usize) -> MappingReport {
+    let mut violations = Vec::new();
+    let topo = MeshTopology::new(d.grid);
+    let total = d.model.layout().total();
+    if d.var_to_pe.len() != total {
+        violations.push(Violation::PlacementOutOfRange {
+            placed: d.var_to_pe.len(),
+            expected: total,
+        });
+    }
+
+    // Capacity.
+    let mut loads = vec![0usize; topo.pe_count()];
+    for &pe in &d.var_to_pe {
+        if pe < loads.len() {
+            loads[pe] += 1;
+        }
+    }
+    for (pe, &load) in loads.iter().enumerate() {
+        if load > d.pe_capacity {
+            violations.push(Violation::PeOverCapacity {
+                pe,
+                load,
+                capacity: d.pe_capacity,
+            });
+        }
+    }
+
+    // Wormholes reference real PEs.
+    for &(a, b) in &d.wormholes {
+        if a >= topo.pe_count() || b >= topo.pe_count() {
+            violations.push(Violation::WormholeOutOfGrid { pes: (a, b) });
+        }
+    }
+
+    // Routability + demand.
+    let mut per_link: BTreeMap<(usize, usize), (Vec<usize>, Vec<usize>, usize)> = BTreeMap::new();
+    for (i, j, _) in d.model.coupling().nonzeros() {
+        let (pa, pb) = (d.var_to_pe[i], d.var_to_pe[j]);
+        if pa == pb {
+            continue;
+        }
+        let key = (pa.min(pb), pa.max(pb));
+        let routable = pe_allowed(d.pattern, d.grid, pa, pb) || d.wormholes.contains(&key);
+        if !routable {
+            violations.push(Violation::UnroutableCoupling {
+                var_a: i,
+                var_b: j,
+                pes: (pa, pb),
+            });
+        }
+        let entry = per_link.entry(key).or_default();
+        let (va, vb) = if pa < pb { (i, j) } else { (j, i) };
+        if !entry.0.contains(&va) {
+            entry.0.push(va);
+        }
+        if !entry.1.contains(&vb) {
+            entry.1.push(vb);
+        }
+        entry.2 += 1;
+    }
+    let lanes = lanes.max(1);
+    let links: Vec<LinkDemand> = per_link
+        .into_iter()
+        .map(|(pes, (a, b, couplings))| {
+            let demand = a.len().max(b.len());
+            LinkDemand {
+                pes,
+                boundary: (a.len(), b.len()),
+                couplings,
+                slices: demand.div_ceil(lanes),
+            }
+        })
+        .collect();
+    let temporal = links.iter().filter(|l| l.slices > 1).count();
+    let temporal_fraction = if links.is_empty() {
+        0.0
+    } else {
+        temporal as f64 / links.len() as f64
+    };
+    MappingReport {
+        violations,
+        links,
+        temporal_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsgl_core::ridge::fit_ridge;
+    use dsgl_core::{decompose, DecomposeConfig, DsGlModel, PatternKind, VariableLayout};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn decomposed(seed: u64) -> DecomposedModel {
+        let n = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<dsgl_data::Sample> = (0..30)
+            .map(|_| {
+                let hist: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 0.8).collect();
+                let target: Vec<f64> = (0..n)
+                    .map(|i| 0.5 * hist[i] + 0.2 * hist[(i + 1) % n])
+                    .collect();
+                dsgl_data::Sample {
+                    history: hist,
+                    target,
+                }
+            })
+            .collect();
+        let layout = VariableLayout::new(1, n, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples, 1.0).unwrap();
+        let cfg = DecomposeConfig {
+            density: 0.3,
+            pattern: PatternKind::Mesh,
+            wormhole_budget: 2,
+            pe_capacity: 6,
+            grid: (2, 2),
+            finetune: None,
+        };
+        decompose(&model, &samples, &cfg, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn pipeline_output_is_legal() {
+        let d = decomposed(1);
+        let report = validate_mapping(&d, 30);
+        assert!(report.is_legal(), "violations: {:?}", report.violations);
+        assert_eq!(report.temporal_fraction, 0.0, "30 lanes is plenty here");
+    }
+
+    #[test]
+    fn lane_starvation_flags_temporal_links() {
+        let d = decomposed(2);
+        let report = validate_mapping(&d, 1);
+        assert!(report.is_legal());
+        if report.links.iter().any(|l| l.boundary.0.max(l.boundary.1) > 1) {
+            assert!(report.temporal_fraction > 0.0);
+        }
+        for link in &report.links {
+            assert_eq!(
+                link.slices,
+                link.boundary.0.max(link.boundary.1),
+                "one lane ⇒ one node per slice"
+            );
+        }
+    }
+
+    #[test]
+    fn tampering_is_caught() {
+        let mut d = decomposed(3);
+        // Force a coupling between diagonal PEs with no wormhole.
+        d.wormholes.clear();
+        let a = d.vars_on(0)[0];
+        let b = d.vars_on(3)[0];
+        d.model.coupling_mut().set(a, b, 5.0);
+        let report = validate_mapping(&d, 30);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnroutableCoupling { .. })),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut d = decomposed(4);
+        d.pe_capacity = 1; // pretend the PEs were tiny
+        let report = validate_mapping(&d, 30);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PeOverCapacity { .. })));
+    }
+}

@@ -1,0 +1,164 @@
+//! Annealing configuration and reporting.
+
+use crate::noise::NoiseModel;
+use serde::{Deserialize, Serialize};
+
+/// Numerical integrator for the node ODEs.
+///
+/// The analog machine itself is continuous; the integrator only controls
+/// how faithfully (and at what cost) the simulator follows it. Euler
+/// needs `dt ≲ C / (|h| + Σ|J|)` for stability; RK4 tracks the trajectory
+/// far more accurately at the same `dt` for 4× the mat-vec work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Forward Euler (default; one mat-vec per step).
+    #[default]
+    Euler,
+    /// Classical fourth-order Runge–Kutta (four mat-vecs per step).
+    Rk4,
+}
+
+/// Configuration of one natural-annealing run.
+///
+/// Time is simulated analog time in nanoseconds. The machine integrates
+/// its node ODEs with timestep [`dt_ns`](Self::dt_ns) until either the
+/// state rate falls below [`tolerance`](Self::tolerance) (convergence) or
+/// [`max_time_ns`](Self::max_time_ns) elapses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Integrator timestep in ns.
+    pub dt_ns: f64,
+    /// Numerical integration scheme.
+    pub integrator: Integrator,
+    /// Annealing-time budget in ns (the machine's inference latency cap).
+    pub max_time_ns: f64,
+    /// Convergence threshold on `max_i |dσᵢ/dt|`, in rail fractions per ns.
+    pub tolerance: f64,
+    /// How many steps between convergence checks.
+    pub check_every: usize,
+    /// Dynamic noise injected while annealing.
+    pub noise: NoiseModel,
+}
+
+impl AnnealConfig {
+    /// A budget-only configuration: run for `max_time_ns` with defaults.
+    pub fn with_budget(max_time_ns: f64) -> Self {
+        AnnealConfig {
+            max_time_ns,
+            ..AnnealConfig::default()
+        }
+    }
+}
+
+impl Default for AnnealConfig {
+    /// 2 ns steps, 2 µs budget, 1e-6 rail/ns tolerance, no noise.
+    ///
+    /// With the machines' default node time constant
+    /// ([`crate::RC_NS`] ≈ 100 ns) these settings converge dense
+    /// inference in a few hundred ns — the latency regime the paper
+    /// reports for DS-GL (0.15–1.1 µs).
+    fn default() -> Self {
+        AnnealConfig {
+            dt_ns: 2.0,
+            integrator: Integrator::Euler,
+            max_time_ns: 2_000.0,
+            tolerance: 1e-6,
+            check_every: 10,
+            noise: NoiseModel::none(),
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealReport {
+    /// Whether the state rate fell below tolerance before the budget ended.
+    pub converged: bool,
+    /// Integrator steps taken.
+    pub steps: usize,
+    /// Simulated analog time elapsed, ns (the inference latency).
+    pub sim_time_ns: f64,
+    /// Final `max_i |dσᵢ/dt|` over free nodes.
+    pub final_rate: f64,
+    /// Final Hamiltonian value.
+    pub energy: f64,
+}
+
+/// Random-flip schedule used by the binary BRIM machine to escape local
+/// minima: each free node flips with probability
+/// `initial_rate · exp(-t / decay_ns) · dt` per step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipSchedule {
+    /// Initial flip rate per node per ns.
+    pub initial_rate: f64,
+    /// Exponential decay constant in ns.
+    pub decay_ns: f64,
+}
+
+impl FlipSchedule {
+    /// Flip probability per step of length `dt` at time `t`.
+    pub fn probability(&self, t_ns: f64, dt_ns: f64) -> f64 {
+        (self.initial_rate * (-t_ns / self.decay_ns).exp() * dt_ns).clamp(0.0, 1.0)
+    }
+
+    /// A schedule that never flips (pure gradient descent).
+    pub fn none() -> Self {
+        FlipSchedule {
+            initial_rate: 0.0,
+            decay_ns: 1.0,
+        }
+    }
+}
+
+impl Default for FlipSchedule {
+    /// 0.05 flips per node per ns, decaying with a 100 ns constant.
+    fn default() -> Self {
+        FlipSchedule {
+            initial_rate: 0.05,
+            decay_ns: 100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = AnnealConfig::default();
+        assert!(c.dt_ns > 0.0);
+        assert!(c.max_time_ns > c.dt_ns);
+        assert!(c.noise.is_none());
+    }
+
+    #[test]
+    fn with_budget_overrides_time() {
+        let c = AnnealConfig::with_budget(50.0);
+        assert_eq!(c.max_time_ns, 50.0);
+        assert_eq!(c.dt_ns, AnnealConfig::default().dt_ns);
+    }
+
+    #[test]
+    fn flip_probability_decays() {
+        let f = FlipSchedule {
+            initial_rate: 0.1,
+            decay_ns: 10.0,
+        };
+        let p0 = f.probability(0.0, 1.0);
+        let p1 = f.probability(10.0, 1.0);
+        assert!((p0 - 0.1).abs() < 1e-12);
+        assert!(p1 < p0);
+        assert!((p1 - 0.1 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_probability_clamped() {
+        let f = FlipSchedule {
+            initial_rate: 10.0,
+            decay_ns: 1.0,
+        };
+        assert_eq!(f.probability(0.0, 1.0), 1.0);
+        assert_eq!(FlipSchedule::none().probability(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Convergence detection for annealing runs.
+
+/// Maximum absolute rate `|Δσᵢ| / dt` over the masked (free) nodes.
+///
+/// `free[i] == true` marks nodes whose rate is considered; clamped input
+/// nodes are held by the node-control unit and excluded.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or `dt <= 0`.
+pub fn max_rate(prev: &[f64], next: &[f64], free: &[bool], dt: f64) -> f64 {
+    assert_eq!(prev.len(), next.len(), "state length mismatch");
+    assert_eq!(prev.len(), free.len(), "mask length mismatch");
+    assert!(dt > 0.0, "dt must be positive");
+    prev.iter()
+        .zip(next)
+        .zip(free)
+        .filter(|&(_, &f)| f)
+        .map(|((&p, &n), _)| (n - p).abs() / dt)
+        .fold(0.0, f64::max)
+}
+
+/// Maximum absolute element-wise difference between two states.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "state length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference between two states (0 for empty slices).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "state length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_rate_ignores_clamped() {
+        let prev = [0.0, 0.0, 0.0];
+        let next = [1.0, 0.1, 0.0];
+        let free = [false, true, true];
+        assert!((max_rate(&prev, &next, &free, 0.1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rate_all_clamped_is_zero() {
+        assert_eq!(max_rate(&[1.0], &[2.0], &[false], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn max_rate_bad_dt() {
+        max_rate(&[0.0], &[0.0], &[true], 0.0);
+    }
+
+    #[test]
+    fn diffs() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert!((rms_diff(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rms_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The symmetric coupling matrix `J` of a dynamical system.
+
+use crate::error::IsingError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, symmetric coupling matrix with zero diagonal.
+///
+/// On hardware this is the programmable-resistor crossbar: entry
+/// `J[i][j]` is the conductance coupling node `i` and node `j`
+/// (two circulative resistor rings per pair to realise both signs,
+/// paper Fig. 3). The type maintains two invariants at all times:
+/// `J[i][j] == J[j][i]` and `J[i][i] == 0`.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_ising::Coupling;
+///
+/// let mut j = Coupling::zeros(3);
+/// j.set(0, 2, -1.5);
+/// assert_eq!(j.get(2, 0), -1.5);
+/// assert_eq!(j.nnz(), 1);
+/// assert!((j.density() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coupling {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Coupling {
+    /// Creates an `n x n` all-zero coupling matrix.
+    pub fn zeros(n: usize) -> Self {
+        Coupling {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds a coupling matrix from a row-major dense matrix, symmetrising
+    /// it as the paper does (`Jᵢⱼ + Jⱼᵢ → Jᵢⱼ`, then halved so the
+    /// symmetric matrix represents the same quadratic form) and zeroing
+    /// the diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] if `data.len() != n * n`
+    /// and [`IsingError::NonFinite`] if any entry is not finite.
+    pub fn from_dense(n: usize, data: &[f64]) -> Result<Self, IsingError> {
+        if data.len() != n * n {
+            return Err(IsingError::DimensionMismatch {
+                what: "coupling data",
+                expected: n * n,
+                actual: data.len(),
+            });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(IsingError::NonFinite { what: "coupling data" });
+        }
+        let mut out = Coupling::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = (data[i * n + j] + data[j * n + i]) / 2.0;
+                out.set_raw(i, j, w);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets `J[i][j] = J[j][i] = w` (no-op with `w` kept symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (diagonal must stay zero) or either index is out
+    /// of range.
+    pub fn set(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i != j, "coupling diagonal must stay zero");
+        assert!(i < self.n && j < self.n, "coupling index out of range");
+        self.set_raw(i, j, w);
+    }
+
+    fn set_raw(&mut self, i: usize, j: usize, w: f64) {
+        self.data[i * self.n + j] = w;
+        self.data[j * self.n + i] = w;
+    }
+
+    /// Returns `J[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "coupling index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a slice (length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of nonzero couplings (unordered pairs).
+    pub fn nnz(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.data[i * self.n + j] != 0.0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Fraction of possible couplings that are nonzero
+    /// (`nnz / (n(n-1)/2)`), the paper's "density" knob. Zero for `n < 2`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.n * (self.n - 1) / 2) as f64
+    }
+
+    /// Sum of `|J[i][j]|` over row `i` — the diagonal-dominance budget used
+    /// to keep annealing contractive.
+    pub fn row_abs_sum(&self, i: usize) -> f64 {
+        self.row(i).iter().map(|w| w.abs()).sum()
+    }
+
+    /// Dense mat-vec `out = J * s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `out` have wrong length.
+    pub fn matvec(&self, s: &[f64], out: &mut [f64]) {
+        assert_eq!(s.len(), self.n, "state length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for i in 0..self.n {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for j in 0..self.n {
+                acc += row[j] * s[j];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Prunes the weakest couplings so that at most a `target_density`
+    /// fraction of pairs remain (keeping the strongest `|J|`), in place.
+    /// This is step (i) of the decomposition pipeline (paper Fig. 5).
+    ///
+    /// Values of `target_density >= current density` leave the matrix
+    /// unchanged. `target_density` is clamped to `[0, 1]`.
+    pub fn prune_to_density(&mut self, target_density: f64) {
+        let target_density = target_density.clamp(0.0, 1.0);
+        let pairs_total = self.n * self.n.saturating_sub(1) / 2;
+        let keep = (target_density * pairs_total as f64).round() as usize;
+        let mut mags: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let w = self.data[i * self.n + j];
+                if w != 0.0 {
+                    mags.push((w.abs(), i, j));
+                }
+            }
+        }
+        if mags.len() <= keep {
+            return;
+        }
+        mags.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite magnitudes"));
+        for &(_, i, j) in &mags[keep..] {
+            self.set_raw(i, j, 0.0);
+        }
+    }
+
+    /// Zeroes every coupling where `mask` is false. `mask` is indexed
+    /// `i * n + j` and is expected to be symmetric; the entry is kept only
+    /// when both orientations allow it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != n * n`.
+    pub fn apply_mask(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.n * self.n, "mask length mismatch");
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if !(mask[i * self.n + j] && mask[j * self.n + i]) {
+                    self.set_raw(i, j, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Enumerates nonzero couplings as `(i, j, w)` with `i < j`.
+    pub fn nonzeros(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let w = self.data[i * self.n + j];
+                if w != 0.0 {
+                    out.push((i, j, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest |J| entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, w| m.max(w.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetry_maintained() {
+        let mut j = Coupling::zeros(4);
+        j.set(1, 3, 2.5);
+        assert_eq!(j.get(1, 3), 2.5);
+        assert_eq!(j.get(3, 1), 2.5);
+        assert_eq!(j.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        Coupling::zeros(3).set(1, 1, 1.0);
+    }
+
+    #[test]
+    fn from_dense_symmetrises() {
+        // Asymmetric input: J01=2, J10=4 -> symmetric 3.
+        let data = vec![9.0, 2.0, 4.0, 0.0];
+        let j = Coupling::from_dense(2, &data).unwrap();
+        assert_eq!(j.get(0, 1), 3.0);
+        assert_eq!(j.get(0, 0), 0.0, "diagonal dropped");
+    }
+
+    #[test]
+    fn from_dense_errors() {
+        assert!(matches!(
+            Coupling::from_dense(2, &[1.0; 3]),
+            Err(IsingError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Coupling::from_dense(1, &[f64::NAN]),
+            Err(IsingError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn density_and_nnz() {
+        let mut j = Coupling::zeros(4); // 6 possible pairs
+        j.set(0, 1, 1.0);
+        j.set(2, 3, -1.0);
+        assert_eq!(j.nnz(), 2);
+        assert!((j.density() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(Coupling::zeros(1).density(), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 2.0);
+        j.set(1, 2, -1.0);
+        let s = [1.0, 0.5, -2.0];
+        let mut out = [0.0; 3];
+        j.matvec(&s, &mut out);
+        assert_eq!(out, [1.0, 4.0, -0.5]);
+    }
+
+    #[test]
+    fn prune_keeps_strongest() {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 5.0);
+        j.set(0, 2, 0.1);
+        j.set(1, 2, -3.0);
+        j.set(2, 3, 0.2);
+        j.prune_to_density(2.0 / 6.0); // keep 2 of 6 pairs
+        assert_eq!(j.nnz(), 2);
+        assert_eq!(j.get(0, 1), 5.0);
+        assert_eq!(j.get(1, 2), -3.0);
+        assert_eq!(j.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn prune_noop_when_sparse_enough() {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 1.0);
+        let before = j.clone();
+        j.prune_to_density(0.9);
+        assert_eq!(j, before);
+    }
+
+    #[test]
+    fn prune_to_zero_density() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 1.0);
+        j.set(1, 2, 2.0);
+        j.prune_to_density(0.0);
+        assert_eq!(j.nnz(), 0);
+    }
+
+    #[test]
+    fn mask_application() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 1.0);
+        j.set(1, 2, 2.0);
+        let mut mask = vec![true; 9];
+        mask[1 * 3 + 2] = false; // forbid (1,2)
+        j.apply_mask(&mask);
+        assert_eq!(j.get(0, 1), 1.0);
+        assert_eq!(j.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn row_abs_sum_and_max_abs() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, -2.0);
+        j.set(0, 2, 1.5);
+        assert!((j.row_abs_sum(0) - 3.5).abs() < 1e-12);
+        assert_eq!(j.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn nonzeros_listing() {
+        let mut j = Coupling::zeros(3);
+        j.set(2, 0, 7.0);
+        assert_eq!(j.nonzeros(), vec![(0, 2, 7.0)]);
+    }
+}

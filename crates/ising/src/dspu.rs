@@ -1,0 +1,693 @@
+//! The Real-Valued DSPU: a dynamical system whose natural annealing
+//! settles on real-valued solutions (paper Sec. III).
+
+use crate::anneal::{AnnealConfig, AnnealReport, Integrator};
+use crate::convergence::max_rate;
+use crate::coupling::Coupling;
+use crate::error::IsingError;
+use crate::hamiltonian::rv_energy_from_matvec;
+use crate::noise::{gaussian, NoiseModel};
+use crate::sparse::SparseCoupling;
+use crate::trace::Trace;
+use rand::{Rng, RngExt};
+
+/// A simulated Real-Valued Dynamical-System Processing Unit.
+///
+/// Every node is a capacitor voltage `σᵢ ∈ [-rail, +rail]`; couplings are
+/// programmable resistors and each node carries a circulative resistor
+/// ring of conductance `|hᵢ|` (the quadratic self-reaction). The machine
+/// integrates
+///
+/// ```text
+/// C · dσᵢ/dt = Σⱼ Jᵢⱼ σⱼ + hᵢ σᵢ        (hᵢ < 0)
+/// ```
+///
+/// so the Hamiltonian `H_RV = -½σᵀJσ - ½Σhᵢσᵢ²` decreases monotonically
+/// (Lyapunov) and free voltages stabilise at `σᵢ = -Σⱼ Jᵢⱼσⱼ / hᵢ`.
+/// Observed graph nodes are *clamped* — the node-control unit holds their
+/// capacitors at the observed voltage — and the rest anneal freely.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_ising::{Coupling, RealValuedDspu, AnnealConfig};
+/// use rand::SeedableRng;
+///
+/// let mut j = Coupling::zeros(2);
+/// j.set(0, 1, 0.5);
+/// let mut dspu = RealValuedDspu::new(j, vec![-1.0, -1.0]).unwrap();
+/// dspu.clamp(0, 0.6).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let report = dspu.run(&AnnealConfig::default(), &mut rng);
+/// assert!(report.converged);
+/// // Fixed point: σ1 = -J01·σ0/h1 = 0.5·0.6 = 0.3.
+/// assert!((dspu.state()[1] - 0.3).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealValuedDspu {
+    coupling: SparseCoupling,
+    h: Vec<f64>,
+    state: Vec<f64>,
+    free: Vec<bool>,
+    rail: f64,
+    capacitance: f64,
+    scratch: Vec<f64>,
+}
+
+impl RealValuedDspu {
+    /// Builds a machine from a coupling matrix and self-reaction vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] when `h.len() != n`,
+    /// [`IsingError::NonNegativeSelfReaction`] when any `hᵢ >= 0`, and
+    /// [`IsingError::NonFinite`] for non-finite `h`.
+    pub fn new(coupling: Coupling, h: Vec<f64>) -> Result<Self, IsingError> {
+        let n = coupling.n();
+        if h.len() != n {
+            return Err(IsingError::DimensionMismatch {
+                what: "h",
+                expected: n,
+                actual: h.len(),
+            });
+        }
+        if h.iter().any(|v| !v.is_finite()) {
+            return Err(IsingError::NonFinite { what: "h" });
+        }
+        if let Some((node, &value)) = h.iter().enumerate().find(|(_, &v)| v >= 0.0) {
+            return Err(IsingError::NonNegativeSelfReaction { node, value });
+        }
+        Ok(RealValuedDspu {
+            coupling: SparseCoupling::from_dense(&coupling),
+            h,
+            state: vec![0.0; n],
+            free: vec![true; n],
+            rail: 1.0,
+            capacitance: crate::RC_NS,
+            scratch: vec![0.0; n],
+        })
+    }
+
+    /// Node capacitance in ns·Ω (the RC time constant at unit `|h|`).
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Overrides the node capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c` is finite and positive.
+    pub fn set_capacitance(&mut self, c: f64) {
+        assert!(c.is_finite() && c > 0.0, "capacitance must be positive");
+        self.capacitance = c;
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Voltage rail magnitude (default 1.0).
+    pub fn rail(&self) -> f64 {
+        self.rail
+    }
+
+    /// Sets the voltage rail magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rail` is finite and positive.
+    pub fn set_rail(&mut self, rail: f64) {
+        assert!(rail.is_finite() && rail > 0.0, "rail must be positive");
+        self.rail = rail;
+    }
+
+    /// Clamps node `i` to `value` (an observed input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::NodeOutOfRange`] or
+    /// [`IsingError::ClampOutOfRails`].
+    pub fn clamp(&mut self, i: usize, value: f64) -> Result<(), IsingError> {
+        if i >= self.n() {
+            return Err(IsingError::NodeOutOfRange {
+                node: i,
+                len: self.n(),
+            });
+        }
+        if !value.is_finite() || value.abs() > self.rail {
+            return Err(IsingError::ClampOutOfRails {
+                node: i,
+                value,
+                rail: self.rail,
+            });
+        }
+        self.free[i] = false;
+        self.state[i] = value;
+        Ok(())
+    }
+
+    /// Releases node `i` back to free evolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::NodeOutOfRange`] for bad indices.
+    pub fn release(&mut self, i: usize) -> Result<(), IsingError> {
+        if i >= self.n() {
+            return Err(IsingError::NodeOutOfRange {
+                node: i,
+                len: self.n(),
+            });
+        }
+        self.free[i] = true;
+        Ok(())
+    }
+
+    /// Releases all nodes.
+    pub fn release_all(&mut self) {
+        self.free.fill(true);
+    }
+
+    /// Current node voltages.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Which nodes are free (not clamped).
+    pub fn free_mask(&self) -> &[bool] {
+        &self.free
+    }
+
+    /// Overwrites the full state (clamped and free alike).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] on length mismatch and
+    /// [`IsingError::NonFinite`] for non-finite values.
+    pub fn set_state(&mut self, state: &[f64]) -> Result<(), IsingError> {
+        if state.len() != self.n() {
+            return Err(IsingError::DimensionMismatch {
+                what: "state",
+                expected: self.n(),
+                actual: state.len(),
+            });
+        }
+        if state.iter().any(|v| !v.is_finite()) {
+            return Err(IsingError::NonFinite { what: "state" });
+        }
+        self.state.copy_from_slice(state);
+        Ok(())
+    }
+
+    /// Initialises free nodes uniformly in `[-rail/10, rail/10]`
+    /// (the random initialisation of unknown nodes, paper Sec. III.C).
+    pub fn randomize_free<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in 0..self.n() {
+            if self.free[i] {
+                self.state[i] = (rng.random::<f64>() - 0.5) * 0.2 * self.rail;
+            }
+        }
+    }
+
+    /// Current Hamiltonian `H_RV`.
+    pub fn energy(&self) -> f64 {
+        let mut js = vec![0.0; self.n()];
+        self.coupling.matvec(&self.state, &mut js);
+        rv_energy_from_matvec(&js, &self.h, &self.state)
+    }
+
+    /// Advances the machine one Euler step of `dt_ns`, returning the
+    /// maximum free-node rate `|dσ/dt|` observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns <= 0`.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        dt_ns: f64,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(dt_ns > 0.0, "dt must be positive");
+        let n = self.n();
+        let mut js = std::mem::take(&mut self.scratch);
+        self.coupling.matvec(&self.state, &mut js);
+        let mut rate = 0.0f64;
+        for i in 0..n {
+            if !self.free[i] {
+                continue;
+            }
+            let mut current = js[i];
+            if noise.coupler_std > 0.0 {
+                current *= 1.0 + noise.coupler_std * gaussian(rng);
+            }
+            let dv = (current + self.h[i] * self.state[i]) / self.capacitance;
+            rate = rate.max(dv.abs());
+            let mut next = self.state[i] + dv * dt_ns;
+            if noise.node_std > 0.0 {
+                // White current noise scaled so the RC-filtered voltage
+                // fluctuates with stationary std = node_std·rail.
+                let sigma = noise.node_std
+                    * self.rail
+                    * (2.0 * self.h[i].abs() * dt_ns / self.capacitance).sqrt();
+                next += sigma * gaussian(rng);
+            }
+            self.state[i] = next.clamp(-self.rail, self.rail);
+        }
+        self.scratch = js;
+        rate
+    }
+
+    /// Advances one classical RK4 step of `dt_ns` on the noiseless
+    /// dynamics, then injects noise Euler–Maruyama style. Four mat-vecs
+    /// per step, but follows the analog trajectory far more accurately
+    /// than Euler at the same `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns <= 0`.
+    pub fn step_rk4<R: Rng + ?Sized>(
+        &mut self,
+        dt_ns: f64,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(dt_ns > 0.0, "dt must be positive");
+        let n = self.n();
+        let deriv = |machine: &Self, state: &[f64], out: &mut [f64]| {
+            machine.coupling.matvec(state, out);
+            for i in 0..n {
+                out[i] = if machine.free[i] {
+                    (out[i] + machine.h[i] * state[i]) / machine.capacitance
+                } else {
+                    0.0
+                };
+            }
+        };
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        deriv(self, &self.state.clone(), &mut k1);
+        for i in 0..n {
+            tmp[i] = self.state[i] + 0.5 * dt_ns * k1[i];
+        }
+        deriv(self, &tmp.clone(), &mut k2);
+        for i in 0..n {
+            tmp[i] = self.state[i] + 0.5 * dt_ns * k2[i];
+        }
+        deriv(self, &tmp.clone(), &mut k3);
+        for i in 0..n {
+            tmp[i] = self.state[i] + dt_ns * k3[i];
+        }
+        deriv(self, &tmp.clone(), &mut k4);
+        let mut rate = 0.0f64;
+        for i in 0..n {
+            if !self.free[i] {
+                continue;
+            }
+            let dv = (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]) / 6.0;
+            rate = rate.max(dv.abs());
+            let mut next = self.state[i] + dv * dt_ns;
+            if noise.node_std > 0.0 {
+                let sigma = noise.node_std
+                    * self.rail
+                    * (2.0 * self.h[i].abs() * dt_ns / self.capacitance).sqrt();
+                next += sigma * gaussian(rng);
+            }
+            if noise.coupler_std > 0.0 {
+                next += noise.coupler_std * dv.abs() * dt_ns * gaussian(rng);
+            }
+            self.state[i] = next.clamp(-self.rail, self.rail);
+        }
+        rate
+    }
+
+    /// Runs natural annealing until convergence or the time budget.
+    pub fn run<R: Rng + ?Sized>(&mut self, config: &AnnealConfig, rng: &mut R) -> AnnealReport {
+        self.run_inner(config, rng, None)
+    }
+
+    /// Runs natural annealing while recording a [`Trace`] with the given
+    /// sampling stride.
+    pub fn run_traced<R: Rng + ?Sized>(
+        &mut self,
+        config: &AnnealConfig,
+        stride_ns: f64,
+        rng: &mut R,
+    ) -> (AnnealReport, Trace) {
+        let mut trace = Trace::new(stride_ns);
+        let report = self.run_inner(config, rng, Some(&mut trace));
+        (report, trace)
+    }
+
+    fn run_inner<R: Rng + ?Sized>(
+        &mut self,
+        config: &AnnealConfig,
+        rng: &mut R,
+        mut trace: Option<&mut Trace>,
+    ) -> AnnealReport {
+        let mut t = 0.0;
+        let mut steps = 0;
+        let mut converged = false;
+        let mut prev = self.state.clone();
+        let mut rate = f64::INFINITY;
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(0.0, &self.state);
+        }
+        while t < config.max_time_ns {
+            match config.integrator {
+                Integrator::Euler => self.step(config.dt_ns, &config.noise, rng),
+                Integrator::Rk4 => self.step_rk4(config.dt_ns, &config.noise, rng),
+            };
+            t += config.dt_ns;
+            steps += 1;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record(t, &self.state);
+            }
+            if steps % config.check_every == 0 {
+                rate = max_rate(
+                    &prev,
+                    &self.state,
+                    &self.free,
+                    config.dt_ns * config.check_every as f64,
+                );
+                prev.copy_from_slice(&self.state);
+                if rate < config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        // Integrating readout under noise: the node-control unit latches
+        // the output as a time-average over several RC constants, which
+        // filters the voltage jitter out of the reading (paper Fig. 13's
+        // "natural good tolerance of physical dynamical systems").
+        if !config.noise.is_none() {
+            let min_h = self
+                .h
+                .iter()
+                .fold(f64::INFINITY, |m, h| m.min(h.abs()))
+                .max(1e-9);
+            let window_ns = 8.0 * self.capacitance / min_h;
+            let avg_steps = ((window_ns / config.dt_ns).ceil() as usize).max(1);
+            let mut acc = vec![0.0; self.n()];
+            for _ in 0..avg_steps {
+                match config.integrator {
+                    Integrator::Euler => self.step(config.dt_ns, &config.noise, rng),
+                    Integrator::Rk4 => self.step_rk4(config.dt_ns, &config.noise, rng),
+                };
+                t += config.dt_ns;
+                steps += 1;
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(t, &self.state);
+                }
+                for (a, &s) in acc.iter_mut().zip(&self.state) {
+                    *a += s;
+                }
+            }
+            let inv = 1.0 / avg_steps as f64;
+            for (i, a) in acc.into_iter().enumerate() {
+                if self.free[i] {
+                    self.state[i] = a * inv;
+                }
+            }
+        }
+        AnnealReport {
+            converged,
+            steps,
+            sim_time_ns: t,
+            final_rate: rate,
+            energy: self.energy(),
+        }
+    }
+
+    /// The analytic fixed point the free nodes should reach, obtained by
+    /// damped fixed-point iteration of `σ_F = D⁻¹(J σ)` with clamped
+    /// nodes held. Useful as ground truth in tests.
+    pub fn analytic_fixed_point(&self, iterations: usize) -> Vec<f64> {
+        let n = self.n();
+        let mut s = self.state.clone();
+        let mut js = vec![0.0; n];
+        for _ in 0..iterations {
+            self.coupling.matvec(&s, &mut js);
+            for i in 0..n {
+                if self.free[i] {
+                    let target = (-js[i] / self.h[i]).clamp(-self.rail, self.rail);
+                    s[i] = 0.5 * s[i] + 0.5 * target;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::rv_energy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain3() -> RealValuedDspu {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 0.5);
+        j.set(1, 2, 0.5);
+        RealValuedDspu::new(j, vec![-1.5; 3]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let j = Coupling::zeros(2);
+        assert!(matches!(
+            RealValuedDspu::new(j.clone(), vec![-1.0]),
+            Err(IsingError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            RealValuedDspu::new(j.clone(), vec![-1.0, 0.0]),
+            Err(IsingError::NonNegativeSelfReaction { node: 1, .. })
+        ));
+        assert!(matches!(
+            RealValuedDspu::new(j, vec![-1.0, f64::NAN]),
+            Err(IsingError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn clamp_validation() {
+        let mut d = chain3();
+        assert!(matches!(
+            d.clamp(7, 0.0),
+            Err(IsingError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.clamp(0, 2.0),
+            Err(IsingError::ClampOutOfRails { .. })
+        ));
+        d.clamp(0, 0.5).unwrap();
+        assert!(!d.free_mask()[0]);
+        d.release(0).unwrap();
+        assert!(d.free_mask()[0]);
+    }
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let mut d = chain3();
+        d.clamp(0, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        d.randomize_free(&mut rng);
+        let report = d.run(&AnnealConfig::default(), &mut rng);
+        assert!(report.converged, "did not converge: {report:?}");
+        // Solve by substitution: σ1 = (J01 σ0 + J12 σ2)/1.5, σ2 = J12 σ1 / 1.5
+        // => σ1 = (0.45 + 0.5 σ2)/1.5, σ2 = σ1/3 => σ1 = 0.45/1.5 / (1 - 0.5/(3*1.5))
+        let s1 = 0.3 / (1.0 - 0.5 / 4.5);
+        let s2 = s1 / 3.0;
+        assert!((d.state()[1] - s1).abs() < 1e-3, "σ1 = {}", d.state()[1]);
+        assert!((d.state()[2] - s2).abs() < 1e-3, "σ2 = {}", d.state()[2]);
+        // Matches the analytic helper too.
+        let fp = d.analytic_fixed_point(200);
+        assert!((d.state()[1] - fp[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_decreases_without_noise() {
+        let mut d = chain3();
+        d.clamp(0, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        d.randomize_free(&mut rng);
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            d.step(0.05, &NoiseModel::none(), &mut rng);
+            let e = d.energy();
+            assert!(e <= last + 1e-9, "energy rose: {e} > {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn values_stay_within_rails() {
+        // Strong couplings but rails must bound everything.
+        let mut j = Coupling::zeros(2);
+        j.set(0, 1, 10.0);
+        let mut d = RealValuedDspu::new(j, vec![-1.0, -1.0]).unwrap();
+        d.clamp(0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        d.run(&AnnealConfig::with_budget(100.0), &mut rng);
+        assert!(d.state()[1] <= 1.0 && d.state()[1] >= -1.0);
+        assert_eq!(d.state()[1], 1.0, "saturates at the rail");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut d = chain3();
+            d.clamp(0, 0.4).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            d.randomize_free(&mut rng);
+            d.run(&AnnealConfig::default(), &mut rng);
+            d.state().to_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_close() {
+        let mut d = chain3();
+        d.clamp(0, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        d.randomize_free(&mut rng);
+        let mut cfg = AnnealConfig::with_budget(200.0);
+        cfg.noise = NoiseModel::relative(0.05);
+        d.run(&cfg, &mut rng);
+        let s1 = 0.3 / (1.0 - 0.5 / 4.5);
+        assert!((d.state()[1] - s1).abs() < 0.15, "noisy σ1 = {}", d.state()[1]);
+    }
+
+    #[test]
+    fn energy_method_matches_free_function() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 0.3);
+        j.set(1, 2, -0.2);
+        let h = vec![-1.0, -2.0, -1.5];
+        let mut d = RealValuedDspu::new(j.clone(), h.clone()).unwrap();
+        d.set_state(&[0.1, -0.4, 0.6]).unwrap();
+        assert!((d.energy() - rv_energy(&j, &h, &[0.1, -0.4, 0.6])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_run_records() {
+        let mut d = chain3();
+        d.clamp(0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = AnnealConfig {
+            dt_ns: 0.5,
+            max_time_ns: 10.0,
+            ..AnnealConfig::default()
+        };
+        let (report, trace) = d.run_traced(&cfg, 1.0, &mut rng);
+        assert!(trace.len() >= 10, "trace too short: {}", trace.len());
+        assert!(report.sim_time_ns <= 10.0 + 1e-9);
+        // Clamped node constant throughout.
+        for (_, v) in trace.series(0) {
+            assert_eq!(v, 0.5);
+        }
+    }
+}
+
+#[cfg(test)]
+mod rk4_tests {
+    use super::*;
+    use crate::anneal::Integrator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain3() -> RealValuedDspu {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 0.5);
+        j.set(1, 2, 0.5);
+        RealValuedDspu::new(j, vec![-1.5; 3]).unwrap()
+    }
+
+    #[test]
+    fn rk4_reaches_same_fixed_point_as_euler() {
+        let run = |integrator: Integrator| {
+            let mut d = chain3();
+            d.clamp(0, 0.9).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            d.randomize_free(&mut rng);
+            let cfg = AnnealConfig {
+                integrator,
+                ..AnnealConfig::default()
+            };
+            let report = d.run(&cfg, &mut rng);
+            assert!(report.converged, "{integrator:?} did not converge");
+            d.state().to_vec()
+        };
+        let euler = run(Integrator::Euler);
+        let rk4 = run(Integrator::Rk4);
+        for (a, b) in euler.iter().zip(&rk4) {
+            assert!((a - b).abs() < 1e-4, "euler {a} vs rk4 {b}");
+        }
+    }
+
+    #[test]
+    fn rk4_stable_at_larger_dt() {
+        // A stiff instance where Euler at dt = 60 diverges (rate grows)
+        // but RK4 still lands on the fixed point.
+        let mut j = Coupling::zeros(2);
+        j.set(0, 1, 1.2);
+        let make = || {
+            let mut d = RealValuedDspu::new(j.clone(), vec![-3.0, -3.0]).unwrap();
+            d.clamp(0, 0.6).unwrap();
+            d.set_state(&[0.6, 0.0]).unwrap();
+            d
+        };
+        let target = 1.2 * 0.6 / 3.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = AnnealConfig {
+            dt_ns: 60.0,
+            integrator: Integrator::Rk4,
+            max_time_ns: 3_000.0,
+            ..AnnealConfig::default()
+        };
+        let mut d = make();
+        d.run(&cfg, &mut rng);
+        assert!(
+            (d.state()[1] - target).abs() < 1e-3,
+            "rk4 fixed point {} vs {target}",
+            d.state()[1]
+        );
+    }
+
+    #[test]
+    fn rk4_more_accurate_mid_trajectory() {
+        // Against the analytic solution of a single free node driven by
+        // a clamped neighbour: σ(t) = target·(1 - exp(-|h| t / C)).
+        let mut j = Coupling::zeros(2);
+        j.set(0, 1, 1.0);
+        let target = 0.8 / 2.0;
+        let run = |integrator: Integrator, steps: usize, dt: f64| {
+            let mut d = RealValuedDspu::new(j.clone(), vec![-2.0, -2.0]).unwrap();
+            d.clamp(0, 0.8).unwrap();
+            d.set_state(&[0.8, 0.0]).unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            for _ in 0..steps {
+                match integrator {
+                    Integrator::Euler => d.step(dt, &NoiseModel::none(), &mut rng),
+                    Integrator::Rk4 => d.step_rk4(dt, &NoiseModel::none(), &mut rng),
+                };
+            }
+            d.state()[1]
+        };
+        let t = 40.0;
+        let exact = target * (1.0 - (-2.0 * t / crate::RC_NS).exp());
+        let euler_err = (run(Integrator::Euler, 2, 20.0) - exact).abs();
+        let rk4_err = (run(Integrator::Rk4, 2, 20.0) - exact).abs();
+        assert!(
+            rk4_err < euler_err / 10.0,
+            "rk4 err {rk4_err} vs euler err {euler_err}"
+        );
+    }
+}

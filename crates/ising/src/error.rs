@@ -1,0 +1,101 @@
+//! Error type for the dynamical-system substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or driving Ising machines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsingError {
+    /// A vector length did not match the machine's node count.
+    DimensionMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A self-reaction parameter `h` was not strictly negative.
+    ///
+    /// The Real-Valued DSPU requires `h < 0`; otherwise the quadratic
+    /// energy regulator does not bound the Hamiltonian from below and the
+    /// voltages diverge (paper Sec. III.A).
+    NonNegativeSelfReaction {
+        /// Node with the invalid parameter.
+        node: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Node count of the machine.
+        len: usize,
+    },
+    /// A clamp value was outside the machine's voltage rails.
+    ClampOutOfRails {
+        /// Node being clamped.
+        node: usize,
+        /// Requested value.
+        value: f64,
+        /// Rail magnitude.
+        rail: f64,
+    },
+    /// A non-finite parameter or state value was supplied.
+    NonFinite {
+        /// What was being supplied.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for IsingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsingError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            IsingError::NonNegativeSelfReaction { node, value } => write!(
+                f,
+                "self-reaction h[{node}] = {value} must be strictly negative for real-valued annealing"
+            ),
+            IsingError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for machine of {len} nodes")
+            }
+            IsingError::ClampOutOfRails { node, value, rail } => write!(
+                f,
+                "clamp value {value} for node {node} outside voltage rails ±{rail}"
+            ),
+            IsingError::NonFinite { what } => write!(f, "{what} contains a non-finite value"),
+        }
+    }
+}
+
+impl Error for IsingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IsingError::DimensionMismatch {
+            what: "h",
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "h has length 3, expected 4");
+        assert!(IsingError::NonNegativeSelfReaction { node: 2, value: 0.5 }
+            .to_string()
+            .contains("strictly negative"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<IsingError>();
+    }
+}

@@ -1,0 +1,176 @@
+//! Energy functions: the classic Ising Hamiltonian and the real-valued
+//! Hamiltonian of DS-GL.
+//!
+//! With `J` symmetric (zero diagonal) we use the quadratic-form convention
+//!
+//! - classic Ising (paper Eq. 1):
+//!   `H_ising(σ) = -½ σᵀ J σ - hᵀ σ`
+//! - real-valued DS-GL (paper Eq. 4, after the substitution
+//!   `Jᵢⱼ+Jⱼᵢ→Jᵢⱼ`, `2hᵢ→hᵢ`):
+//!   `H_RV(σ) = -½ σᵀ J σ - ½ Σᵢ hᵢ σᵢ²`
+//!
+//! so that `∂H_RV/∂σᵢ = -Σⱼ Jᵢⱼσⱼ - hᵢσᵢ` and the node dynamics
+//! `C·dσᵢ/dt = -∂H_RV/∂σᵢ` stabilise at `σᵢ = -Σⱼ Jᵢⱼσⱼ / hᵢ`
+//! (paper Eq. 5/10). With every `hᵢ < 0` the self term adds
+//! `+½|hᵢ|σᵢ²`, the "energy regulator" that bounds `H_RV` from below
+//! and prevents the polarisation BRIM exhibits.
+
+use crate::coupling::Coupling;
+use crate::sparse::SparseCoupling;
+
+/// Classic Ising energy `-½ σᵀJσ - hᵀσ` (paper Eq. 1).
+///
+/// # Panics
+///
+/// Panics on length mismatches between `coupling`, `h`, and `state`.
+pub fn ising_energy(coupling: &Coupling, h: &[f64], state: &[f64]) -> f64 {
+    let n = coupling.n();
+    assert_eq!(h.len(), n, "h length mismatch");
+    assert_eq!(state.len(), n, "state length mismatch");
+    let mut js = vec![0.0; n];
+    coupling.matvec(state, &mut js);
+    let quad: f64 = state.iter().zip(&js).map(|(s, js)| s * js).sum();
+    let lin: f64 = state.iter().zip(h).map(|(s, h)| s * h).sum();
+    -0.5 * quad - lin
+}
+
+/// Real-valued DS-GL energy `-½ σᵀJσ - ½ Σ hᵢσᵢ²` (paper Eq. 4).
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn rv_energy(coupling: &Coupling, h: &[f64], state: &[f64]) -> f64 {
+    let n = coupling.n();
+    assert_eq!(h.len(), n, "h length mismatch");
+    assert_eq!(state.len(), n, "state length mismatch");
+    let mut js = vec![0.0; n];
+    coupling.matvec(state, &mut js);
+    rv_energy_from_matvec(&js, h, state)
+}
+
+/// Real-valued energy given a precomputed `J·σ` product (shared with the
+/// sparse path).
+pub(crate) fn rv_energy_from_matvec(js: &[f64], h: &[f64], state: &[f64]) -> f64 {
+    let quad: f64 = state.iter().zip(js).map(|(s, js)| s * js).sum();
+    let self_term: f64 = state.iter().zip(h).map(|(s, h)| h * s * s).sum();
+    -0.5 * quad - 0.5 * self_term
+}
+
+/// Sparse variant of [`rv_energy`].
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn rv_energy_sparse(coupling: &SparseCoupling, h: &[f64], state: &[f64]) -> f64 {
+    let n = coupling.n();
+    assert_eq!(h.len(), n, "h length mismatch");
+    assert_eq!(state.len(), n, "state length mismatch");
+    let mut js = vec![0.0; n];
+    coupling.matvec(state, &mut js);
+    rv_energy_from_matvec(&js, h, state)
+}
+
+/// Gradient of `H_RV`: `grad[i] = -Σⱼ Jᵢⱼσⱼ - hᵢσᵢ`.
+///
+/// The node dynamics are `C·dσᵢ/dt = -grad[i]`.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn rv_gradient(coupling: &Coupling, h: &[f64], state: &[f64], grad: &mut [f64]) {
+    let n = coupling.n();
+    assert_eq!(h.len(), n, "h length mismatch");
+    assert_eq!(state.len(), n, "state length mismatch");
+    assert_eq!(grad.len(), n, "grad length mismatch");
+    coupling.matvec(state, grad);
+    for i in 0..n {
+        grad[i] = -grad[i] - h[i] * state[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Coupling, Vec<f64>) {
+        let mut j = Coupling::zeros(2);
+        j.set(0, 1, 2.0);
+        (j, vec![-1.0, -4.0])
+    }
+
+    #[test]
+    fn ising_energy_known_value() {
+        let (j, _) = small();
+        let h = vec![0.5, -0.5];
+        // H = -J01*s0*s1 - (h0 s0 + h1 s1) = -2*1*(-1) - (0.5 - (-1)*(-0.5))... compute:
+        // s = [1, -1]: quad term: -½ σᵀJσ = -½ (2*1*(-1)*2) = 2; lin: -(0.5*1 + (-0.5)*(-1)) = -1
+        let e = ising_energy(&j, &h, &[1.0, -1.0]);
+        assert!((e - (2.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rv_energy_known_value() {
+        let (j, h) = small();
+        // σ = [1, 0.5]: -½(2*1*0.5*2)/... σᵀJσ = 2*J01*σ0σ1 = 2*2*0.5 = 2, so -1.
+        // self: -½(h0 σ0² + h1 σ1²) = -½(-1 - 1) = 1. Total 0.
+        let e = rv_energy(&j, &h, &[1.0, 0.5]);
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 1.3);
+        j.set(1, 2, -0.7);
+        j.set(0, 2, 0.4);
+        let h = vec![-2.0, -1.5, -3.0];
+        let state = vec![0.2, -0.6, 0.9];
+        let mut grad = vec![0.0; 3];
+        rv_gradient(&j, &h, &state, &mut grad);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut plus = state.clone();
+            let mut minus = state.clone();
+            plus[i] += eps;
+            minus[i] -= eps;
+            let fd = (rv_energy(&j, &h, &plus) - rv_energy(&j, &h, &minus)) / (2.0 * eps);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "grad[{i}] = {} but finite difference = {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rv_energy_bounded_below_with_negative_h() {
+        // With h < 0 and |h| > row sums, H_RV is positive definite:
+        // scaling any state up increases energy.
+        let (j, h) = small();
+        let base = rv_energy(&j, &h, &[0.3, -0.2]);
+        let scaled = rv_energy(&j, &h, &[3.0, -2.0]);
+        assert!(scaled > base);
+    }
+
+    #[test]
+    fn sparse_energy_agrees() {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 1.0);
+        j.set(2, 3, -2.5);
+        let h = vec![-1.0; 4];
+        let s = vec![0.1, 0.2, -0.3, 0.4];
+        let sparse = SparseCoupling::from_dense(&j);
+        assert!((rv_energy(&j, &h, &s) - rv_energy_sparse(&sparse, &h, &s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_is_zero_gradient() {
+        // σ1 free with σ0 clamped: at σ1 = -J01 σ0 / h1 the gradient is 0.
+        let (j, h) = small();
+        let s0 = 0.8;
+        let s1 = -j.get(0, 1) * s0 / h[1];
+        let mut grad = vec![0.0; 2];
+        rv_gradient(&j, &h, &[s0, s1], &mut grad);
+        assert!(grad[1].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Sparse (CSR) form of the coupling matrix for fast annealing of
+//! decomposed systems.
+
+use crate::coupling::Coupling;
+use serde::{Deserialize, Serialize};
+
+/// A compressed-sparse-row view of a symmetric coupling matrix.
+///
+/// Each undirected coupling is stored in both row `i` and row `j`, so the
+/// mat-vec is a plain CSR product. Built from a dense [`Coupling`], whose
+/// symmetry and zero-diagonal invariants it inherits.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_ising::{Coupling, SparseCoupling};
+///
+/// let mut j = Coupling::zeros(3);
+/// j.set(0, 2, 2.0);
+/// let s = SparseCoupling::from_dense(&j);
+/// assert_eq!(s.nnz(), 1);
+/// let mut out = [0.0; 3];
+/// s.matvec(&[1.0, 0.0, 0.5], &mut out);
+/// assert_eq!(out, [1.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseCoupling {
+    n: usize,
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseCoupling {
+    /// Converts a dense coupling matrix to CSR, dropping explicit zeros.
+    pub fn from_dense(dense: &Coupling) -> Self {
+        let n = dense.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        offsets.push(0);
+        for i in 0..n {
+            let row = dense.row(i);
+            for (j, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    cols.push(j as u32);
+                    vals.push(w);
+                }
+            }
+            offsets.push(cols.len());
+        }
+        SparseCoupling {
+            n,
+            offsets,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzero couplings (unordered pairs).
+    pub fn nnz(&self) -> usize {
+        self.vals.len() / 2
+    }
+
+    /// Iterates the nonzero entries of row `i` as `(col, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n()`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        self.cols[s..e]
+            .iter()
+            .zip(&self.vals[s..e])
+            .map(|(&c, &w)| (c as usize, w))
+    }
+
+    /// Sparse mat-vec `out = J * s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `out` have wrong length.
+    pub fn matvec(&self, s: &[f64], out: &mut [f64]) {
+        assert_eq!(s.len(), self.n, "state length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for (j, w) in self.row(i) {
+                acc += w * s[j];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Sum of `|J[i][j]|` over row `i`.
+    pub fn row_abs_sum(&self, i: usize) -> f64 {
+        self.row(i).map(|(_, w)| w.abs()).sum()
+    }
+
+    /// Converts back to a dense [`Coupling`].
+    pub fn to_dense(&self) -> Coupling {
+        let mut dense = Coupling::zeros(self.n);
+        for i in 0..self.n {
+            for (j, w) in self.row(i) {
+                if j > i {
+                    dense.set(i, j, w);
+                }
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coupling {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 1.0);
+        j.set(1, 2, -2.0);
+        j.set(0, 3, 0.5);
+        j
+    }
+
+    #[test]
+    fn roundtrip_dense_sparse_dense() {
+        let dense = sample();
+        let sparse = SparseCoupling::from_dense(&dense);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn nnz_counts_pairs() {
+        let sparse = SparseCoupling::from_dense(&sample());
+        assert_eq!(sparse.nnz(), 3);
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense() {
+        let dense = sample();
+        let sparse = SparseCoupling::from_dense(&dense);
+        let s = [0.3, -1.0, 0.7, 2.0];
+        let mut d_out = [0.0; 4];
+        let mut s_out = [0.0; 4];
+        dense.matvec(&s, &mut d_out);
+        sparse.matvec(&s, &mut s_out);
+        for k in 0..4 {
+            assert!((d_out[k] - s_out[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_abs_sum_agrees() {
+        let dense = sample();
+        let sparse = SparseCoupling::from_dense(&dense);
+        for i in 0..4 {
+            assert!((dense.row_abs_sum(i) - sparse.row_abs_sum(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let sparse = SparseCoupling::from_dense(&Coupling::zeros(3));
+        assert_eq!(sparse.nnz(), 0);
+        let mut out = [1.0; 3];
+        sparse.matvec(&[1.0; 3], &mut out);
+        assert_eq!(out, [0.0; 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Voltage-vs-time recording of annealing runs (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A sampled record of machine state over simulated time.
+///
+/// Recording is strided: a snapshot is kept only when at least
+/// `stride_ns` of simulated time has elapsed since the previous one (the
+/// first offered sample is always kept).
+///
+/// # Example
+///
+/// ```
+/// use dsgl_ising::Trace;
+///
+/// let mut t = Trace::new(1.0);
+/// t.record(0.0, &[0.1]);
+/// t.record(0.5, &[0.2]); // dropped, within stride
+/// t.record(1.0, &[0.3]);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.series(0), vec![(0.0, 0.1), (1.0, 0.3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    stride_ns: f64,
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most one sample per `stride_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride_ns` is negative or non-finite.
+    pub fn new(stride_ns: f64) -> Self {
+        assert!(
+            stride_ns.is_finite() && stride_ns >= 0.0,
+            "stride must be a non-negative finite time"
+        );
+        Trace {
+            stride_ns,
+            times: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Offers a sample; it is kept if the stride has elapsed.
+    pub fn record(&mut self, t_ns: f64, state: &[f64]) {
+        if let Some(&last) = self.times.last() {
+            if t_ns - last < self.stride_ns {
+                return;
+            }
+        }
+        self.times.push(t_ns);
+        self.states.push(state.to_vec());
+    }
+
+    /// Number of kept samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no samples were kept.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample timestamps in ns.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The state snapshot at sample `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn state_at(&self, idx: usize) -> &[f64] {
+        &self.states[idx]
+    }
+
+    /// Time series of one node as `(t_ns, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the recorded states.
+    pub fn series(&self, node: usize) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .zip(&self.states)
+            .map(|(&t, s)| (t, s[node]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_filtering() {
+        let mut t = Trace::new(2.0);
+        t.record(0.0, &[1.0]);
+        t.record(1.0, &[2.0]);
+        t.record(2.0, &[3.0]);
+        t.record(5.0, &[4.0]);
+        assert_eq!(t.times(), &[0.0, 2.0, 5.0]);
+        assert_eq!(t.state_at(1), &[3.0]);
+    }
+
+    #[test]
+    fn zero_stride_keeps_everything() {
+        let mut t = Trace::new(0.0);
+        for i in 0..5 {
+            t.record(i as f64 * 0.1, &[i as f64]);
+        }
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_stride_panics() {
+        Trace::new(-1.0);
+    }
+
+    #[test]
+    fn per_node_series() {
+        let mut t = Trace::new(0.0);
+        t.record(0.0, &[1.0, 10.0]);
+        t.record(1.0, &[2.0, 20.0]);
+        assert_eq!(t.series(1), vec![(0.0, 10.0), (1.0, 20.0)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Element-wise activations and their derivatives.
+
+use crate::matrix::Matrix;
+
+/// ReLU applied element-wise.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Derivative of ReLU with respect to its input, evaluated at `x`.
+pub fn relu_grad(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// tanh applied element-wise.
+pub fn tanh(x: &Matrix) -> Matrix {
+    x.map(f64::tanh)
+}
+
+/// Derivative of tanh given its *output* `y = tanh(x)`: `1 - y²`.
+pub fn tanh_grad_from_output(y: &Matrix) -> Matrix {
+    y.map(|v| 1.0 - v * v)
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Derivative of sigmoid given its *output* `y = σ(x)`: `y (1 - y)`.
+pub fn sigmoid_grad_from_output(y: &Matrix) -> Matrix {
+    y.map(|v| v * (1.0 - v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(f: impl Fn(f64) -> f64, g: impl Fn(f64) -> f64, x: f64) {
+        let eps = 1e-6;
+        let fd = (f(x + eps) - f(x - eps)) / (2.0 * eps);
+        assert!((fd - g(x)).abs() < 1e-6, "fd {fd} vs analytic {}", g(x));
+    }
+
+    #[test]
+    fn relu_values() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+        assert_eq!(relu_grad(&x).as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_fd() {
+        for &x in &[-1.5, 0.0, 0.7] {
+            fd_check(f64::tanh, |v| 1.0 - v.tanh() * v.tanh(), x);
+        }
+        let x = Matrix::from_vec(1, 1, vec![0.7]).unwrap();
+        let y = tanh(&x);
+        let g = tanh_grad_from_output(&y);
+        assert!((g.get(0, 0) - (1.0 - 0.7f64.tanh().powi(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_fd() {
+        let s = |v: f64| 1.0 / (1.0 + (-v).exp());
+        for &x in &[-2.0, 0.0, 1.3] {
+            fd_check(s, |v| s(v) * (1.0 - s(v)), x);
+        }
+        let x = Matrix::from_vec(1, 1, vec![1.3]).unwrap();
+        let y = sigmoid(&x);
+        let g = sigmoid_grad_from_output(&y);
+        assert!((g.get(0, 0) - s(1.3) * (1.0 - s(1.3))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Adam optimiser.
+
+use std::collections::HashMap;
+
+/// Adam (Kingma & Ba, 2015) with per-tensor state keyed by a slot id.
+///
+/// Each parameter tensor in a model is given a distinct slot; the
+/// optimiser lazily allocates first/second-moment buffers per slot.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_nn::Adam;
+///
+/// let mut opt = Adam::new(0.1);
+/// let mut w = vec![1.0, -2.0];
+/// // Gradient steadily pointing up drives the parameters down.
+/// for _ in 0..100 {
+///     opt.update(0, &mut w, &[1.0, 1.0]);
+/// }
+/// assert!(w[0] < 1.0 && w[1] < -2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    state: HashMap<usize, AdamSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimiser with learning rate `lr` and the standard
+    /// `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr` is finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr` is finite and positive.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update to `params` using `grads`, under slot id
+    /// `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()` or if a slot is reused
+    /// with a different tensor size.
+    pub fn update(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        let entry = self.state.entry(slot).or_insert_with(|| AdamSlot {
+            m: vec![0.0; params.len()],
+            v: vec![0.0; params.len()],
+            t: 0,
+        });
+        assert_eq!(
+            entry.m.len(),
+            params.len(),
+            "slot {slot} reused with a different tensor size"
+        );
+        entry.t += 1;
+        let t = entry.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for i in 0..params.len() {
+            entry.m[i] = self.beta1 * entry.m[i] + (1.0 - self.beta1) * grads[i];
+            entry.v[i] = self.beta2 * entry.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = entry.m[i] / bc1;
+            let v_hat = entry.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Drops all moment state (restart).
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(w) = (w - 3)², gradient 2(w - 3).
+        let mut opt = Adam::new(0.05);
+        let mut w = vec![0.0];
+        for _ in 0..2000 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.update(0, &mut w, &[g]);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-2, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn slots_independent() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0];
+        let mut b = vec![0.0];
+        opt.update(0, &mut a, &[1.0]);
+        opt.update(1, &mut b, &[-1.0]);
+        assert!(a[0] < 0.0);
+        assert!(b[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Adam::new(0.1).update(0, &mut [0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tensor size")]
+    fn slot_reuse_panics() {
+        let mut opt = Adam::new(0.1);
+        opt.update(0, &mut [0.0], &[1.0]);
+        opt.update(0, &mut [0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_lr_panics() {
+        Adam::new(0.0);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut opt = Adam::new(0.1);
+        let mut w = vec![0.0];
+        opt.update(0, &mut w, &[1.0]);
+        opt.reset();
+        let before = w[0];
+        // After reset, the first step is exactly -lr (bias-corrected).
+        opt.update(0, &mut w, &[1.0]);
+        assert!((w[0] - (before - 0.1)).abs() < 1e-9);
+    }
+}

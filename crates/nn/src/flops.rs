@@ -1,0 +1,34 @@
+//! Floating-point-operation accounting.
+//!
+//! Paper Table III derives accelerator latency from model FLOPs at the
+//! platform's peak TFLOPS with full utilisation; these helpers give the
+//! exact counts for the layers in this crate.
+
+/// FLOPs of a dense `m×k · k×n` matrix product (multiply + add).
+pub fn matmul(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of `ops_per_element` element-wise operations over an `m×n`
+/// matrix.
+pub fn elementwise(m: usize, n: usize, ops_per_element: usize) -> u64 {
+    (m as u64) * (n as u64) * (ops_per_element as u64)
+}
+
+/// FLOPs of a sparse mat-vec with `nnz` stored nonzeros.
+pub fn spmv(nnz: usize) -> u64 {
+    2 * nnz as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(matmul(2, 3, 4), 48);
+        assert_eq!(elementwise(5, 5, 2), 50);
+        assert_eq!(spmv(10), 20);
+        assert_eq!(matmul(0, 3, 4), 0);
+    }
+}

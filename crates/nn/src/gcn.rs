@@ -1,0 +1,240 @@
+//! Graph convolution over a fixed or learned adjacency.
+
+use crate::adam::Adam;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A graph-convolution layer `y = Â · x · W + b`.
+///
+/// The (normalised) adjacency `Â` is supplied per call rather than
+/// stored, because models like MTGNN learn their adjacency and GWN mixes
+/// a fixed diffusion matrix with an adaptive one. `backward` returns both
+/// the input gradient and the adjacency gradient so learned adjacencies
+/// can be trained.
+///
+/// Forward passes push cache frames onto a stack and backward passes pop
+/// them, so the layer can be applied repeatedly inside a recurrent model
+/// (one `backward` per `forward`, in reverse order — the same BPTT
+/// contract as [`crate::RnnCell`]).
+#[derive(Debug, Clone)]
+pub struct GraphConv {
+    w: Matrix,
+    b: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    cache: Vec<GcnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GcnCache {
+    x: Matrix,
+    ax: Matrix,
+    a_hat: Matrix,
+}
+
+impl GraphConv {
+    /// Creates a layer mapping `input_dim` to `output_dim` node features.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+        GraphConv {
+            w: xavier_uniform(input_dim, output_dim, rng),
+            b: vec![0.0; output_dim],
+            grad_w: Matrix::zeros(input_dim, output_dim),
+            grad_b: vec![0.0; output_dim],
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Forward pass `y = Â·x·W + b` with `x` of shape `nodes x features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&mut self, a_hat: &Matrix, x: &Matrix) -> Matrix {
+        let ax = a_hat.matmul(x);
+        let y = ax.matmul(&self.w).add_row_broadcast(&self.b);
+        self.cache.push(GcnCache {
+            x: x.clone(),
+            ax,
+            a_hat: a_hat.clone(),
+        });
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, a_hat: &Matrix, x: &Matrix) -> Matrix {
+        a_hat.matmul(x).matmul(&self.w).add_row_broadcast(&self.b)
+    }
+
+    /// Backward pass (pops the most recent cache frame). Accumulates
+    /// `∂L/∂W`, `∂L/∂b`; returns `(∂L/∂x, ∂L/∂Â)`.
+    ///
+    /// `∂L/∂x = Âᵀ·(g·Wᵀ)` and `∂L/∂Â = (g·Wᵀ)·xᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass is cached.
+    pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Matrix) {
+        let cache = self
+            .cache
+            .pop()
+            .expect("backward called before forward");
+        self.grad_w.add_assign(&cache.ax.t_matmul(grad_out));
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
+            *gb += s;
+        }
+        let gw = grad_out.matmul_t(&self.w); // ∂L/∂(Âx)
+        let grad_x = cache.a_hat.t_matmul(&gw);
+        let grad_a = gw.matmul_t(&cache.x);
+        (grad_x, grad_a)
+    }
+
+    /// Clears accumulated gradients and any pending cache frames.
+    pub fn zero_grad(&mut self) {
+        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        self.cache.clear();
+    }
+
+    /// Applies accumulated gradients (slots `base_slot`, `base_slot+1`).
+    pub fn apply_gradients(&mut self, opt: &mut Adam, base_slot: usize) {
+        opt.update(base_slot, self.w.as_mut_slice(), self.grad_w.as_slice());
+        opt.update(base_slot + 1, &mut self.b, &self.grad_b);
+        self.zero_grad();
+    }
+
+    /// FLOPs of one forward pass for `nodes` nodes and a dense adjacency.
+    pub fn flops(&self, nodes: usize) -> u64 {
+        crate::flops::matmul(nodes, nodes, self.w.rows())
+            + crate::flops::matmul(nodes, self.w.rows(), self.w.cols())
+            + crate::flops::elementwise(nodes, self.w.cols(), 1)
+    }
+}
+
+/// Symmetric degree-normalised adjacency with self-loops:
+/// `Â = D^{-1/2} (A + I) D^{-1/2}` — the standard GCN propagation matrix.
+///
+/// # Panics
+///
+/// Panics if `adjacency` is not square.
+pub fn normalize_adjacency(adjacency: &Matrix) -> Matrix {
+    let (n, m) = adjacency.shape();
+    assert_eq!(n, m, "adjacency must be square");
+    let mut a = adjacency.clone();
+    for i in 0..n {
+        a.set(i, i, a.get(i, i) + 1.0);
+    }
+    let mut deg = vec![0.0; n];
+    for i in 0..n {
+        deg[i] = a.row(i).iter().sum::<f64>().max(1e-12);
+    }
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, a.get(i, j) / (deg[i].sqrt() * deg[j].sqrt()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse, mse_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_adjacency() -> Matrix {
+        // 3-node path 0-1-2.
+        Matrix::from_vec(3, 3, vec![0., 1., 0., 1., 0., 1., 0., 1., 0.]).unwrap()
+    }
+
+    #[test]
+    fn normalized_adjacency_rows() {
+        let a_hat = normalize_adjacency(&path_adjacency());
+        // Symmetric and nonzero only on the path + self-loops.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a_hat.get(i, j) - a_hat.get(j, i)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(a_hat.get(0, 2), 0.0);
+        assert!(a_hat.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn forward_mixes_neighbours() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut gcn = GraphConv::new(1, 1, &mut rng);
+        let a_hat = normalize_adjacency(&path_adjacency());
+        // Node 0 has signal; after one conv, node 1 sees it but node 2 not.
+        let x = Matrix::from_vec(3, 1, vec![1.0, 0.0, 0.0]).unwrap();
+        let y = gcn.forward(&a_hat, &x);
+        let w = gcn.w.get(0, 0);
+        if w.abs() > 1e-9 {
+            assert!(y.get(1, 0).abs() > 1e-9, "neighbour saw nothing");
+            assert!(y.get(2, 0).abs() < 1e-12, "two hops leaked in one conv");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gcn = GraphConv::new(2, 2, &mut rng);
+        let a_hat = normalize_adjacency(&path_adjacency());
+        let x = Matrix::from_vec(3, 2, vec![0.2, -0.1, 0.4, 0.3, -0.5, 0.6]).unwrap();
+        let t = Matrix::from_vec(3, 2, vec![0.0, 0.1, -0.2, 0.3, 0.4, -0.5]).unwrap();
+
+        let y = gcn.forward(&a_hat, &x);
+        let gy = mse_grad(&y, &t);
+        let (gx, ga) = gcn.backward(&gy);
+
+        let eps = 1e-6;
+        // dL/dW
+        let orig = gcn.w.get(1, 0);
+        gcn.w.set(1, 0, orig + eps);
+        let lp = mse(&gcn.forward_inference(&a_hat, &x), &t);
+        gcn.w.set(1, 0, orig - eps);
+        let lm = mse(&gcn.forward_inference(&a_hat, &x), &t);
+        gcn.w.set(1, 0, orig);
+        assert!((gcn.grad_w.get(1, 0) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+
+        // dL/dx
+        let mut xp = x.clone();
+        xp.set(2, 1, x.get(2, 1) + eps);
+        let lp = mse(&gcn.forward_inference(&a_hat, &xp), &t);
+        xp.set(2, 1, x.get(2, 1) - eps);
+        let lm = mse(&gcn.forward_inference(&a_hat, &xp), &t);
+        assert!((gx.get(2, 1) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+
+        // dL/dÂ
+        let mut ap = a_hat.clone();
+        ap.set(0, 1, a_hat.get(0, 1) + eps);
+        let lp = mse(&gcn.forward_inference(&ap, &x), &t);
+        ap.set(0, 1, a_hat.get(0, 1) - eps);
+        let lm = mse(&gcn.forward_inference(&ap, &x), &t);
+        assert!((ga.get(0, 1) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flops_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gcn = GraphConv::new(4, 8, &mut rng);
+        assert!(gcn.flops(10) > 0);
+    }
+}

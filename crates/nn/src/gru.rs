@@ -1,0 +1,351 @@
+//! A gated recurrent unit (GRU) cell with backpropagation through time.
+
+use crate::activation::{sigmoid_grad_from_output, tanh_grad_from_output};
+use crate::adam::Adam;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A GRU cell (Cho et al., 2014):
+///
+/// ```text
+/// z = σ(x·Wxz + h·Whz + bz)        update gate
+/// r = σ(x·Wxr + h·Whr + br)        reset gate
+/// n = tanh(x·Wxn + (r ⊙ h)·Whn + bn)
+/// h' = (1 - z) ⊙ n + z ⊙ h
+/// ```
+///
+/// Same BPTT contract as [`crate::RnnCell`]: `forward_step` pushes a
+/// cache frame, `backward_step` pops them in reverse order.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wx: [Matrix; 3], // z, r, n
+    wh: [Matrix; 3],
+    b: [Vec<f64>; 3],
+    grad_wx: [Matrix; 3],
+    grad_wh: [Matrix; 3],
+    grad_b: [Vec<f64>; 3],
+    stack: Vec<GruCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GruCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    n: Matrix,
+    rh: Matrix, // r ⊙ h_prev
+}
+
+impl GruCell {
+    /// Creates a cell with `input_dim` inputs and `hidden_dim` units.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        let wx = [
+            xavier_uniform(input_dim, hidden_dim, rng),
+            xavier_uniform(input_dim, hidden_dim, rng),
+            xavier_uniform(input_dim, hidden_dim, rng),
+        ];
+        let wh = [
+            xavier_uniform(hidden_dim, hidden_dim, rng),
+            xavier_uniform(hidden_dim, hidden_dim, rng),
+            xavier_uniform(hidden_dim, hidden_dim, rng),
+        ];
+        let b = [
+            vec![0.0; hidden_dim],
+            vec![0.0; hidden_dim],
+            vec![0.0; hidden_dim],
+        ];
+        GruCell {
+            grad_wx: wx.clone().map(|m| Matrix::zeros(m.rows(), m.cols())),
+            grad_wh: wh.clone().map(|m| Matrix::zeros(m.rows(), m.cols())),
+            grad_b: [b[0].clone(), b[1].clone(), b[2].clone()],
+            wx,
+            wh,
+            b,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.wh[0].rows()
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        3 * (self.wx[0].rows() * self.wx[0].cols()
+            + self.wh[0].rows() * self.wh[0].cols()
+            + self.b[0].len())
+    }
+
+    /// A zero initial hidden state for `rows` parallel sequences.
+    pub fn zero_state(&self, rows: usize) -> Matrix {
+        Matrix::zeros(rows, self.hidden_dim())
+    }
+
+    /// Clears the BPTT cache (start of a new sequence).
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+
+    fn gates(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let pre_z = x
+            .matmul(&self.wx[0])
+            .add(&h_prev.matmul(&self.wh[0]))
+            .add_row_broadcast(&self.b[0]);
+        let z = pre_z.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let pre_r = x
+            .matmul(&self.wx[1])
+            .add(&h_prev.matmul(&self.wh[1]))
+            .add_row_broadcast(&self.b[1]);
+        let r = pre_r.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let rh = r.hadamard(h_prev);
+        let pre_n = x
+            .matmul(&self.wx[2])
+            .add(&rh.matmul(&self.wh[2]))
+            .add_row_broadcast(&self.b[2]);
+        let n = pre_n.map(f64::tanh);
+        (z, r, n, rh)
+    }
+
+    /// One timestep forward; caches for BPTT and returns `h_t`.
+    pub fn forward_step(&mut self, x: &Matrix, h_prev: &Matrix) -> Matrix {
+        let (z, r, n, rh) = self.gates(x, h_prev);
+        let h = z
+            .hadamard(h_prev)
+            .add(&z.map(|v| 1.0 - v).hadamard(&n));
+        self.stack.push(GruCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            z,
+            r,
+            n,
+            rh,
+        });
+        h
+    }
+
+    /// One timestep forward without caching.
+    pub fn forward_step_inference(&self, x: &Matrix, h_prev: &Matrix) -> Matrix {
+        let (z, _, n, _) = self.gates(x, h_prev);
+        z.hadamard(h_prev).add(&z.map(|v| 1.0 - v).hadamard(&n))
+    }
+
+    /// One timestep backward (pops the most recent cache frame).
+    ///
+    /// Returns `(∂L/∂x_t, ∂L/∂h_{t-1})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache stack is empty.
+    pub fn backward_step(&mut self, grad_h: &Matrix) -> (Matrix, Matrix) {
+        let GruCache {
+            x,
+            h_prev,
+            z,
+            r,
+            n,
+            rh,
+        } = self
+            .stack
+            .pop()
+            .expect("backward_step called without matching forward_step");
+
+        // h = z⊙h_prev + (1-z)⊙n
+        let d_n = grad_h.hadamard(&z.map(|v| 1.0 - v));
+        let d_z = grad_h.hadamard(&h_prev.sub(&n));
+        let mut d_hprev = grad_h.hadamard(&z);
+
+        // n = tanh(pre_n), pre_n = x·Wxn + rh·Whn + bn
+        let d_pre_n = d_n.hadamard(&tanh_grad_from_output(&n));
+        self.grad_wx[2].add_assign(&x.t_matmul(&d_pre_n));
+        self.grad_wh[2].add_assign(&rh.t_matmul(&d_pre_n));
+        for (g, s) in self.grad_b[2].iter_mut().zip(d_pre_n.col_sums()) {
+            *g += s;
+        }
+        let mut d_x = d_pre_n.matmul_t(&self.wx[2]);
+        let d_rh = d_pre_n.matmul_t(&self.wh[2]);
+        // rh = r ⊙ h_prev
+        let d_r = d_rh.hadamard(&h_prev);
+        d_hprev.add_assign(&d_rh.hadamard(&r));
+
+        // r = σ(pre_r)
+        let d_pre_r = d_r.hadamard(&sigmoid_grad_from_output(&r));
+        self.grad_wx[1].add_assign(&x.t_matmul(&d_pre_r));
+        self.grad_wh[1].add_assign(&h_prev.t_matmul(&d_pre_r));
+        for (g, s) in self.grad_b[1].iter_mut().zip(d_pre_r.col_sums()) {
+            *g += s;
+        }
+        d_x.add_assign(&d_pre_r.matmul_t(&self.wx[1]));
+        d_hprev.add_assign(&d_pre_r.matmul_t(&self.wh[1]));
+
+        // z = σ(pre_z)
+        let d_pre_z = d_z.hadamard(&sigmoid_grad_from_output(&z));
+        self.grad_wx[0].add_assign(&x.t_matmul(&d_pre_z));
+        self.grad_wh[0].add_assign(&h_prev.t_matmul(&d_pre_z));
+        for (g, s) in self.grad_b[0].iter_mut().zip(d_pre_z.col_sums()) {
+            *g += s;
+        }
+        d_x.add_assign(&d_pre_z.matmul_t(&self.wx[0]));
+        d_hprev.add_assign(&d_pre_z.matmul_t(&self.wh[0]));
+
+        (d_x, d_hprev)
+    }
+
+    /// Clears accumulated gradients and the cache stack.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad_wx.iter_mut().chain(self.grad_wh.iter_mut()) {
+            *g = Matrix::zeros(g.rows(), g.cols());
+        }
+        for g in self.grad_b.iter_mut() {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.stack.clear();
+    }
+
+    /// Applies gradients (slots `base_slot..base_slot+9`).
+    pub fn apply_gradients(&mut self, opt: &mut Adam, base_slot: usize) {
+        for k in 0..3 {
+            opt.update(
+                base_slot + 3 * k,
+                self.wx[k].as_mut_slice(),
+                self.grad_wx[k].as_slice(),
+            );
+            opt.update(
+                base_slot + 3 * k + 1,
+                self.wh[k].as_mut_slice(),
+                self.grad_wh[k].as_slice(),
+            );
+            opt.update(base_slot + 3 * k + 2, &mut self.b[k], &self.grad_b[k]);
+        }
+        self.zero_grad();
+    }
+
+    /// FLOPs of one timestep over `batch` rows.
+    pub fn flops(&self, batch: usize) -> u64 {
+        let (i, h) = (self.wx[0].rows(), self.hidden_dim());
+        3 * (crate::flops::matmul(batch, i, h) + crate::flops::matmul(batch, h, h))
+            + crate::flops::elementwise(batch, h, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq_loss(cell: &GruCell, xs: &[Matrix]) -> f64 {
+        let mut h = cell.zero_state(xs[0].rows());
+        for x in xs {
+            h = cell.forward_step_inference(x, &h);
+        }
+        h.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cell = GruCell::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..3)
+            .map(|t| {
+                Matrix::from_vec(1, 2, vec![0.4 * (t as f64 + 1.0), -0.3 * (t as f64 + 0.5)])
+                    .unwrap()
+            })
+            .collect();
+        let mut h = cell.zero_state(1);
+        for x in &xs {
+            h = cell.forward_step(x, &h);
+        }
+        let mut gh = h.scale(2.0);
+        for _ in (0..xs.len()).rev() {
+            let (_, gh_prev) = cell.backward_step(&gh);
+            gh = gh_prev;
+        }
+        let eps = 1e-6;
+        // Spot-check one weight from each tensor family.
+        for k in 0..3 {
+            let orig = cell.wx[k].get(0, 1);
+            cell.wx[k].set(0, 1, orig + eps);
+            let lp = seq_loss(&cell, &xs);
+            cell.wx[k].set(0, 1, orig - eps);
+            let lm = seq_loss(&cell, &xs);
+            cell.wx[k].set(0, 1, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (cell.grad_wx[k].get(0, 1) - fd).abs() < 1e-5,
+                "dWx[{k}] {} vs fd {fd}",
+                cell.grad_wx[k].get(0, 1)
+            );
+            let orig = cell.wh[k].get(1, 2);
+            cell.wh[k].set(1, 2, orig + eps);
+            let lp = seq_loss(&cell, &xs);
+            cell.wh[k].set(1, 2, orig - eps);
+            let lm = seq_loss(&cell, &xs);
+            cell.wh[k].set(1, 2, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (cell.grad_wh[k].get(1, 2) - fd).abs() < 1e-5,
+                "dWh[{k}] {} vs fd {fd}",
+                cell.grad_wh[k].get(1, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn learns_to_remember() {
+        // Output ≈ the first input after two blank steps.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = GruCell::new(1, 6, &mut rng);
+        let mut head = crate::linear::Linear::new(6, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let samples = [0.8, -0.5, 0.3, -0.9, 0.1, 0.6];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..300 {
+            let mut total = 0.0;
+            for &v in &samples {
+                cell.reset();
+                let x0 = Matrix::from_vec(1, 1, vec![v]).unwrap();
+                let zero = Matrix::zeros(1, 1);
+                let mut h = cell.zero_state(1);
+                h = cell.forward_step(&x0, &h);
+                h = cell.forward_step(&zero, &h);
+                let y = head.forward(&h);
+                let err = y.get(0, 0) - v;
+                total += err * err;
+                let gy = Matrix::from_vec(1, 1, vec![2.0 * err]).unwrap();
+                let gh = head.backward(&gy);
+                let (_, gh1) = cell.backward_step(&gh);
+                cell.backward_step(&gh1);
+            }
+            cell.apply_gradients(&mut opt, 0);
+            head.apply_gradients(&mut opt, 20);
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < first / 10.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn forward_modes_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = GruCell::new(2, 4, &mut rng);
+        let x = Matrix::from_vec(3, 2, vec![0.1, 0.2, -0.3, 0.4, 0.5, -0.6]).unwrap();
+        let h0 = cell.zero_state(3);
+        let a = cell.forward_step(&x, &h0);
+        let b = cell.forward_step_inference(&x, &h0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching forward_step")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = GruCell::new(1, 1, &mut rng);
+        cell.backward_step(&Matrix::zeros(1, 1));
+    }
+}

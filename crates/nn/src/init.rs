@@ -1,0 +1,54 @@
+//! Weight initialisation.
+
+use crate::matrix::Matrix;
+use rand::{Rng, RngExt};
+
+/// Xavier/Glorot-uniform initialisation: entries drawn uniformly from
+/// `±sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * bound)
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data).expect("sized buffer")
+}
+
+/// Small uniform initialisation in `±bound`, used for node embeddings.
+pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, bound: f64, rng: &mut R) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * bound)
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("sized buffer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let bound = (6.0f64 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        assert_eq!(m.shape(), (10, 20));
+        // Not all identical.
+        assert!(m.as_slice().iter().any(|&v| v != m.as_slice()[0]));
+    }
+
+    #[test]
+    fn uniform_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(4, 4, 0.1, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(5));
+        let b = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

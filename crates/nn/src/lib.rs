@@ -1,0 +1,62 @@
+//! Minimal neural-network substrate with manual backpropagation.
+//!
+//! The DS-GL evaluation compares against three spatio-temporal GNN
+//! baselines (GWN, MTGNN, DDGCRN). Rather than bind to an external ML
+//! framework, this crate provides exactly the pieces those baselines
+//! need, built from scratch:
+//!
+//! - [`Matrix`]: a dense row-major `f64` matrix with the usual algebra;
+//! - [`Linear`]: a fully-connected layer with cached activations;
+//! - [`GraphConv`]: a graph convolution `Â · X · W` over a normalised
+//!   adjacency;
+//! - [`GatedTemporal`]: the `tanh ⊙ sigmoid` gated temporal unit used by
+//!   WaveNet-style forecasters;
+//! - [`RnnCell`]: a tanh recurrent cell with backpropagation through time;
+//! - [`Adam`]: the Adam optimiser;
+//! - [`flops`]: exact floating-point-operation accounting, which feeds
+//!   the platform latency model of paper Table III.
+//!
+//! Every layer follows the same contract: `forward` caches whatever the
+//! backward pass needs; `backward` consumes the output gradient, accumulates
+//! parameter gradients, and returns the input gradient.
+//!
+//! # Example
+//!
+//! ```
+//! use dsgl_nn::{Linear, Matrix, Adam};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(3, 2, &mut rng);
+//! let x = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]).unwrap();
+//! let y = layer.forward(&x);
+//! assert_eq!(y.shape(), (1, 2));
+//! let grad_in = layer.backward(&Matrix::ones(1, 2));
+//! assert_eq!(grad_in.shape(), (1, 3));
+//! let mut opt = Adam::new(1e-2);
+//! layer.apply_gradients(&mut opt, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod adam;
+pub mod flops;
+pub mod gcn;
+pub mod gru;
+pub mod init;
+pub mod linalg;
+pub mod linear;
+pub mod loss;
+pub mod matrix;
+pub mod rnn;
+pub mod tcn;
+
+pub use adam::Adam;
+pub use gcn::GraphConv;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use rnn::RnnCell;
+pub use tcn::GatedTemporal;

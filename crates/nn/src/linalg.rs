@@ -1,0 +1,152 @@
+//! Dense linear algebra: Cholesky factorisation and SPD solves.
+
+use crate::matrix::Matrix;
+
+/// Cholesky factor `L` (lower triangular, `A = L·Lᵀ`) of a symmetric
+/// positive-definite matrix.
+///
+/// Returns `None` when the matrix is not positive definite (a pivot
+/// fails), which callers treat as "increase the ridge".
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "cholesky needs a square matrix");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A·x = b` given the Cholesky factor `L` of `A` (forward then
+/// backward substitution).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+/// Solves the ridge-regularised normal equations
+/// `(G + λI)·x = b` where `G` is symmetric positive semi-definite,
+/// escalating `λ` by 10× (up to 6 times) if factorisation fails.
+///
+/// # Panics
+///
+/// Panics if factorisation keeps failing (pathological input) or on
+/// shape mismatches.
+pub fn ridge_solve(g: &Matrix, b: &[f64], lambda: f64) -> Vec<f64> {
+    let n = g.rows();
+    assert_eq!(g.cols(), n, "gram matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut lam = lambda.max(1e-12);
+    for _ in 0..7 {
+        let mut a = g.clone();
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + lam);
+        }
+        if let Some(l) = cholesky(&a) {
+            return cholesky_solve(&l, b);
+        }
+        lam *= 10.0;
+    }
+    panic!("ridge solve failed even with inflated regularisation");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        // A = Mᵀ M + I for a random-ish M is SPD.
+        let m = Matrix::from_vec(3, 3, vec![1., 2., 0., -1., 1., 3., 0.5, 0., 1.]).unwrap();
+        let mut a = m.t_matmul(&m);
+        for i in 0..3 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_example();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul_t(&l);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd_example();
+        let l = cholesky(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = cholesky_solve(&l, &b);
+        // A x ≈ b
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a.get(i, j) * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-10, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // indefinite
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn ridge_solve_handles_singular() {
+        // Rank-deficient Gram matrix: ridge makes it solvable.
+        let g = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let x = ridge_solve(&g, &[2.0, 2.0], 1e-6);
+        // Minimum-norm-ish solution: x0 ≈ x1 ≈ 1.
+        assert!((x[0] - 1.0).abs() < 1e-3, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn identity_solve() {
+        let g = Matrix::eye(3);
+        let x = ridge_solve(&g, &[3.0, 6.0, 9.0], 0.0);
+        for (xi, want) in x.iter().zip([3.0, 6.0, 9.0]) {
+            assert!((xi - want).abs() < 1e-9);
+        }
+    }
+}

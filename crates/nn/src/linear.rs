@@ -1,0 +1,217 @@
+//! Fully-connected layer.
+
+use crate::adam::Adam;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A dense layer `y = x·W + b` with manual backpropagation.
+///
+/// `forward` caches the input; `backward` accumulates `∂L/∂W`, `∂L/∂b`
+/// and returns `∂L/∂x`. Gradients accumulate across calls until
+/// [`zero_grad`](Self::zero_grad) — this is what lets models sum
+/// gradients over a mini-batch processed sample by sample.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer mapping `input_dim` to `output_dim` features with
+    /// Xavier-initialised weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            w: xavier_uniform(input_dim, output_dim, rng),
+            b: vec![0.0; output_dim],
+            grad_w: Matrix::zeros(input_dim, output_dim),
+            grad_b: vec![0.0; output_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Forward pass `y = x·W + b`, caching `x` for the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim()`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = x.matmul(&self.w).add_row_broadcast(&self.b);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim()`.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w).add_row_broadcast(&self.b)
+    }
+
+    /// Backward pass: accumulates parameter gradients from `grad_out`
+    /// (`∂L/∂y`) and returns `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass is cached or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        self.grad_w.add_assign(&x.t_matmul(grad_out));
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
+            *gb += s;
+        }
+        grad_out.matmul_t(&self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w = Matrix::zeros(self.w.rows(), self.w.cols());
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Applies accumulated gradients with `opt`, consuming slot ids
+    /// `base_slot` (weights) and `base_slot + 1` (bias), then zeroes them.
+    pub fn apply_gradients(&mut self, opt: &mut Adam, base_slot: usize) {
+        opt.update(base_slot, self.w.as_mut_slice(), self.grad_w.as_slice());
+        opt.update(base_slot + 1, &mut self.b, &self.grad_b);
+        self.zero_grad();
+    }
+
+    /// FLOPs of one forward pass over a batch of `batch` rows.
+    pub fn flops(&self, batch: usize) -> u64 {
+        crate::flops::matmul(batch, self.w.rows(), self.w.cols())
+            + crate::flops::elementwise(batch, self.w.cols(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse, mse_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(4, 2, &mut rng);
+        let y = l.forward(&Matrix::zeros(3, 4));
+        assert_eq!(y.shape(), (3, 2));
+        assert_eq!(y.as_slice(), &[0.0; 6], "zero input, zero bias");
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.4, 0.3, 0.9, 0.2, -0.7]).unwrap();
+        let target = Matrix::from_vec(2, 2, vec![0.5, -0.5, 0.1, 0.8]).unwrap();
+
+        let y = l.forward(&x);
+        let gy = mse_grad(&y, &target);
+        let gx = l.backward(&gy);
+
+        // Check dL/dW numerically for a few entries.
+        let eps = 1e-6;
+        for &(r, c) in &[(0, 0), (2, 1), (1, 0)] {
+            let orig = l.w.get(r, c);
+            l.w.set(r, c, orig + eps);
+            let lp = mse(&l.forward_inference(&x), &target);
+            l.w.set(r, c, orig - eps);
+            let lm = mse(&l.forward_inference(&x), &target);
+            l.w.set(r, c, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (l.grad_w.get(r, c) - fd).abs() < 1e-6,
+                "dW[{r}][{c}] analytic {} vs fd {fd}",
+                l.grad_w.get(r, c)
+            );
+        }
+
+        // Check dL/dx numerically for one entry.
+        let mut xp = x.clone();
+        xp.set(0, 1, x.get(0, 1) + eps);
+        let lp = mse(&l.forward_inference(&xp), &target);
+        xp.set(0, 1, x.get(0, 1) - eps);
+        let lm = mse(&l.forward_inference(&xp), &target);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((gx.get(0, 1) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(2, 1, &mut rng);
+        let mut opt = Adam::new(0.05);
+        // Learn y = x0 + 2 x1.
+        let x = Matrix::from_vec(4, 2, vec![0., 0., 1., 0., 0., 1., 1., 1.]).unwrap();
+        let t = Matrix::from_vec(4, 1, vec![0., 1., 2., 3.]).unwrap();
+        let first = mse(&l.forward_inference(&x), &t);
+        for _ in 0..500 {
+            let y = l.forward(&x);
+            let gy = mse_grad(&y, &t);
+            l.backward(&gy);
+            l.apply_gradients(&mut opt, 0);
+        }
+        let last = mse(&l.forward_inference(&x), &t);
+        assert!(last < first / 100.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(2, 1, &mut rng);
+        let x = Matrix::ones(1, 2);
+        let g = Matrix::ones(1, 1);
+        l.forward(&x);
+        l.backward(&g);
+        let once = l.grad_w.clone();
+        l.forward(&x);
+        l.backward(&g);
+        assert_eq!(l.grad_w, once.scale(2.0));
+        l.zero_grad();
+        assert_eq!(l.grad_w.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Linear::new(3, 4, &mut rng).parameter_count(), 16);
+    }
+}

@@ -1,0 +1,96 @@
+//! Loss functions.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over all elements.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or empty matrices.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.as_slice().len();
+    assert!(n > 0, "loss of empty matrices");
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Gradient of [`mse`] with respect to `pred`: `2 (pred - target) / n`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.as_slice().len() as f64;
+    pred.sub(target).scale(2.0 / n)
+}
+
+/// Root mean squared error — the paper's accuracy metric.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or empty matrices.
+pub fn rmse(pred: &Matrix, target: &Matrix) -> f64 {
+    mse(pred, target).sqrt()
+}
+
+/// RMSE over plain slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty slices.
+pub fn rmse_slice(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "loss length mismatch");
+    assert!(!pred.is_empty(), "loss of empty slices");
+    let ss: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    (ss / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]).unwrap();
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-12);
+        assert!((rmse(&p, &t) - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_fd() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -0.2, 1.0]).unwrap();
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.3, 0.9]).unwrap();
+        let g = mse_grad(&p, &t);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.set(0, i, p.get(0, i) + eps);
+            let lp = mse(&pp, &t);
+            pp.set(0, i, p.get(0, i) - eps);
+            let lm = mse(&pp, &t);
+            assert!((g.get(0, i) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slice_rmse() {
+        assert!((rmse_slice(&[3.0, 0.0], &[0.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatch_panics() {
+        mse(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

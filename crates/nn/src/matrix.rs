@@ -1,0 +1,440 @@
+//! Dense row-major matrices.
+
+use std::fmt;
+
+/// A dense `rows x cols` matrix of `f64` in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_nn::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let b = Matrix::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-ones matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// Returns `None` when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Option<Self> {
+        if data.len() != rows * cols {
+            return None;
+        }
+        Some(Matrix { rows, cols, data })
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[r * other.cols..(r + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "element-wise shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "element-wise shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all elements by `k`.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * k).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise sums (shape `cols`), used for bias gradients.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Row-wise softmax (each row sums to 1). Rows of `-inf` are not
+    /// supported; all inputs must be finite.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut total = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                total += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let cells: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:8.4}")).collect();
+            writeln!(f, "  [{}]", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_none());
+        let m = Matrix::from_vec(2, 3, vec![0.0; 6]).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(Matrix::eye(3).get(1, 1), 1.0);
+        assert_eq!(Matrix::eye(3).get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_products_agree() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f64).collect()).unwrap();
+        let direct = a.transpose().matmul(&b);
+        assert_eq!(a.t_matmul(&b), direct);
+
+        let c = Matrix::from_vec(5, 2, (0..10).map(|i| i as f64 * 0.5).collect()).unwrap();
+        let direct2 = a.matmul(&c.transpose());
+        assert_eq!(a.matmul_t(&c), direct2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]).unwrap();
+        let b = Matrix::from_vec(1, 3, vec![4., 5., 6.]).unwrap();
+        assert_eq!(a.add(&b).as_slice(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).as_slice(), &[3., 3., 3.]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., 4., 6.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.as_slice(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(a.add_row_broadcast(&[10., 20.]).as_slice(), &[11., 22., 13., 24.]);
+        assert_eq!(a.col_sums(), vec![4., 6.]);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Larger logits get larger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 0));
+    }
+
+    #[test]
+    fn norms_and_map() {
+        let a = Matrix::from_vec(1, 2, vec![3., 4.]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[9., 16.]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = format!("{}", Matrix::eye(2));
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

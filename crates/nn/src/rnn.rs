@@ -1,0 +1,269 @@
+//! A tanh recurrent cell with backpropagation through time.
+
+use crate::activation::tanh_grad_from_output;
+use crate::adam::Adam;
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// An Elman-style recurrent cell `h_t = tanh(x_t·Wx + h_{t-1}·Wh + b)`.
+///
+/// `forward_step` pushes a cache frame per timestep; `backward_step` pops
+/// them in reverse, so BPTT is a matter of calling `backward_step` once
+/// per `forward_step` in opposite order. Call [`reset`](Self::reset)
+/// before each new sequence.
+#[derive(Debug, Clone)]
+pub struct RnnCell {
+    wx: Matrix,
+    wh: Matrix,
+    b: Vec<f64>,
+    grad_wx: Matrix,
+    grad_wh: Matrix,
+    grad_b: Vec<f64>,
+    stack: Vec<StepCache>,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    h: Matrix,
+}
+
+impl RnnCell {
+    /// Creates a cell with `input_dim` inputs and `hidden_dim` hidden units.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        RnnCell {
+            wx: xavier_uniform(input_dim, hidden_dim, rng),
+            wh: xavier_uniform(hidden_dim, hidden_dim, rng),
+            b: vec![0.0; hidden_dim],
+            grad_wx: Matrix::zeros(input_dim, hidden_dim),
+            grad_wh: Matrix::zeros(hidden_dim, hidden_dim),
+            grad_b: vec![0.0; hidden_dim],
+            stack: Vec::new(),
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.wh.rows()
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.wx.rows() * self.wx.cols() + self.wh.rows() * self.wh.cols() + self.b.len()
+    }
+
+    /// A zero initial hidden state for `rows` parallel sequences.
+    pub fn zero_state(&self, rows: usize) -> Matrix {
+        Matrix::zeros(rows, self.hidden_dim())
+    }
+
+    /// Clears the BPTT cache (start of a new sequence).
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+
+    /// One timestep forward; caches for BPTT and returns `h_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward_step(&mut self, x: &Matrix, h_prev: &Matrix) -> Matrix {
+        let pre = x
+            .matmul(&self.wx)
+            .add(&h_prev.matmul(&self.wh))
+            .add_row_broadcast(&self.b);
+        let h = pre.map(f64::tanh);
+        self.stack.push(StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            h: h.clone(),
+        });
+        h
+    }
+
+    /// One timestep forward without caching.
+    pub fn forward_step_inference(&self, x: &Matrix, h_prev: &Matrix) -> Matrix {
+        x.matmul(&self.wx)
+            .add(&h_prev.matmul(&self.wh))
+            .add_row_broadcast(&self.b)
+            .map(f64::tanh)
+    }
+
+    /// One timestep backward (pops the most recent cache frame).
+    ///
+    /// `grad_h` is `∂L/∂h_t` *including* any gradient flowing back from
+    /// the next timestep. Returns `(∂L/∂x_t, ∂L/∂h_{t-1})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache stack is empty.
+    pub fn backward_step(&mut self, grad_h: &Matrix) -> (Matrix, Matrix) {
+        let frame = self
+            .stack
+            .pop()
+            .expect("backward_step called without matching forward_step");
+        let grad_pre = grad_h.hadamard(&tanh_grad_from_output(&frame.h));
+        self.grad_wx.add_assign(&frame.x.t_matmul(&grad_pre));
+        self.grad_wh.add_assign(&frame.h_prev.t_matmul(&grad_pre));
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_pre.col_sums()) {
+            *gb += s;
+        }
+        let grad_x = grad_pre.matmul_t(&self.wx);
+        let grad_h_prev = grad_pre.matmul_t(&self.wh);
+        (grad_x, grad_h_prev)
+    }
+
+    /// Clears accumulated gradients and the cache stack.
+    pub fn zero_grad(&mut self) {
+        self.grad_wx = Matrix::zeros(self.wx.rows(), self.wx.cols());
+        self.grad_wh = Matrix::zeros(self.wh.rows(), self.wh.cols());
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        self.stack.clear();
+    }
+
+    /// Applies gradients (slots `base_slot..base_slot+3`).
+    pub fn apply_gradients(&mut self, opt: &mut Adam, base_slot: usize) {
+        opt.update(base_slot, self.wx.as_mut_slice(), self.grad_wx.as_slice());
+        opt.update(base_slot + 1, self.wh.as_mut_slice(), self.grad_wh.as_slice());
+        opt.update(base_slot + 2, &mut self.b, &self.grad_b);
+        self.zero_grad();
+    }
+
+    /// FLOPs of one timestep over `batch` rows.
+    pub fn flops(&self, batch: usize) -> u64 {
+        crate::flops::matmul(batch, self.wx.rows(), self.wx.cols())
+            + crate::flops::matmul(batch, self.wh.rows(), self.wh.cols())
+            + crate::flops::elementwise(batch, self.hidden_dim(), 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Full-sequence loss for finite differencing: run T steps, loss is
+    /// sum of squared final hidden values.
+    fn seq_loss(cell: &RnnCell, xs: &[Matrix]) -> f64 {
+        let mut h = cell.zero_state(xs[0].rows());
+        for x in xs {
+            h = cell.forward_step_inference(x, &h);
+        }
+        h.as_slice().iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn bptt_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cell = RnnCell::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..3)
+            .map(|t| {
+                Matrix::from_vec(1, 2, vec![0.3 * (t as f64 + 1.0), -0.2 * (t as f64)]).unwrap()
+            })
+            .collect();
+
+        // Forward with caching.
+        let mut h = cell.zero_state(1);
+        for x in &xs {
+            h = cell.forward_step(x, &h);
+        }
+        // dL/dh_T for L = Σ h².
+        let mut gh = h.scale(2.0);
+        for _ in (0..xs.len()).rev() {
+            let (_, gh_prev) = cell.backward_step(&gh);
+            gh = gh_prev;
+        }
+
+        // Finite-difference a few weights.
+        let eps = 1e-6;
+        for &(r, c) in &[(0, 0), (1, 2)] {
+            let orig = cell.wx.get(r, c);
+            cell.wx.set(r, c, orig + eps);
+            let lp = seq_loss(&cell, &xs);
+            cell.wx.set(r, c, orig - eps);
+            let lm = seq_loss(&cell, &xs);
+            cell.wx.set(r, c, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (cell.grad_wx.get(r, c) - fd).abs() < 1e-5,
+                "dWx[{r}][{c}] {} vs fd {fd}",
+                cell.grad_wx.get(r, c)
+            );
+        }
+        for &(r, c) in &[(0, 1), (2, 2)] {
+            let orig = cell.wh.get(r, c);
+            cell.wh.set(r, c, orig + eps);
+            let lp = seq_loss(&cell, &xs);
+            cell.wh.set(r, c, orig - eps);
+            let lm = seq_loss(&cell, &xs);
+            cell.wh.set(r, c, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (cell.grad_wh.get(r, c) - fd).abs() < 1e-5,
+                "dWh[{r}][{c}] {} vs fd {fd}",
+                cell.grad_wh.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn learns_to_remember() {
+        // Task: output ≈ first input after 2 steps (needs memory).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = RnnCell::new(1, 4, &mut rng);
+        let mut head = crate::linear::Linear::new(4, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let samples: Vec<f64> = vec![0.8, -0.5, 0.3, -0.9, 0.1, 0.6];
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..300 {
+            let mut total = 0.0;
+            for &v in &samples {
+                cell.reset();
+                let x0 = Matrix::from_vec(1, 1, vec![v]).unwrap();
+                let zero = Matrix::zeros(1, 1);
+                let mut h = cell.zero_state(1);
+                h = cell.forward_step(&x0, &h);
+                h = cell.forward_step(&zero, &h);
+                let y = head.forward(&h);
+                let err = y.get(0, 0) - v;
+                total += err * err;
+                let gy = Matrix::from_vec(1, 1, vec![2.0 * err]).unwrap();
+                let gh = head.backward(&gy);
+                let (_, gh1) = cell.backward_step(&gh);
+                cell.backward_step(&gh1);
+            }
+            cell.apply_gradients(&mut opt, 0);
+            head.apply_gradients(&mut opt, 10);
+            if epoch == 0 {
+                first_loss = total;
+            }
+            last_loss = total;
+        }
+        assert!(
+            last_loss < first_loss / 10.0,
+            "loss {first_loss} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching forward_step")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = RnnCell::new(1, 1, &mut rng);
+        cell.backward_step(&Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn reset_clears_stack() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = RnnCell::new(1, 2, &mut rng);
+        let h0 = cell.zero_state(1);
+        cell.forward_step(&Matrix::ones(1, 1), &h0);
+        cell.reset();
+        assert!(cell.stack.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Robustness of natural annealing to analog noise (paper Sec. V.G).
+//!
+//! Trains a DS-GL system on the stock dataset and evaluates annealed
+//! inference while Gaussian noise is injected into node voltages and
+//! coupler currents at 0/5/10/15 % — the paper's Fig. 13 sweep, here on
+//! the dense machine.
+//!
+//! ```sh
+//! cargo run --release --example noise_robustness
+//! ```
+
+use dsgl::core::inference::evaluate;
+use dsgl::core::ridge::fit_ridge_validated;
+use dsgl::core::{DsGlModel, VariableLayout};
+use dsgl::data::{stock, WindowConfig};
+use dsgl::ising::{AnnealConfig, NoiseModel};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = stock::generate(7).truncate(40, 300);
+    let n = dataset.node_count();
+    let wc = WindowConfig::one_step(4);
+    let (train, val, test) = dataset.split_windows(&wc, 0.6, 0.15);
+
+    let layout = VariableLayout::new(4, n, 1);
+    let mut model = DsGlModel::new(layout);
+    model.h_mut().iter_mut().for_each(|h| *h = -2.0);
+    model.init_diffusion_prior(&dataset.graph, 0.72, 0.22);
+    fit_ridge_validated(&mut model, &train, &val, &[0.1, 1.0, 10.0, 100.0])?;
+
+    println!("noise    RMSE      latency");
+    let mut clean_rmse = None;
+    for pct in [0.0, 0.05, 0.10, 0.15] {
+        let mut cfg = AnnealConfig::default();
+        cfg.noise = NoiseModel::relative(pct);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let report = evaluate(&model, &test[..test.len().min(20)], &cfg, &mut rng)?;
+        println!(
+            "{:>4.0}%   {:.4}   {:.0} ns",
+            pct * 100.0,
+            report.rmse,
+            report.mean_latency_ns
+        );
+        if pct == 0.0 {
+            clean_rmse = Some(report.rmse);
+        } else if let Some(clean) = clean_rmse {
+            assert!(
+                report.rmse < clean * 2.0,
+                "the analog system should tolerate moderate noise"
+            );
+        }
+    }
+    println!();
+    println!("dynamical systems integrate noise away: even 15% analog noise");
+    println!("degrades accuracy only mildly (paper Fig. 13).");
+    Ok(())
+}

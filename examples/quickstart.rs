@@ -1,0 +1,62 @@
+//! Quickstart: the six-spin validation experiment (paper Fig. 4).
+//!
+//! Programs the same mixed-sign coupling instance into a binary BRIM
+//! machine and a Real-Valued DSPU, clamps three nodes as inputs, and
+//! lets both anneal. BRIM's free nodes polarise to the ±1 rails; the
+//! DSPU's circulative resistor rings let them stabilise at real values.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dsgl::ising::{AnnealConfig, Brim, Coupling, FlipSchedule, RealValuedDspu};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A six-spin instance with both ferro- and antiferromagnetic bonds.
+    let mut j = Coupling::zeros(6);
+    j.set(0, 1, 0.8);
+    j.set(1, 2, -0.5);
+    j.set(2, 3, 0.6);
+    j.set(3, 4, -0.7);
+    j.set(4, 5, 0.9);
+    j.set(5, 0, 0.4);
+    j.set(1, 4, 0.3);
+
+    // v0, v2, v4 are observed inputs; v1, v3, v5 anneal freely.
+    let inputs = [(0usize, 0.6), (2, -0.4), (4, 0.5)];
+
+    let mut dspu = RealValuedDspu::new(j.clone(), vec![-1.5; 6])?;
+    let mut brim = Brim::new(j, vec![0.0; 6])?;
+    for &(node, v) in &inputs {
+        dspu.clamp(node, v)?;
+        brim.clamp(node, v)?;
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    dspu.randomize_free(&mut rng);
+    brim.randomize(&mut rng);
+
+    let cfg = AnnealConfig::with_budget(500.0);
+    let report = dspu.run(&cfg, &mut rng);
+    brim.anneal(&cfg, &FlipSchedule::none(), &mut rng);
+
+    println!("annealed for {:.0} ns (converged: {})", report.sim_time_ns, report.converged);
+    println!("node   DSPU      BRIM");
+    for n in 0..6 {
+        let tag = if inputs.iter().any(|&(i, _)| i == n) {
+            "input"
+        } else {
+            "free"
+        };
+        println!(
+            "v{n}   {:+.4}   {:+.4}   ({tag})",
+            dspu.state()[n],
+            brim.state()[n]
+        );
+    }
+    println!();
+    println!("BRIM's free nodes saturate at the rails (binary spins);");
+    println!("the DSPU's settle at interior real values - the paper's Fig. 4.");
+    Ok(())
+}

@@ -1,0 +1,381 @@
+//! High-level facade: train, forecast, impute, and deploy a DS-GL
+//! system without orchestrating the individual crates.
+//!
+//! ```
+//! use dsgl::facade::Forecaster;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), dsgl::core::CoreError> {
+//! let dataset = dsgl::data::covid::generate(7).truncate(16, 160);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let forecaster = Forecaster::builder().history(3).fit(&dataset, &mut rng)?;
+//! let window = dataset.series.frame(0).to_vec(); // toy: any W frames
+//! # let mut window = Vec::new();
+//! # for t in 0..3 { window.extend_from_slice(dataset.series.frame(t)); }
+//! let forecast = forecaster.forecast(&window, &mut rng)?;
+//! assert_eq!(forecast.len(), dataset.node_count());
+//! # Ok(())
+//! # }
+//! ```
+
+use dsgl_core::inference::{infer_dense, infer_dense_imputation};
+use dsgl_core::ridge::{fit_gaussian_couplings, fit_ridge, fit_ridge_validated};
+use dsgl_core::{
+    decompose, CoreError, DecomposeConfig, DecomposedModel, DsGlModel, PatternKind,
+    VariableLayout,
+};
+use dsgl_data::{Dataset, Sample, WindowConfig};
+use dsgl_hw::coanneal::infer_mapped;
+use dsgl_hw::HwConfig;
+use dsgl_ising::AnnealConfig;
+use rand::Rng;
+
+/// Configures and fits a [`Forecaster`].
+#[derive(Debug, Clone)]
+pub struct ForecasterBuilder {
+    history: usize,
+    horizon: usize,
+    h_magnitude: f64,
+    lambda_grid: Vec<f64>,
+    gaussian_outputs: bool,
+    anneal: AnnealConfig,
+}
+
+impl ForecasterBuilder {
+    /// Number of observed history frames `W` (default 4).
+    pub fn history(mut self, w: usize) -> Self {
+        self.history = w;
+        self
+    }
+
+    /// Number of jointly predicted future frames `H` (default 1).
+    pub fn horizon(mut self, h: usize) -> Self {
+        self.horizon = h;
+        self
+    }
+
+    /// Ridge-λ candidates validated on a held-out tail.
+    pub fn lambda_grid(mut self, grid: Vec<f64>) -> Self {
+        self.lambda_grid = grid;
+        self
+    }
+
+    /// Also program the residual Gaussian graphical model over the
+    /// outputs (recommended when [`Forecaster::impute`] will be used).
+    pub fn gaussian_outputs(mut self, on: bool) -> Self {
+        self.gaussian_outputs = on;
+        self
+    }
+
+    /// The annealing configuration used at inference.
+    pub fn anneal(mut self, config: AnnealConfig) -> Self {
+        self.anneal = config;
+        self
+    }
+
+    /// Windows the dataset, fits the dynamical system (persistence +
+    /// graph-diffusion prior, validated closed-form ridge), and returns
+    /// a ready [`Forecaster`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] variants for empty/degenerate data.
+    pub fn fit<R: Rng + ?Sized>(
+        self,
+        dataset: &Dataset,
+        rng: &mut R,
+    ) -> Result<Forecaster, CoreError> {
+        let _ = rng; // reserved for stochastic trainers
+        let wc = WindowConfig {
+            history: self.history,
+            horizon: self.horizon,
+        };
+        let (train, val, _) = dataset.split_windows(&wc, 0.85, 0.15);
+        if train.is_empty() || val.is_empty() {
+            return Err(CoreError::EmptyTrainingSet);
+        }
+        let layout = VariableLayout::with_horizon(
+            self.history,
+            dataset.node_count(),
+            dataset.feature_count(),
+            self.horizon,
+        );
+        let mut model = DsGlModel::new(layout);
+        model.h_mut().iter_mut().for_each(|h| *h = -self.h_magnitude);
+        model.init_diffusion_prior(&dataset.graph, 0.7, 0.2);
+        let lambda = fit_ridge_validated(&mut model, &train, &val, &self.lambda_grid)?;
+        // Final fit on everything that was windowed.
+        let mut all = train;
+        all.extend(val);
+        fit_ridge(&mut model, &all, lambda)?;
+        let joint = if self.gaussian_outputs {
+            let mut j = model.clone();
+            fit_gaussian_couplings(&mut j, &all, 0.5, self.h_magnitude)?;
+            Some(j)
+        } else {
+            None
+        };
+        Ok(Forecaster {
+            model,
+            joint,
+            anneal: self.anneal,
+        })
+    }
+}
+
+/// A trained DS-GL system with a one-call inference API.
+///
+/// Holds the per-node forecaster and, when
+/// [`gaussian_outputs`](ForecasterBuilder::gaussian_outputs) was set, a
+/// second Gaussian-programmed model whose output couplings power
+/// [`impute`](Self::impute). Forecasting and deployment use the
+/// forecaster model (output couplings are provably inert for pure
+/// forecasting and do not survive decomposition well — see DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    model: DsGlModel,
+    joint: Option<DsGlModel>,
+    anneal: AnnealConfig,
+}
+
+impl Forecaster {
+    /// Starts configuring a forecaster.
+    pub fn builder() -> ForecasterBuilder {
+        ForecasterBuilder {
+            history: 4,
+            horizon: 1,
+            h_magnitude: 2.0,
+            lambda_grid: vec![0.1, 1.0, 10.0, 100.0],
+            gaussian_outputs: false,
+            anneal: AnnealConfig::default(),
+        }
+    }
+
+    /// The underlying model (for decomposition, serialisation, …).
+    pub fn model(&self) -> &DsGlModel {
+        &self.model
+    }
+
+    /// Forecasts the next `horizon` frames from `W·N·F` history values
+    /// (frames oldest→newest, node-major) by natural annealing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch if `history` has the wrong length.
+    pub fn forecast<R: Rng + ?Sized>(
+        &self,
+        history: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, CoreError> {
+        let sample = Sample {
+            history: history.to_vec(),
+            target: vec![0.0; self.model.layout().target_len()],
+        };
+        let (pred, _) = infer_dense(&self.model, &sample, &self.anneal, rng)?;
+        Ok(pred)
+    }
+
+    /// Imputes the unknown entries of a partially observed target frame:
+    /// `observed` lists `(target_index, value)` pairs; everything else
+    /// anneals. Returns the full target block.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape mismatches and out-of-range indices.
+    pub fn impute<R: Rng + ?Sized>(
+        &self,
+        history: &[f64],
+        observed: &[(usize, f64)],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut target = vec![0.0; self.model.layout().target_len()];
+        for &(idx, value) in observed {
+            if idx >= target.len() {
+                return Err(CoreError::SampleShapeMismatch {
+                    what: "observed target index",
+                    expected: target.len(),
+                    actual: idx,
+                });
+            }
+            target[idx] = value;
+        }
+        let sample = Sample {
+            history: history.to_vec(),
+            target,
+        };
+        let indices: Vec<usize> = observed.iter().map(|&(i, _)| i).collect();
+        let machine = self.joint.as_ref().unwrap_or(&self.model);
+        let (pred, _) = infer_dense_imputation(machine, &sample, &indices, &self.anneal, rng)?;
+        Ok(pred)
+    }
+
+    /// Decomposes the system onto a PE mesh and returns a
+    /// [`MappedForecaster`] running on the simulated hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns decomposition errors (e.g. a grid too small).
+    pub fn deploy<R: Rng + ?Sized>(
+        &self,
+        grid: (usize, usize),
+        pattern: PatternKind,
+        density: f64,
+        finetune_samples: &[Sample],
+        rng: &mut R,
+    ) -> Result<MappedForecaster, CoreError> {
+        let total = self.model.layout().total();
+        let pes = grid.0 * grid.1;
+        let cfg = DecomposeConfig {
+            density,
+            pattern,
+            wormhole_budget: 4,
+            pe_capacity: total.div_ceil(pes) + 2,
+            grid,
+            finetune: None, // closed-form masked refit below instead
+        };
+        let mut decomposed = decompose(&self.model, finetune_samples, &cfg, rng)?;
+        if !finetune_samples.is_empty() {
+            dsgl_core::ridge::refit_ridge_masked(&mut decomposed.model, finetune_samples, 10.0)?;
+        }
+        Ok(MappedForecaster {
+            decomposed,
+            hw: HwConfig::default(),
+        })
+    }
+}
+
+/// A forecaster deployed onto the simulated Scalable DSPU mesh.
+#[derive(Debug, Clone)]
+pub struct MappedForecaster {
+    decomposed: DecomposedModel,
+    hw: HwConfig,
+}
+
+impl MappedForecaster {
+    /// The decomposed model (placement, wormholes, stats).
+    pub fn decomposed(&self) -> &DecomposedModel {
+        &self.decomposed
+    }
+
+    /// Overrides the hardware configuration (lanes, sync interval, …).
+    pub fn with_hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// Forecasts by co-annealing on the mesh; also returns the inference
+    /// latency in nanoseconds of simulated analog time.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape mismatches.
+    pub fn forecast<R: Rng + ?Sized>(
+        &self,
+        history: &[f64],
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, f64), CoreError> {
+        let sample = Sample {
+            history: history.to_vec(),
+            target: vec![0.0; self.decomposed.model.layout().target_len()],
+        };
+        let (pred, report) = infer_mapped(&self.decomposed, &sample, &self.hw, rng)?;
+        Ok((pred, report.anneal.sim_time_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn history_of(dataset: &Dataset, start: usize, w: usize) -> Vec<f64> {
+        let mut h = Vec::new();
+        for t in start..start + w {
+            h.extend_from_slice(dataset.series.frame(t));
+        }
+        h
+    }
+
+    #[test]
+    fn fit_forecast_roundtrip() {
+        let dataset = dsgl_data::covid::generate(9).truncate(16, 160);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let t0 = 100;
+        let hist = history_of(&dataset, t0, 3);
+        let pred = f.forecast(&hist, &mut rng).unwrap();
+        let truth = dataset.series.frame(t0 + 3);
+        let rmse = dsgl_core::metrics::rmse(&pred, truth);
+        assert!(rmse < 0.05, "facade forecast rmse {rmse}");
+    }
+
+    #[test]
+    fn imputation_echoes_observations() {
+        let dataset = dsgl_data::stock::generate(9).truncate(12, 150);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Forecaster::builder()
+            .history(3)
+            .gaussian_outputs(true)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 80, 3);
+        let truth = dataset.series.frame(83);
+        let observed: Vec<(usize, f64)> = (0..6).map(|i| (i, truth[i])).collect();
+        let pred = f.impute(&hist, &observed, &mut rng).unwrap();
+        for &(i, v) in &observed {
+            assert!((pred[i] - v).abs() < 1e-12, "observation {i} not echoed");
+        }
+        assert!(pred.len() == dataset.node_count());
+    }
+
+    #[test]
+    fn deploy_and_forecast_on_mesh() {
+        let dataset = dsgl_data::covid::generate(10).truncate(12, 160);
+        let wc = WindowConfig::one_step(3);
+        let (train, _, _) = dataset.split_windows(&wc, 0.8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let mapped = f
+            .deploy((2, 2), PatternKind::DMesh, 0.3, &train, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 100, 3);
+        let (pred, latency) = mapped.forecast(&hist, &mut rng).unwrap();
+        assert_eq!(pred.len(), dataset.node_count());
+        assert!(latency > 0.0);
+        // Mapping is legal.
+        let report = dsgl_hw::validate_mapping(mapped.decomposed(), 30);
+        assert!(report.is_legal());
+    }
+
+    #[test]
+    fn horizon_forecaster() {
+        let dataset = dsgl_data::covid::generate(11).truncate(10, 150);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Forecaster::builder()
+            .history(3)
+            .horizon(2)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 90, 3);
+        let pred = f.forecast(&hist, &mut rng).unwrap();
+        assert_eq!(pred.len(), 2 * dataset.node_count());
+    }
+
+    #[test]
+    fn wrong_history_length_rejected() {
+        let dataset = dsgl_data::covid::generate(12).truncate(8, 120);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        assert!(f.forecast(&[0.0; 5], &mut rng).is_err());
+    }
+}

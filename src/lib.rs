@@ -1,0 +1,25 @@
+//! DS-GL: nature-powered graph learning on scalable dynamical systems.
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+//!
+//! - [`ising`] — the dynamical-system substrate (BRIM, Real-Valued DSPU);
+//! - [`graph`] — CSR graphs, Louvain, PE-grid partitioning;
+//! - [`data`] — the synthetic spatio-temporal evaluation datasets;
+//! - [`core`] — the DS-GL model, training, sparsification, inference;
+//! - [`hw`] — the Scalable DSPU architecture, co-annealing, cost models;
+//! - [`nn`] — the minimal neural-network substrate;
+//! - [`baselines`] — the GWN / MTGNN / DDGCRN baseline analogues.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod facade;
+
+pub use dsgl_baselines as baselines;
+pub use dsgl_core as core;
+pub use dsgl_data as data;
+pub use dsgl_graph as graph;
+pub use dsgl_hw as hw;
+pub use dsgl_ising as ising;
+pub use dsgl_nn as nn;

@@ -1,0 +1,63 @@
+//! Cross-crate integration: the GNN baselines and DS-GL consume the
+//! same windows and are comparable on the same test split.
+
+use dsgl::baselines::{
+    common::graph_to_adjacency, evaluate_gnn, train_gnn, GnnTrainConfig, GwnModel, StGnn,
+};
+use dsgl::core::ridge::fit_ridge_validated;
+use dsgl::core::{DsGlModel, Trainer, VariableLayout};
+use dsgl::data::WindowConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small O3-flavoured dataset shared by both arms.
+mod o3_like {
+    pub use dsgl::data::air::{generate, Pollutant};
+}
+
+#[test]
+fn both_arms_beat_the_mean_predictor() {
+    let dataset = o3_like::generate(o3_like::Pollutant::O3, 9).truncate(24, 220);
+    let n = dataset.node_count();
+    let w = 3;
+    let wc = WindowConfig::one_step(w);
+    let (train, val, test) = dataset.split_windows(&wc, 0.6, 0.15);
+
+    // Mean predictor reference.
+    let mean: f64 = train
+        .iter()
+        .flat_map(|s| s.target.iter())
+        .sum::<f64>()
+        / (train.len() * n) as f64;
+    let mut sse = 0.0;
+    let mut count = 0;
+    for s in &test {
+        for t in &s.target {
+            sse += (t - mean) * (t - mean);
+            count += 1;
+        }
+    }
+    let mean_rmse = (sse / count as f64).sqrt();
+
+    // GNN arm.
+    let mut rng = StdRng::seed_from_u64(1);
+    let adj = graph_to_adjacency(&dataset.graph);
+    let mut gwn = GwnModel::new(&adj, w, 1, 12, &mut rng);
+    let cfg = GnnTrainConfig {
+        epochs: 15,
+        ..GnnTrainConfig::for_dims(w, n, 1)
+    };
+    train_gnn(&mut gwn, &train, &cfg, &mut rng);
+    let gnn_rmse = evaluate_gnn(&gwn, &test, &cfg);
+    assert!(gnn_rmse < mean_rmse, "gwn {gnn_rmse} vs mean {mean_rmse}");
+    assert!(gwn.inference_flops() > 0);
+
+    // DS-GL arm on identical windows.
+    let layout = VariableLayout::new(w, n, 1);
+    let mut model = DsGlModel::new(layout);
+    model.h_mut().iter_mut().for_each(|h| *h = -2.0);
+    model.init_diffusion_prior(&dataset.graph, 0.72, 0.22);
+    fit_ridge_validated(&mut model, &train, &val, &[0.1, 1.0, 10.0]).unwrap();
+    let dsgl_rmse = Trainer::regression_rmse(&model, &test).unwrap();
+    assert!(dsgl_rmse < mean_rmse, "dsgl {dsgl_rmse} vs mean {mean_rmse}");
+}

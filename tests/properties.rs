@@ -1,0 +1,214 @@
+//! Property-based integration tests over cross-crate invariants.
+
+use dsgl::core::patterns::{build_mask, pe_allowed, PatternKind, WormholeSet};
+use dsgl::graph::{Communities, Partitioner};
+use dsgl::ising::hamiltonian::rv_energy;
+use dsgl::ising::{AnnealConfig, Coupling, NoiseModel, RealValuedDspu};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Strategy: a random symmetric coupling matrix over `n` nodes with
+/// bounded weights.
+fn coupling_strategy(n: usize) -> impl Strategy<Value = Coupling> {
+    proptest::collection::vec(-1.0f64..1.0, n * (n - 1) / 2).prop_map(move |weights| {
+        let mut j = Coupling::zeros(n);
+        let mut k = 0;
+        for i in 0..n {
+            for l in (i + 1)..n {
+                j.set(i, l, weights[k]);
+                k += 1;
+            }
+        }
+        j
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The real-valued Hamiltonian never increases along noiseless
+    /// trajectories, for arbitrary couplings and inputs (Lyapunov).
+    #[test]
+    fn energy_monotone_under_annealing(
+        j in coupling_strategy(6),
+        clamp_val in -0.9f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let h = vec![-2.0; 6];
+        let mut dspu = RealValuedDspu::new(j.clone(), h.clone()).unwrap();
+        dspu.clamp(0, clamp_val).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        dspu.randomize_free(&mut rng);
+        let mut last = rv_energy(&j, &h, dspu.state());
+        for _ in 0..60 {
+            dspu.step(1.0, &NoiseModel::none(), &mut rng);
+            let e = rv_energy(&j, &h, dspu.state());
+            prop_assert!(e <= last + 1e-9, "energy rose {last} -> {e}");
+            last = e;
+        }
+    }
+
+    /// Annealed states always stay within the rails.
+    #[test]
+    fn state_bounded_by_rails(
+        j in coupling_strategy(5),
+        seed in 0u64..1000,
+    ) {
+        let mut dspu = RealValuedDspu::new(j, vec![-0.6; 5]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        dspu.randomize_free(&mut rng);
+        let mut cfg = AnnealConfig::with_budget(300.0);
+        cfg.noise = NoiseModel::relative(0.10);
+        dspu.run(&cfg, &mut rng);
+        for &v in dspu.state() {
+            prop_assert!((-1.0..=1.0).contains(&v), "state {v} outside rails");
+        }
+    }
+
+    /// Pruning to any density keeps at most that fraction of pairs and
+    /// never increases any |J| entry.
+    #[test]
+    fn prune_respects_density(
+        j in coupling_strategy(8),
+        density in 0.0f64..1.0,
+    ) {
+        let mut pruned = j.clone();
+        pruned.prune_to_density(density);
+        let pairs_total = 8 * 7 / 2;
+        prop_assert!(pruned.nnz() <= (density * pairs_total as f64).round() as usize + 1);
+        for i in 0..8 {
+            for l in (i + 1)..8 {
+                let w = pruned.get(i, l);
+                prop_assert!(w == 0.0 || w == j.get(i, l));
+            }
+        }
+    }
+
+    /// Placement always covers every node exactly once within capacity.
+    #[test]
+    fn placement_is_a_partition(
+        labels in proptest::collection::vec(0usize..5, 12),
+    ) {
+        let comms = Communities::from_assignment(labels);
+        let placement = Partitioner::new(4, (2, 2)).place(&comms).unwrap();
+        let mut seen = vec![false; 12];
+        for pe in 0..4 {
+            prop_assert!(placement.nodes_on(pe).len() <= 4);
+            for &node in placement.nodes_on(pe) {
+                prop_assert!(!seen[node], "node {node} placed twice");
+                seen[node] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some node unplaced");
+    }
+
+    /// Masks built for stronger patterns are supersets of weaker ones,
+    /// for arbitrary placements.
+    #[test]
+    fn mask_inclusion_chain_mesh_dmesh(
+        var_to_pe in proptest::collection::vec(0usize..9, 10),
+    ) {
+        let wormholes = WormholeSet::new();
+        let grid = (3, 3);
+        let chain = build_mask(10, &var_to_pe, grid, PatternKind::Chain, &wormholes);
+        let mesh = build_mask(10, &var_to_pe, grid, PatternKind::Mesh, &wormholes);
+        let dmesh = build_mask(10, &var_to_pe, grid, PatternKind::DMesh, &wormholes);
+        for k in 0..100 {
+            prop_assert!(!chain[k] || mesh[k], "chain ⊄ mesh at {k}");
+            prop_assert!(!mesh[k] || dmesh[k], "mesh ⊄ dmesh at {k}");
+        }
+    }
+
+    /// `pe_allowed` is symmetric in its PE arguments for every pattern.
+    #[test]
+    fn pattern_symmetry(a in 0usize..12, b in 0usize..12) {
+        let grid = (3, 4);
+        for kind in PatternKind::ALL {
+            prop_assert_eq!(
+                pe_allowed(kind, grid, a, b),
+                pe_allowed(kind, grid, b, a)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Windowing with any (history, horizon) covers the series exactly:
+    /// window count, frame contents, and chronology all line up.
+    #[test]
+    fn windows_cover_series(
+        t_total in 4usize..30,
+        w in 1usize..4,
+        h in 1usize..4,
+    ) {
+        use dsgl::data::{TimeSeries, WindowConfig};
+        let n = 3;
+        let mut series = TimeSeries::zeros(t_total, n, 1);
+        for t in 0..t_total {
+            for i in 0..n {
+                series.set(t, i, 0, (t * n + i) as f64);
+            }
+        }
+        let windows = dsgl::data::split::make_windows(
+            &series,
+            &WindowConfig { history: w, horizon: h },
+        );
+        let expected = t_total.saturating_sub(w + h - 1);
+        prop_assert_eq!(windows.len(), expected);
+        for (k, win) in windows.iter().enumerate() {
+            prop_assert_eq!(win.history.len(), w * n);
+            prop_assert_eq!(win.target.len(), h * n);
+            // First history value of window k is frame k, node 0.
+            prop_assert_eq!(win.history[0], (k * n) as f64);
+            // First target value is frame k + w, node 0.
+            prop_assert_eq!(win.target[0], ((k + w) * n) as f64);
+        }
+    }
+
+    /// The King's-graph mask is symmetric, reflexive, and never couples
+    /// variables more than one grid step apart.
+    #[test]
+    fn kings_mask_properties(cols in 1usize..6, n in 1usize..25) {
+        let mask = dsgl::core::patterns::kings_graph_mask(n, cols);
+        for i in 0..n {
+            prop_assert!(mask[i * n + i], "reflexive at {i}");
+            for j in 0..n {
+                prop_assert_eq!(mask[i * n + j], mask[j * n + i]);
+                if mask[i * n + j] {
+                    let (ri, ci) = (i / cols, i % cols);
+                    let (rj, cj) = (j / cols, j % cols);
+                    prop_assert!(ri.abs_diff(rj).max(ci.abs_diff(cj)) <= 1);
+                }
+            }
+        }
+    }
+
+    /// Horizon layouts keep index arithmetic consistent: every (frame,
+    /// node, feature) triple maps to a unique index inside the right
+    /// block.
+    #[test]
+    fn horizon_layout_indexing(
+        w in 1usize..4,
+        n in 1usize..5,
+        f in 1usize..3,
+        h in 1usize..4,
+    ) {
+        use dsgl::core::VariableLayout;
+        let layout = VariableLayout::with_horizon(w, n, f, h);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..(w + h) {
+            for node in 0..n {
+                for feat in 0..f {
+                    let v = layout.index(t, node, feat);
+                    prop_assert!(v < layout.total());
+                    prop_assert!(seen.insert(v), "index collision at {v}");
+                    prop_assert_eq!(layout.is_target(v), t >= w);
+                    prop_assert_eq!(layout.node_of(v), node);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), layout.total());
+    }
+}

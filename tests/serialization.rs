@@ -1,0 +1,69 @@
+//! Serde round-trips of every persistable artefact: a trained model, a
+//! decomposed model (placement + wormholes + stats), datasets, and
+//! hardware reports survive JSON serialisation bit-exactly.
+
+use dsgl::core::ridge::fit_ridge;
+use dsgl::core::{decompose, DecomposeConfig, DsGlModel, PatternKind, VariableLayout};
+use dsgl::data::{covid, WindowConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_model_roundtrips() {
+    let dataset = covid::generate(3).truncate(12, 120);
+    let (train, _, _) = dataset.split_windows(&WindowConfig::one_step(2), 0.8, 0.0);
+    let layout = VariableLayout::new(2, 12, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &train, 1.0).unwrap();
+
+    let json = serde_json::to_string(&model).unwrap();
+    let back: DsGlModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(model, back);
+    // And it still predicts identically.
+    let p1 = dsgl::core::inference::infer_fixed_point(&model, &train[0], 100).unwrap();
+    let p2 = dsgl::core::inference::infer_fixed_point(&back, &train[0], 100).unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn decomposed_model_roundtrips() {
+    let dataset = covid::generate(4).truncate(12, 120);
+    let (train, _, _) = dataset.split_windows(&WindowConfig::one_step(2), 0.8, 0.0);
+    let layout = VariableLayout::new(2, 12, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &train, 1.0).unwrap();
+    let cfg = DecomposeConfig {
+        density: 0.3,
+        pattern: PatternKind::Mesh,
+        wormhole_budget: 2,
+        pe_capacity: layout.total().div_ceil(4) + 2,
+        grid: (2, 2),
+        finetune: None,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let d = decompose(&model, &train, &cfg, &mut rng).unwrap();
+    let json = serde_json::to_string(&d).unwrap();
+    let back: dsgl::core::DecomposedModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(d, back);
+}
+
+#[test]
+fn dataset_roundtrips() {
+    let dataset = covid::generate(5).truncate(8, 60);
+    let json = serde_json::to_string(&dataset).unwrap();
+    let back: dsgl::data::Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(dataset, back);
+}
+
+#[test]
+fn configs_roundtrip() {
+    let anneal = dsgl::ising::AnnealConfig::default();
+    let json = serde_json::to_string(&anneal).unwrap();
+    let back: dsgl::ising::AnnealConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(anneal, back);
+
+    let hw = dsgl::hw::HwConfig::default();
+    let json = serde_json::to_string(&hw).unwrap();
+    let back: dsgl::hw::HwConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(hw, back);
+}
