@@ -1,9 +1,9 @@
 //! Micro-kernels underlying every experiment: mat-vec, DSPU steps,
 //! Louvain, Cholesky, ridge fits.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsgl_core::ridge::fit_ridge;
-use dsgl_core::{DsGlModel, VariableLayout};
+use dsgl_core::{inference, DsGlModel, Threading, VariableLayout};
 use dsgl_data::{covid, WindowConfig};
 use dsgl_graph::{generators, Louvain};
 use dsgl_ising::{Coupling, NoiseModel, RealValuedDspu, SparseCoupling};
@@ -93,9 +93,80 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
+/// Serial-vs-parallel sweep of the threaded kernels. Thread count 1 is
+/// the serial baseline (the `parallel` feature's dispatch at one thread
+/// takes the sequential path); higher counts show the scaling of the
+/// same bit-identical computation. Override the `Auto` policy with
+/// `RAYON_NUM_THREADS` when comparing machines.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= 2 * std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .collect();
+
+    // Dense mat-vec large enough to clear the work threshold (n² ≥ 2²⁰).
+    let n = 2048;
+    let dense = random_coupling(n, 0.10, 7);
+    let sparse = SparseCoupling::from_dense(&dense);
+    let state: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos() * 0.4).collect();
+    let mut out = vec![0.0; n];
+    let mut group = c.benchmark_group("dense_matvec_2048_threads");
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            Threading::Fixed(t)
+                .install(|| b.iter(|| dense.matvec(black_box(&state), black_box(&mut out))));
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("sparse_matvec_2048_d10_threads");
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            Threading::Fixed(t)
+                .install(|| b.iter(|| sparse.matvec(black_box(&state), black_box(&mut out))));
+        });
+    }
+    group.finish();
+
+    // Training: ridge fit (per-target-column solves) on a wider window.
+    let nodes = 40;
+    let ds = covid::generate(2).truncate(nodes, 160);
+    let wc = WindowConfig::one_step(4);
+    let (train, _, test) = ds.split_windows(&wc, 0.7, 0.0);
+    let layout = VariableLayout::new(4, nodes, 1);
+    let mut group = c.benchmark_group("ridge_fit_40n_w4_threads");
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            Threading::Fixed(t).install(|| {
+                b.iter(|| {
+                    let mut model = DsGlModel::new(layout);
+                    fit_ridge(&mut model, black_box(&train), 1.0).unwrap();
+                    black_box(model)
+                })
+            });
+        });
+    }
+    group.finish();
+
+    // Batch annealing: many windows annealed concurrently.
+    let mut model = DsGlModel::new(layout);
+    model.init_persistence(0.9);
+    fit_ridge(&mut model, &train, 1.0).unwrap();
+    let windows = &test[..test.len().min(32)];
+    let cfg = dsgl_ising::AnnealConfig::default();
+    let mut group = c.benchmark_group("infer_batch_32w_threads");
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            Threading::Fixed(t).install(|| {
+                b.iter(|| black_box(inference::infer_batch(&model, windows, &cfg, 42).unwrap()))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_kernels
+    targets = bench_kernels, bench_parallel_scaling
 }
 criterion_main!(benches);

@@ -242,9 +242,9 @@ pub fn imputation_fp_rmse(model: &DsGlModel, samples: &[Sample], observed: &[usi
     for s in samples {
         let pred = dsgl_core::inference::infer_fixed_point_imputation(model, s, observed, 150)
             .expect("fixed-point imputation");
-        for i in 0..frame_len {
+        for (i, (&p, &t)) in pred.iter().zip(&s.target).enumerate().take(frame_len) {
             if !observed_set.contains(&i) {
-                sse += (pred[i] - s.target[i]) * (pred[i] - s.target[i]);
+                sse += (p - t) * (p - t);
                 count += 1;
             }
         }
@@ -428,7 +428,9 @@ pub fn decompose_model_imputation(
 /// temporal multiplexing.
 pub fn trim_to_lanes(d: &mut DecomposedModel, lanes: usize) {
     use std::collections::{BTreeMap, HashMap};
-    let mut by_link: BTreeMap<(usize, usize), Vec<(usize, usize, f64)>> = BTreeMap::new();
+    // Cross-PE couplings keyed by (pe_a, pe_b) link.
+    type LinkCouplings = BTreeMap<(usize, usize), Vec<(usize, usize, f64)>>;
+    let mut by_link: LinkCouplings = BTreeMap::new();
     for (i, j, w) in d.model.coupling().nonzeros() {
         let (pa, pb) = (d.var_to_pe[i], d.var_to_pe[j]);
         if pa != pb {

@@ -165,6 +165,120 @@ pub fn infer_fixed_point_imputation(
     Ok(state[layout.target_range()].to_vec())
 }
 
+/// Derives the RNG seed for window `index` of a batch from the batch's
+/// master seed (splitmix64 finaliser). Pure in `(master, index)`, so the
+/// assignment of windows to threads can never change a window's noise.
+fn window_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Anneals many test windows concurrently, one machine per window.
+///
+/// Each window gets its own [`rand::rngs::StdRng`] seeded from
+/// `(master_seed, window index)` via a splitmix64 mix, so the draws that
+/// randomise the free block and inject annealing noise are a pure
+/// function of the window's position in `samples` — never of which
+/// thread ran it or how many threads exist. The returned predictions and
+/// reports are therefore **bit-identical** across every
+/// [`crate::Threading`] policy, across repeated calls, and between the
+/// `parallel` and `--no-default-features` builds. (For the same reason
+/// the results intentionally differ from threading a single shared RNG
+/// through sequential [`infer_dense`] calls.)
+///
+/// Windows are annealed in parallel when the `parallel` feature is
+/// enabled; wrap the call in [`crate::Threading::install`] to pin the
+/// thread count.
+///
+/// Returns one `(predicted target frame, anneal report)` per sample, in
+/// sample order.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_core::{inference, DsGlModel, VariableLayout, Threading};
+/// use dsgl_data::Sample;
+/// use dsgl_ising::AnnealConfig;
+///
+/// let layout = VariableLayout::new(1, 3, 1);
+/// let mut model = DsGlModel::new(layout);
+/// model.init_persistence(0.9);
+/// let windows: Vec<Sample> = (0..4)
+///     .map(|i| Sample {
+///         history: vec![0.1 * i as f64; 3],
+///         target: vec![0.0; 3],
+///     })
+///     .collect();
+/// let cfg = AnnealConfig::default();
+/// let par = inference::infer_batch(&model, &windows, &cfg, 7).unwrap();
+/// let ser = Threading::Sequential
+///     .install(|| inference::infer_batch(&model, &windows, &cfg, 7))
+///     .unwrap();
+/// assert_eq!(par.len(), 4);
+/// for (p, s) in par.iter().zip(&ser) {
+///     assert_eq!(p.0, s.0); // bit-identical predictions
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    let layout = model.layout();
+    let total = layout.total();
+    // Rough per-window flop count: one matvec per integration step.
+    let work_per_window = total * total * 64;
+    let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
+        infer_dense(model, &samples[i], config, &mut rng)
+    });
+    results.into_iter().collect()
+}
+
+/// Evaluates annealed inference over a test set using [`infer_batch`]:
+/// the parallel, deterministically-seeded counterpart of [`evaluate`].
+/// The report is reduced in sample order, so it inherits `infer_batch`'s
+/// bit-identical-across-thread-counts guarantee.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty test set, or any
+/// per-sample inference error.
+pub fn evaluate_batch(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+) -> Result<EvalReport, CoreError> {
+    let results = infer_batch(model, samples, config, master_seed)?;
+    let mut per_sample = Vec::with_capacity(samples.len());
+    let mut latency_sum = 0.0;
+    let mut converged = 0usize;
+    for (s, (pred, report)) in samples.iter().zip(&results) {
+        per_sample.push((crate::metrics::rmse(pred, &s.target), pred.len()));
+        latency_sum += report.sim_time_ns;
+        converged += report.converged as usize;
+    }
+    Ok(EvalReport {
+        rmse: pooled_rmse(&per_sample),
+        mean_latency_ns: latency_sum / samples.len() as f64,
+        samples: samples.len(),
+        converged_fraction: converged as f64 / samples.len() as f64,
+    })
+}
+
 /// Result of evaluating a model over a test set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalReport {
@@ -288,6 +402,46 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
             evaluate(&model, &[], &AnnealConfig::default(), &mut rng),
+            Err(CoreError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn batch_inference_matches_truth_and_is_reproducible() {
+        let (model, samples) = trained_model(6);
+        let cfg = AnnealConfig::default();
+        let a = infer_batch(&model, &samples[..8], &cfg, 42).unwrap();
+        let b = infer_batch(&model, &samples[..8], &cfg, 42).unwrap();
+        assert_eq!(a.len(), 8);
+        for ((pa, ra), (pb, _)) in a.iter().zip(&b) {
+            assert_eq!(pa, pb, "same master seed must reproduce bits");
+            assert!(ra.converged);
+        }
+        for ((pred, _), s) in a.iter().zip(&samples[..8]) {
+            let rmse = crate::metrics::rmse(pred, &s.target);
+            assert!(rmse < 0.05, "batch rmse {rmse}");
+        }
+        // A different master seed draws different annealing noise.
+        let c = infer_batch(&model, &samples[..8], &cfg, 43).unwrap();
+        assert!(a.iter().zip(&c).any(|((pa, _), (pc, _))| pa != pc));
+    }
+
+    #[test]
+    fn batch_evaluation_report() {
+        let (model, samples) = trained_model(7);
+        let report = evaluate_batch(&model, &samples[..10], &AnnealConfig::default(), 1).unwrap();
+        assert_eq!(report.samples, 10);
+        assert!(report.rmse < 0.05, "rmse {}", report.rmse);
+        assert!(report.converged_fraction > 0.9);
+        let again = evaluate_batch(&model, &samples[..10], &AnnealConfig::default(), 1).unwrap();
+        assert_eq!(report, again, "evaluation must be deterministic");
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let (model, _) = trained_model(8);
+        assert!(matches!(
+            infer_batch(&model, &[], &AnnealConfig::default(), 0),
             Err(CoreError::EmptyTrainingSet)
         ));
     }

@@ -52,6 +52,7 @@ pub mod model;
 pub mod patterns;
 pub mod ridge;
 pub mod sparsify;
+pub mod threading;
 pub mod trainer;
 pub mod windows;
 
@@ -59,4 +60,5 @@ pub use error::CoreError;
 pub use model::{DsGlModel, VariableLayout};
 pub use patterns::PatternKind;
 pub use sparsify::{decompose, DecomposeConfig, DecomposedModel};
+pub use threading::Threading;
 pub use trainer::{TrainConfig, TrainReport, Trainer};

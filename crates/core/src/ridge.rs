@@ -88,14 +88,29 @@ pub fn fit_ridge(
     let xty = x.t_matmul(&targets); // hist × frame_len
     let factor = factor_with_escalation(&gram, lambda);
 
-    for (t_idx, v) in layout.target_range().enumerate() {
-        let q = -model.h()[v];
-        let b: Vec<f64> = (0..hist)
-            .map(|j| xty.get(j, t_idx) + lambda * model.coupling().get(v, j) / q)
-            .collect();
-        let w = cholesky_solve(&factor, &b);
+    // Per-target rows are independent: each reads only its own row of
+    // the incoming model and the shared factorisation, so the solves
+    // run in parallel (bit-identical to the serial order) and only the
+    // writes below touch the model.
+    let solved: Vec<(usize, Vec<f64>)> = {
+        let model_ref: &DsGlModel = model;
+        let targets_idx: Vec<usize> = layout.target_range().collect();
+        crate::threading::par_map(targets_idx.len(), hist * hist, |t_idx| {
+            let v = targets_idx[t_idx];
+            let q = -model_ref.h()[v];
+            let b: Vec<f64> = (0..hist)
+                .map(|j| xty.get(j, t_idx) + lambda * model_ref.coupling().get(v, j) / q)
+                .collect();
+            let w = cholesky_solve(&factor, &b)
+                .iter()
+                .map(|&wj| wj * q)
+                .collect();
+            (v, w)
+        })
+    };
+    for (v, w) in solved {
         for (j, &wj) in w.iter().enumerate() {
-            model.coupling_mut().set(v, j, wj * q);
+            model.coupling_mut().set(v, j, wj);
         }
         // No target-target couplings in the ridge fit.
         for u in layout.target_range() {
@@ -139,31 +154,46 @@ pub fn refit_ridge_masked(
     let gram = x.t_matmul(&x); // total × total
 
     let target_start = layout.history_len();
-    for v in layout.target_range() {
-        // Support: currently coupled variables. Target–target pairs are
-        // owned by the lower-indexed row to preserve symmetry.
-        let support: Vec<usize> = (0..total)
-            .filter(|&j| j != v && model.coupling().get(v, j) != 0.0)
-            .filter(|&j| j < target_start || j > v)
-            .collect();
-        if support.is_empty() {
-            continue;
-        }
-        let k = support.len();
-        let mut g = Matrix::zeros(k, k);
-        for (a, &ja) in support.iter().enumerate() {
-            for (b, &jb) in support.iter().enumerate() {
-                g.set(a, b, gram.get(ja, jb));
+    // Each row's support (`j < target_start || j > v`) never includes a
+    // slot another row writes, so the per-row solves read a consistent
+    // snapshot of the model and run in parallel; only the writes below
+    // mutate it.
+    let solved: Vec<(usize, Vec<usize>, Vec<f64>)> = {
+        let model_ref: &DsGlModel = model;
+        let targets_idx: Vec<usize> = layout.target_range().collect();
+        crate::threading::par_map(targets_idx.len(), total * total, |t_idx| {
+            let v = targets_idx[t_idx];
+            // Support: currently coupled variables. Target–target pairs
+            // are owned by the lower-indexed row to preserve symmetry.
+            let support: Vec<usize> = (0..total)
+                .filter(|&j| j != v && model_ref.coupling().get(v, j) != 0.0)
+                .filter(|&j| j < target_start || j > v)
+                .collect();
+            if support.is_empty() {
+                return (v, support, Vec::new());
             }
-        }
-        let q = -model.h()[v];
-        let b: Vec<f64> = support
-            .iter()
-            .map(|&j| gram.get(j, v) + lambda * model.coupling().get(v, j) / q)
-            .collect();
-        let w = ridge_solve(&g, &b, lambda);
+            let k = support.len();
+            let mut g = Matrix::zeros(k, k);
+            for (a, &ja) in support.iter().enumerate() {
+                for (b, &jb) in support.iter().enumerate() {
+                    g.set(a, b, gram.get(ja, jb));
+                }
+            }
+            let q = -model_ref.h()[v];
+            let b: Vec<f64> = support
+                .iter()
+                .map(|&j| gram.get(j, v) + lambda * model_ref.coupling().get(v, j) / q)
+                .collect();
+            let w = ridge_solve(&g, &b, lambda)
+                .iter()
+                .map(|&wj| wj * q)
+                .collect();
+            (v, support, w)
+        })
+    };
+    for (v, support, w) in solved {
         for (&j, &wj) in support.iter().zip(&w) {
-            model.coupling_mut().set(v, j, wj * q);
+            model.coupling_mut().set(v, j, wj);
         }
     }
     Ok(())
@@ -210,7 +240,9 @@ pub fn fit_gaussian_couplings(
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
-    if !(0.0..1.0).contains(&shrinkage) || !(scale > 0.0) {
+    if !(0.0..1.0).contains(&shrinkage)
+        || scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+    {
         return Err(CoreError::InvalidConfig {
             reason: format!("shrinkage {shrinkage} or scale {scale} out of range"),
         });
@@ -277,10 +309,10 @@ pub fn fit_gaussian_couplings(
         model.h_mut()[v] = -s_conductance * theta.get(v_idx, v_idx);
         // History row: s·Σ_u Θ[v][u]·W_h[u].
         let mut row = vec![0.0; hist];
-        for u_idx in 0..t_len {
+        for (u_idx, wh) in w_hist.iter().enumerate().take(t_len) {
             let th = theta.get(v_idx, u_idx);
             if th != 0.0 {
-                for (rj, &hj) in row.iter_mut().zip(&w_hist[u_idx]) {
+                for (rj, &hj) in row.iter_mut().zip(wh) {
                     *rj += th * hj;
                 }
             }

@@ -161,6 +161,11 @@ impl Trainer {
     /// being `false` pins coupling `(i, j)` to zero (used by the
     /// decomposition fine-tune, paper Sec. IV.B(3)).
     ///
+    /// Gradient accumulation is multi-threaded under the `parallel`
+    /// feature (one task per target row); the reduction order is fixed,
+    /// so the fitted model is bit-identical for every
+    /// [`crate::Threading`] policy and for the serial build.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::EmptyTrainingSet`], a shape mismatch, or
@@ -214,27 +219,51 @@ impl Trainer {
             for batch in order.chunks(self.config.batch_size) {
                 grad_tri.iter_mut().for_each(|g| *g = 0.0);
                 grad_h.iter_mut().for_each(|g| *g = 0.0);
-                for &si in batch {
-                    let state = &states[si];
-                    for &v in &target {
-                        let q = -model.h()[v];
-                        let row = model.coupling().row(v);
-                        let mut dot = 0.0;
-                        for (j, &s) in state.iter().enumerate() {
-                            dot += row[j] * s;
-                        }
-                        let pred = dot / q;
-                        let err = pred - state[v];
-                        epoch_sse += err * err;
-                        epoch_count += 1;
-                        let coeff = 2.0 * err / q;
-                        for (j, &s) in state.iter().enumerate() {
-                            if j != v {
-                                grad_tri[tri_index(n, v, j)] += coeff * s;
+                // Per-target gradient partials only read the model, so
+                // they are computed in parallel (each accumulating over
+                // the batch in sample order) and reduced serially in
+                // target order below. Both orders are independent of
+                // the thread count, so the step is bit-identical across
+                // Threading policies and the serial build.
+                let parts: Vec<(Vec<f64>, f64, f64)> = {
+                    let model_ref: &DsGlModel = model;
+                    crate::threading::par_map(target.len(), batch.len() * n, |ti| {
+                        let v = target[ti];
+                        let q = -model_ref.h()[v];
+                        let row = model_ref.coupling().row(v);
+                        let mut g_row = vec![0.0; n];
+                        let mut g_h = 0.0;
+                        let mut sse = 0.0;
+                        for &si in batch {
+                            let state = &states[si];
+                            let mut dot = 0.0;
+                            for (j, &s) in state.iter().enumerate() {
+                                dot += row[j] * s;
                             }
+                            let pred = dot / q;
+                            let err = pred - state[v];
+                            sse += err * err;
+                            let coeff = 2.0 * err / q;
+                            for (j, &s) in state.iter().enumerate() {
+                                if j != v {
+                                    g_row[j] += coeff * s;
+                                }
+                            }
+                            g_h += 2.0 * err * pred / q;
                         }
-                        grad_h[v] += 2.0 * err * pred / q;
+                        (g_row, g_h, sse)
+                    })
+                };
+                for (ti, (g_row, g_h, sse)) in parts.into_iter().enumerate() {
+                    let v = target[ti];
+                    for (j, g) in g_row.into_iter().enumerate() {
+                        if j != v {
+                            grad_tri[tri_index(n, v, j)] += g;
+                        }
                     }
+                    grad_h[v] += g_h;
+                    epoch_sse += sse;
+                    epoch_count += batch.len();
                 }
                 // Soft contraction penalty (per batch, so its scale
                 // tracks the data-loss gradient scale).
@@ -307,7 +336,7 @@ impl Trainer {
             let mut k = 0;
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let allowed = mask.map_or(true, |m| m[i * n + j] && m[j * n + i]);
+                    let allowed = mask.is_none_or(|m| m[i * n + j] && m[j * n + i]);
                     c.set(i, j, if allowed { tri[k] } else { 0.0 });
                     k += 1;
                 }

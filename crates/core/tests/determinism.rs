@@ -1,0 +1,164 @@
+//! Parallel/serial equivalence harness.
+//!
+//! Every threaded kernel in the workspace promises *bit-identical*
+//! results across thread counts: the `Threading` policy may only change
+//! wall-clock time, never a single bit of any fitted parameter or
+//! prediction. These tests lock that contract in by fingerprinting the
+//! f64 bit patterns produced under `Sequential`, one worker, and many
+//! workers. CI runs them both with the `parallel` feature (default) and
+//! with `--no-default-features`, which pins the serial build to the
+//! same bits.
+
+use dsgl_core::ridge::{fit_ridge, refit_ridge_masked};
+use dsgl_core::{inference, DsGlModel, Threading, TrainConfig, Trainer, VariableLayout};
+use dsgl_data::Sample;
+use dsgl_ising::{AnnealConfig, Coupling};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const POLICIES: [Threading; 3] = [
+    Threading::Sequential,
+    Threading::Fixed(1),
+    Threading::Fixed(8),
+];
+
+/// Windows with `frames` history frames of `n_nodes` values; the target
+/// frame is a fixed linear function of the last history frame.
+fn linear_samples(frames: usize, n_nodes: usize, count: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let hist: Vec<f64> = (0..frames * n_nodes)
+                .map(|_| rng.random::<f64>() * 0.8)
+                .collect();
+            let last = &hist[(frames - 1) * n_nodes..];
+            let target: Vec<f64> = last
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| 0.55 * h + 0.2 * last[(i + 1) % n_nodes])
+                .collect();
+            Sample {
+                history: hist,
+                target,
+            }
+        })
+        .collect()
+}
+
+/// Exact bit patterns of `J` and `h`.
+fn fingerprint(model: &DsGlModel) -> (Vec<u64>, Vec<u64>) {
+    (
+        model
+            .coupling()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        model.h().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn sgd_training_is_bit_identical_across_policies() {
+    let samples = linear_samples(2, 6, 48, 1);
+    let layout = VariableLayout::new(2, 6, 1);
+    let cfg = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::default()
+    };
+    let fit_under = |policy: Threading| {
+        let mut model = DsGlModel::new(layout);
+        let mut rng = StdRng::seed_from_u64(7);
+        policy
+            .install(|| Trainer::new(cfg).fit(&mut model, &samples, &mut rng))
+            .unwrap();
+        fingerprint(&model)
+    };
+    let reference = fit_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            fit_under(*policy),
+            reference,
+            "training diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn ridge_fit_and_masked_refit_are_bit_identical_across_policies() {
+    let samples = linear_samples(2, 8, 60, 2);
+    let layout = VariableLayout::new(2, 8, 1);
+    let fit_under = |policy: Threading| {
+        let mut model = DsGlModel::new(layout);
+        policy.install(|| {
+            fit_ridge(&mut model, &samples, 1e-4).unwrap();
+            model.coupling_mut().prune_to_density(0.2);
+            refit_ridge_masked(&mut model, &samples, 1e-4).unwrap();
+        });
+        fingerprint(&model)
+    };
+    let reference = fit_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            fit_under(*policy),
+            reference,
+            "ridge pipeline diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn batch_inference_is_bit_identical_across_policies() {
+    // 50 nodes × 2 history frames: big enough that the parallel path
+    // actually engages (work threshold) under Fixed(8).
+    let samples = linear_samples(2, 50, 40, 3);
+    let layout = VariableLayout::new(2, 50, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &samples[..30], 1e-3).unwrap();
+    let windows = &samples[30..];
+    let cfg = AnnealConfig::default();
+    let infer_under = |policy: Threading| -> Vec<u64> {
+        policy
+            .install(|| inference::infer_batch(&model, windows, &cfg, 99))
+            .unwrap()
+            .into_iter()
+            .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let reference = infer_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            infer_under(*policy),
+            reference,
+            "batch inference diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn large_matvec_is_bit_identical_across_policies() {
+    // n = 1536 clears the 2²⁰-flop work threshold, so Fixed(8) really
+    // splits rows across threads; row accumulation order is unchanged.
+    let n = 1536;
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut j = Coupling::zeros(n);
+    for i in 0..n {
+        for k in (i + 1)..(i + 9).min(n) {
+            j.set(i, k, rng.random::<f64>() - 0.5);
+        }
+    }
+    let s: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
+    let run_under = |policy: Threading| -> Vec<u64> {
+        let mut out = vec![0.0; n];
+        policy.install(|| j.matvec(&s, &mut out));
+        out.iter().map(|v| v.to_bits()).collect()
+    };
+    let reference = run_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            run_under(*policy),
+            reference,
+            "matvec diverged under {policy:?}"
+        );
+    }
+}

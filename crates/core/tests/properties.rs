@@ -1,0 +1,103 @@
+//! Property tests over the parallel training pipeline: whatever data the
+//! trainer sees, the machine it produces must stay physical (symmetric
+//! zero-diagonal `J`, strictly negative `h`) and its annealed state must
+//! agree with the analytic fixed point of the programmed dynamics.
+
+use dsgl_core::ridge::fit_ridge;
+use dsgl_core::{inference, DsGlModel, TrainConfig, Trainer, VariableLayout};
+use dsgl_data::Sample;
+use dsgl_ising::AnnealConfig;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_samples(n_nodes: usize, count: usize, seed: u64, gain: f64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let hist: Vec<f64> = (0..n_nodes).map(|_| rng.random::<f64>() * 0.8).collect();
+            let target: Vec<f64> = hist
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| gain * h + 0.15 * hist[(i + 1) % n_nodes])
+                .collect();
+            Sample {
+                history: hist,
+                target,
+            }
+        })
+        .collect()
+}
+
+/// `J` symmetric with a zero diagonal, `h` strictly negative.
+fn assert_physical(model: &DsGlModel) -> Result<(), TestCaseError> {
+    let n = model.layout().total();
+    let j = model.coupling().as_slice();
+    for i in 0..n {
+        prop_assert_eq!(j[i * n + i], 0.0, "diagonal at {}", i);
+        for k in (i + 1)..n {
+            prop_assert_eq!(j[i * n + k], j[k * n + i], "asymmetry at ({}, {})", i, k);
+        }
+    }
+    for (i, &h) in model.h().iter().enumerate() {
+        prop_assert!(h < 0.0, "h[{}] = {} not strictly negative", i, h);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn trained_model_stays_physical(
+        n_nodes in 3usize..7,
+        seed in 0u64..1000,
+        gain in 0.3f64..0.7,
+    ) {
+        let samples = random_samples(n_nodes, 40, seed, gain);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        Trainer::new(cfg).fit(&mut model, &samples, &mut rng).unwrap();
+        assert_physical(&model)?;
+    }
+
+    #[test]
+    fn ridge_fitted_model_stays_physical(
+        n_nodes in 3usize..8,
+        seed in 0u64..1000,
+    ) {
+        let samples = random_samples(n_nodes, 50, seed, 0.55);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples, 1e-4).unwrap();
+        assert_physical(&model)?;
+    }
+
+    #[test]
+    fn annealing_reaches_the_analytic_fixed_point(
+        n_nodes in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let samples = random_samples(n_nodes, 50, seed, 0.5);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples[..40], 1e-6).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for sample in &samples[40..43] {
+            let mut dspu = inference::machine_for_sample(&model, sample, &mut rng).unwrap();
+            let analytic = dspu.analytic_fixed_point(400);
+            let report = dspu.run(&AnnealConfig::default(), &mut rng);
+            prop_assert!(report.converged, "annealing did not converge");
+            for v in layout.target_range() {
+                let (a, s) = (analytic[v], dspu.state()[v]);
+                prop_assert!(
+                    (a - s).abs() < 1e-2,
+                    "node {}: analytic {} vs annealed {}", v, a, s
+                );
+            }
+        }
+    }
+}

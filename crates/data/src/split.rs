@@ -53,11 +53,7 @@ pub struct Sample {
 impl Sample {
     /// Number of history frames given the frame size.
     pub fn history_steps(&self, frame_len: usize) -> usize {
-        if frame_len == 0 {
-            0
-        } else {
-            self.history.len() / frame_len
-        }
+        self.history.len().checked_div(frame_len).unwrap_or(0)
     }
 
     /// The `i`-th history frame (0 = oldest).

@@ -337,18 +337,28 @@ mod tests {
 
     #[test]
     fn lower_noise_is_more_predictable() {
+        // Min-max normalization partially cancels the noise contrast on
+        // any single realization (louder noise also inflates the value
+        // range), so compare seed-paired averages with a wide contrast.
         let quiet = DiffusionConfig {
             innovation_std: 0.005,
             season_amp: 0.3,
             ..DiffusionConfig::default()
         };
         let loud = DiffusionConfig {
-            innovation_std: 0.2,
+            innovation_std: 0.5,
             season_amp: 0.3,
             ..DiffusionConfig::default()
         };
-        let rq = persistence_rmse(&generate("q", &quiet, 3).series);
-        let rl = persistence_rmse(&generate("l", &loud, 3).series);
+        let seeds = [1u64, 3, 7, 11, 19];
+        let mean = |cfg: &DiffusionConfig| {
+            seeds
+                .iter()
+                .map(|&s| persistence_rmse(&generate("n", cfg, s).series))
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let (rq, rl) = (mean(&quiet), mean(&loud));
         assert!(rq < rl, "quiet {rq} vs loud {rl}");
     }
 

@@ -187,9 +187,7 @@ impl CsrGraph {
         let mut total = 0.0;
         for u in 0..self.n {
             for (v, w) in self.neighbors(u) {
-                if v > u {
-                    total += w;
-                } else if v == u {
+                if v >= u {
                     total += w;
                 }
             }

@@ -236,11 +236,11 @@ impl MappedMachine {
             }
         }
         // Integrate.
-        for i in 0..self.n {
+        for (i, &ci) in currents.iter().enumerate().take(self.n) {
             if !self.free[i] {
                 continue;
             }
-            let mut current = currents[i];
+            let mut current = ci;
             if anneal.noise.coupler_std > 0.0 {
                 current *= 1.0 + anneal.noise.coupler_std * gaussian(rng);
             }
@@ -312,7 +312,7 @@ impl MappedMachine {
             self.step_once(t, &mut last_sync, config, &mut currents, rng);
             t += anneal.dt_ns;
             steps += 1;
-            if steps % anneal.check_every == 0 {
+            if steps.is_multiple_of(anneal.check_every) {
                 rate = max_rate(
                     &prev,
                     &self.state,

@@ -117,7 +117,9 @@ pub fn validate_mapping(d: &DecomposedModel, lanes: usize) -> MappingReport {
     }
 
     // Routability + demand.
-    let mut per_link: BTreeMap<(usize, usize), (Vec<usize>, Vec<usize>, usize)> = BTreeMap::new();
+    // Per link: exporting nodes on each side plus the coupling count.
+    type LinkExports = BTreeMap<(usize, usize), (Vec<usize>, Vec<usize>, usize)>;
+    let mut per_link: LinkExports = BTreeMap::new();
     for (i, j, _) in d.model.coupling().nonzeros() {
         let (pa, pb) = (d.var_to_pe[i], d.var_to_pe[j]);
         if pa == pb {

@@ -162,11 +162,11 @@ impl Brim {
         let node_sigma = noise.node_std
             * self.rail
             * (2.0 * self.latch_gain * dt_ns / self.capacitance).sqrt();
-        for i in 0..n {
+        for (i, &jsi) in js.iter().enumerate().take(n) {
             if !self.free[i] {
                 continue;
             }
-            let mut current = js[i] + self.h[i];
+            let mut current = jsi + self.h[i];
             if noise.coupler_std > 0.0 {
                 current *= 1.0 + noise.coupler_std * gaussian(rng);
             }

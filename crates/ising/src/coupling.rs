@@ -143,20 +143,26 @@ impl Coupling {
 
     /// Dense mat-vec `out = J * s`.
     ///
+    /// Rows are computed in parallel when the `parallel` feature is on
+    /// and the system is large enough; each row accumulates in column
+    /// order either way, so results are bit-identical across thread
+    /// counts.
+    ///
     /// # Panics
     ///
     /// Panics if `s` or `out` have wrong length.
     pub fn matvec(&self, s: &[f64], out: &mut [f64]) {
         assert_eq!(s.len(), self.n, "state length mismatch");
         assert_eq!(out.len(), self.n, "output length mismatch");
-        for i in 0..self.n {
-            let row = self.row(i);
+        let n = self.n;
+        crate::par::fill_rows(out, n, |i| {
+            let row = &self.data[i * n..(i + 1) * n];
             let mut acc = 0.0;
-            for j in 0..self.n {
+            for j in 0..n {
                 acc += row[j] * s[j];
             }
-            out[i] = acc;
-        }
+            acc
+        });
     }
 
     /// Prunes the weakest couplings so that at most a `target_density`
@@ -324,7 +330,7 @@ mod tests {
         j.set(0, 1, 1.0);
         j.set(1, 2, 2.0);
         let mut mask = vec![true; 9];
-        mask[1 * 3 + 2] = false; // forbid (1,2)
+        mask[3 + 2] = false; // forbid (1,2): index row·n + col = 1·3 + 2
         j.apply_mask(&mask);
         assert_eq!(j.get(0, 1), 1.0);
         assert_eq!(j.get(1, 2), 0.0);

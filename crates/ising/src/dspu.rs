@@ -220,6 +220,12 @@ impl RealValuedDspu {
     /// Advances the machine one Euler step of `dt_ns`, returning the
     /// maximum free-node rate `|dσ/dt|` observed.
     ///
+    /// The dominant cost, the coupling mat-vec, runs multi-threaded
+    /// under the `parallel` feature (bit-identically to the serial
+    /// build). The per-node integration stays serial so that noise
+    /// draws consume the RNG in node order, keeping noisy runs
+    /// reproducible for a given seed at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `dt_ns <= 0`.
@@ -230,15 +236,14 @@ impl RealValuedDspu {
         rng: &mut R,
     ) -> f64 {
         assert!(dt_ns > 0.0, "dt must be positive");
-        let n = self.n();
         let mut js = std::mem::take(&mut self.scratch);
         self.coupling.matvec(&self.state, &mut js);
         let mut rate = 0.0f64;
-        for i in 0..n {
+        for (i, &jsi) in js.iter().enumerate() {
             if !self.free[i] {
                 continue;
             }
-            let mut current = js[i];
+            let mut current = jsi;
             if noise.coupler_std > 0.0 {
                 current *= 1.0 + noise.coupler_std * gaussian(rng);
             }
@@ -263,6 +268,10 @@ impl RealValuedDspu {
     /// dynamics, then injects noise Euler–Maruyama style. Four mat-vecs
     /// per step, but follows the analog trajectory far more accurately
     /// than Euler at the same `dt`.
+    ///
+    /// All four mat-vecs run multi-threaded under the `parallel`
+    /// feature; noise injection stays serial in node order (see
+    /// [`RealValuedDspu::step`]).
     ///
     /// # Panics
     ///
@@ -509,6 +518,24 @@ mod tests {
         // Matches the analytic helper too.
         let fp = d.analytic_fixed_point(200);
         assert!((d.state()[1] - fp[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fully_clamped_machine_is_inert() {
+        // Every node clamped: no free variables remain, annealing must
+        // converge immediately and leave every value exactly in place.
+        let mut d = chain3();
+        d.clamp(0, 0.3).unwrap();
+        d.clamp(1, -0.2).unwrap();
+        d.clamp(2, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        d.randomize_free(&mut rng); // no-op: nothing is free
+        let report = d.run(&AnnealConfig::default(), &mut rng);
+        assert!(report.converged);
+        assert_eq!(d.state(), &[0.3, -0.2, 0.8]);
+        // The analytic fixed point of a fully-clamped machine is its
+        // clamped state.
+        assert_eq!(d.analytic_fixed_point(50), vec![0.3, -0.2, 0.8]);
     }
 
     #[test]

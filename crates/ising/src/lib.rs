@@ -52,6 +52,7 @@ pub mod dspu;
 pub mod error;
 pub mod hamiltonian;
 pub mod noise;
+pub(crate) mod par;
 pub mod sparse;
 pub mod trace;
 

@@ -1,0 +1,67 @@
+//! Row-parallel kernel dispatch.
+//!
+//! Every parallel kernel in this crate funnels through [`fill_rows`]:
+//! output element `i` is produced by an independent closure call `f(i)`,
+//! and the parallel path only changes *which thread* evaluates each row,
+//! never the order of floating-point operations inside a row. Results
+//! are therefore bit-identical across thread counts and to the serial
+//! build (`--no-default-features`).
+
+/// Minimum estimated flop count before forking threads is worth it.
+///
+/// Threads are spawned per call (scoped fork-join), so a kernel must
+/// carry roughly a millisecond of work to amortise the spawn cost.
+#[cfg(feature = "parallel")]
+pub(crate) const PAR_MIN_WORK: usize = 1 << 20;
+
+/// Computes `out[i] = f(i)` for every `i`, splitting rows across
+/// threads when the `parallel` feature is enabled and the total work
+/// (`out.len() * work_per_row` operation estimate) is large enough.
+#[cfg(feature = "parallel")]
+pub(crate) fn fill_rows<F>(out: &mut [f64], work_per_row: usize, f: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    use rayon::prelude::*;
+    let total_work = out.len().saturating_mul(work_per_row.max(1));
+    if total_work < PAR_MIN_WORK || rayon::current_num_threads() <= 1 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+        return;
+    }
+    out.par_iter_mut().enumerate().for_each(|(i, o)| *o = f(i));
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn fill_rows<F>(out: &mut [f64], _work_per_row: usize, f: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = f(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_every_row_small() {
+        let mut out = vec![0.0; 300];
+        fill_rows(&mut out, 1, |i| i as f64 * 1.5);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64 * 1.5));
+    }
+
+    #[test]
+    fn fills_every_row_above_threshold() {
+        let mut out = vec![0.0; 2048];
+        fill_rows(&mut out, 2048, |i| (i as f64).sqrt());
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v.to_bits() == (i as f64).sqrt().to_bits()));
+    }
+}

@@ -82,19 +82,25 @@ impl SparseCoupling {
 
     /// Sparse mat-vec `out = J * s`.
     ///
+    /// Rows are computed in parallel when the `parallel` feature is on
+    /// and the system is large enough; each row accumulates in column
+    /// order either way, so results are bit-identical across thread
+    /// counts.
+    ///
     /// # Panics
     ///
     /// Panics if `s` or `out` have wrong length.
     pub fn matvec(&self, s: &[f64], out: &mut [f64]) {
         assert_eq!(s.len(), self.n, "state length mismatch");
         assert_eq!(out.len(), self.n, "output length mismatch");
-        for i in 0..self.n {
+        let work_per_row = self.vals.len() / self.n.max(1) + 1;
+        crate::par::fill_rows(out, work_per_row, |i| {
             let mut acc = 0.0;
             for (j, w) in self.row(i) {
                 acc += w * s[j];
             }
-            out[i] = acc;
-        }
+            acc
+        });
     }
 
     /// Sum of `|J[i][j]|` over row `i`.
@@ -171,5 +177,67 @@ mod tests {
         let mut out = [1.0; 3];
         sparse.matvec(&[1.0; 3], &mut out);
         assert_eq!(out, [0.0; 3]);
+    }
+
+    #[test]
+    fn random_symmetric_roundtrip_preserves_bits() {
+        // Pseudo-random symmetric matrix with ~35% density: CSR must
+        // reproduce the dense form exactly, including value bits.
+        let n = 24;
+        let mut j = Coupling::zeros(n);
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..n {
+            for k in (i + 1)..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 100 < 35 {
+                    j.set(i, k, (x % 1000) as f64 / 500.0 - 1.0);
+                }
+            }
+        }
+        let sparse = SparseCoupling::from_dense(&j);
+        let back = sparse.to_dense();
+        assert_eq!(back, j);
+        for i in 0..n {
+            assert_eq!(
+                back.row(i)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                j.row(i).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "row {i} bits changed in roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_row_roundtrip() {
+        // Node 2 is isolated: its CSR row is empty, and the roundtrip
+        // and matvec must both handle the zero-length span.
+        let mut j = Coupling::zeros(5);
+        j.set(0, 1, 1.5);
+        j.set(3, 4, -0.5);
+        let sparse = SparseCoupling::from_dense(&j);
+        assert_eq!(sparse.row(2).count(), 0);
+        assert_eq!(sparse.to_dense(), j);
+        let mut out = [9.0; 5];
+        sparse.matvec(&[1.0, 2.0, 3.0, 4.0, 5.0], &mut out);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(sparse.row_abs_sum(2), 0.0);
+    }
+
+    #[test]
+    fn fully_pruned_roundtrip() {
+        // prune_to_density(0) leaves no couplings at all: every row is
+        // empty and the roundtrip yields the zero matrix.
+        let mut j = sample();
+        j.prune_to_density(0.0);
+        let sparse = SparseCoupling::from_dense(&j);
+        assert_eq!(sparse.nnz(), 0);
+        assert_eq!(sparse.to_dense(), Coupling::zeros(4));
+        for i in 0..4 {
+            assert_eq!(sparse.row(i).count(), 0);
+        }
     }
 }

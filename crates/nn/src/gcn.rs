@@ -140,8 +140,8 @@ pub fn normalize_adjacency(adjacency: &Matrix) -> Matrix {
         a.set(i, i, a.get(i, i) + 1.0);
     }
     let mut deg = vec![0.0; n];
-    for i in 0..n {
-        deg[i] = a.row(i).iter().sum::<f64>().max(1e-12);
+    for (i, d) in deg.iter_mut().enumerate() {
+        *d = a.row(i).iter().sum::<f64>().max(1e-12);
     }
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {

@@ -43,8 +43,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }
@@ -52,8 +52,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -119,9 +119,9 @@ mod tests {
         let b = [1.0, -2.0, 0.5];
         let x = cholesky_solve(&l, &b);
         // A x ≈ b
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let ax: f64 = (0..3).map(|j| a.get(i, j) * x[j]).sum();
-            assert!((ax - b[i]).abs() < 1e-10, "row {i}: {ax} vs {}", b[i]);
+            assert!((ax - bi).abs() < 1e-10, "row {i}: {ax} vs {bi}");
         }
     }
 

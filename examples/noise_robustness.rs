@@ -31,8 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("noise    RMSE      latency");
     let mut clean_rmse = None;
     for pct in [0.0, 0.05, 0.10, 0.15] {
-        let mut cfg = AnnealConfig::default();
-        cfg.noise = NoiseModel::relative(pct);
+        let cfg = AnnealConfig {
+            noise: NoiseModel::relative(pct),
+            ..AnnealConfig::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let report = evaluate(&model, &test[..test.len().min(20)], &cfg, &mut rng)?;
         println!(

@@ -91,7 +91,7 @@ proptest! {
     ) {
         let comms = Communities::from_assignment(labels);
         let placement = Partitioner::new(4, (2, 2)).place(&comms).unwrap();
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for pe in 0..4 {
             prop_assert!(placement.nodes_on(pe).len() <= 4);
             for &node in placement.nodes_on(pe) {

@@ -1,0 +1,295 @@
+//! Offline, dependency-free stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: range and
+//! `collection::vec` strategies, `prop_map`, the `proptest!` macro with
+//! `#![proptest_config(..)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test RNG (seeded from the test's name, so runs are reproducible)
+//! and failing cases are reported but **not shrunk**.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<R, F>(self, f: F) -> PropMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> R,
+        {
+            PropMap { base: self, f }
+        }
+    }
+
+    /// Map adaptor (see [`Strategy::prop_map`]).
+    pub struct PropMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, R, F> Strategy for PropMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> R,
+    {
+        type Value = R;
+
+        fn gen_value(&self, rng: &mut StdRng) -> R {
+            (self.f)(self.base.gen_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, f64);
+
+    impl Strategy for std::ops::RangeInclusive<usize> {
+        type Value = usize;
+
+        fn gen_value(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+
+        fn gen_value(&self, rng: &mut StdRng) -> i32 {
+            rng.random_range(self.start as i64..self.end as i64) as i32
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy yielding `Vec`s of exactly `len` elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Builds a [`VecStrategy`] of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-run configuration for [`proptest!`](crate::proptest) blocks.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion (carried as an error so the harness
+    /// can report the failing case index).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic RNG derived from the test's name (FNV-1a hash).
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Runs each contained `fn name(pat in strategy, ..) { .. }` as a
+/// `#[test]` over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("case {}/{} failed: {}", __case + 1, __config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The usual glob-import module.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_has_requested_len(v in crate::collection::vec(0u64..100, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0usize..5).prop_map(|k| k * 2)) {
+            prop_assert!(s % 2 == 0 && s < 10);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        let s = 0.0f64..1.0;
+        for _ in 0..8 {
+            assert_eq!(
+                s.gen_value(&mut a).to_bits(),
+                s.gen_value(&mut b).to_bits()
+            );
+        }
+    }
+}

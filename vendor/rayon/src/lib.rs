@@ -1,0 +1,539 @@
+//! Offline, dependency-free stand-in for `rayon`.
+//!
+//! Fork-join data parallelism over `std::thread::scope`, exposing the
+//! subset of rayon's API this workspace uses: indexed parallel iterators
+//! over ranges and slices (`into_par_iter`, `par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`), plus `ThreadPoolBuilder::build().install(..)` for
+//! scoped thread-count control.
+//!
+//! Work is split into at most `num_threads` *contiguous* index chunks and
+//! results are concatenated in index order, so `collect()` output order
+//! always matches the serial iterator. (Per-item floating-point results
+//! are computed independently, so parallel `collect` is bit-identical to
+//! serial `map`+`collect`; this crate never does tree reduction.)
+//!
+//! Thread count resolution order: `ThreadPool::install` override (if
+//! inside one), else `RAYON_NUM_THREADS`, else
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Number of worker threads parallel calls will use right now.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE
+        .with(Cell::get)
+        .or_else(env_threads)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (`0` means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible here; `Result` kept for API parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count configuration (threads are spawned per call, not
+/// kept alive, so this is just a number).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// calls made on the current thread inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Splits `len` items into at most `threads` contiguous chunks and maps
+/// each index with `f`, returning results in index order.
+fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Runs `f(index)` for every index without collecting results.
+fn run_indexed_unit<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        (0..len).for_each(f);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            scope.spawn(move || (start..end).for_each(f));
+        }
+    });
+}
+
+/// An indexed parallel producer: random access to `len` items.
+///
+/// All combinators bottom out in contiguous chunk splitting, so item
+/// order is always preserved.
+pub trait ParallelIterator: Sized + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the item at `index` (must be safe to call concurrently).
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_indexed_unit(self.pi_len(), |i| f(self.pi_get(i)));
+    }
+
+    /// Collects all items in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums all items (chunk partials added in index order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        let items = run_indexed(self.pi_len(), |i| self.pi_get(i));
+        items.into_iter().sum()
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, preserving index order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        run_indexed(iter.pi_len(), |i| iter.pi_get(i))
+    }
+}
+
+/// Map adaptor (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> R {
+        (self.f)(self.base.pi_get(index))
+    }
+}
+
+/// Enumerate adaptor (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.pi_get(index))
+    }
+}
+
+/// Values convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// `par_iter` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Splits `slice` into contiguous pieces of `chunk` elements and hands
+/// `(piece_index, piece)` pairs to per-thread workers.
+fn run_chunks_mut<T, F>(slice: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_chunks = slice.len().div_ceil(chunk.max(1));
+    let threads = current_num_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, piece) in slice.chunks_mut(chunk.max(1)).enumerate() {
+            f(i, piece);
+        }
+        return;
+    }
+    let mut pieces: Vec<(usize, &mut [T])> = slice.chunks_mut(chunk.max(1)).enumerate().collect();
+    let per_thread = pieces.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        while !pieces.is_empty() {
+            let take = per_thread.min(pieces.len());
+            let rest = pieces.split_off(take);
+            let mine = std::mem::replace(&mut pieces, rest);
+            let f = &f;
+            scope.spawn(move || {
+                for (i, piece) in mine {
+                    f(i, piece);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over `&mut [T]` elements.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Runs `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        run_chunks_mut(self.slice, 1, |_, piece| f(&mut piece[0]));
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+}
+
+/// Enumerated mutable element iterator.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Runs `f` on every `(index, element)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        run_chunks_mut(self.slice, 1, |i, piece| f((i, &mut piece[0])));
+    }
+}
+
+/// Parallel iterator over contiguous mutable chunks.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Runs `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_chunks_mut(self.slice, self.chunk, |_, piece| f(piece));
+    }
+
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            chunk: self.chunk,
+        }
+    }
+}
+
+/// Enumerated mutable chunk iterator.
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_chunks_mut(self.slice, self.chunk, |i, piece| f((i, piece)));
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+    /// Parallel iterator over contiguous mutable chunks of `chunk` items.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+        SliceIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+/// The usual glob-import module.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_ordered() {
+        let got: Vec<usize> = (3..11usize).into_par_iter().map(|i| i * i).collect();
+        let want: Vec<usize> = (3..11usize).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chunks_mut_writes_everywhere() {
+        let mut data = vec![0u64; 103];
+        data.par_chunks_mut(8).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 8 + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut data = vec![0.0f64; 57];
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as f64 * 0.5);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as f64 * 0.5));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let f = |i: usize| ((i as f64).sin() * 1e6).cos() / (i as f64 + 1.0);
+        let serial: Vec<f64> = (0..500).map(f).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let par: Vec<f64> = pool.install(|| (0..500usize).into_par_iter().map(f).collect());
+        assert!(serial
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

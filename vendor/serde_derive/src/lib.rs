@@ -1,0 +1,390 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! - structs with named fields (including `#[serde(default = "path")]`);
+//! - enums whose variants are unit or struct-like (externally tagged:
+//!   `"Variant"` or `{"Variant": {...}}`);
+//!
+//! Tuple structs, tuple variants, and generic types are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default_fn: Option<String>,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit variant
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts `default = "path"` from the tokens inside `#[serde(...)]`.
+fn serde_default_attr(group: &proc_macro::Group) -> Option<String> {
+    // Attribute content: `serde ( default = "path" )`.
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let inner_toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner_toks.len() {
+        if let TokenTree::Ident(id) = &inner_toks[i] {
+            if id.to_string() == "default" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner_toks.get(i + 1), inner_toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let text = lit.to_string();
+                        return Some(text.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the fields of a brace-delimited struct body or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default_fn = None;
+        // Attributes.
+        while let TokenTree::Punct(p) = &toks[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                if let Some(path) = serde_default_attr(g) {
+                    default_fn = Some(path);
+                }
+                i += 2;
+            } else {
+                return Err("malformed attribute".into());
+            }
+        }
+        // Visibility.
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name and colon.
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other}")),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default_fn });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attributes (e.g. `#[default]`, doc comments).
+        while let TokenTree::Punct(p) = &toks[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream())?);
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    return Err(format!("tuple variant {name} is not supported"));
+                }
+                _ => {}
+            }
+        }
+        // Skip to past the next comma (also skips `= discr` if present).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type {name} is not supported"));
+        }
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("{name}: only brace-bodied types are supported")),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for {other}")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "entries.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(entries)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn field_extractors(type_name: &str, fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default_fn {
+            Some(path) => format!("{path}()"),
+            None => format!(
+                "return Err(::serde::DeError::new(\"missing field {} in {}\"))",
+                f.name, type_name
+            ),
+        };
+        out.push_str(&format!(
+            "{0}: match {source}.get(\"{0}\") {{\n\
+                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                 None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let extract = field_extractors(name, fields, "v");
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if v.as_map().is_none() {{\n\
+                     return Err(::serde::DeError::new(\"expected map for {name}\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{extract}}})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{0} => ::serde::Value::Str(String::from(\"{0}\")),\n",
+                v.name
+            )),
+            Some(fields) => {
+                let bind: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{0} {{ {binds} }} => {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(vec![(String::from(\"{0}\"), ::serde::Value::Map(fields))])\n\
+                     }}\n",
+                    v.name,
+                    binds = bind.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+        .collect();
+    let struct_variants: Vec<&Variant> =
+        variants.iter().filter(|v| v.fields.is_some()).collect();
+
+    let mut body = String::from("match v {\n");
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::new(format!(\"unknown variant {{other}} of {name}\"))),\n\
+             }},\n"
+        ));
+    }
+    if !struct_variants.is_empty() {
+        let mut tagged_arms = String::new();
+        for v in &struct_variants {
+            let fields = v.fields.as_ref().unwrap();
+            let extract = field_extractors(name, fields, "payload");
+            tagged_arms.push_str(&format!(
+                "\"{0}\" => Ok({name}::{0} {{\n{extract}}}),\n",
+                v.name
+            ));
+        }
+        body.push_str(&format!(
+            "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, payload) = &entries[0];\n\
+                 match key.as_str() {{\n\
+                     {tagged_arms}\
+                     other => Err(::serde::DeError::new(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }}\n\
+             }},\n"
+        ));
+    }
+    body.push_str(&format!(
+        "other => Err(::serde::DeError::new(format!(\"unexpected {{}} for {name}\", other.kind()))),\n}}"
+    ));
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item.shape {
+        Shape::Struct(fields) => gen_struct_ser(&item.name, fields),
+        Shape::Enum(variants) => gen_enum_ser(&item.name, variants),
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item.shape {
+        Shape::Struct(fields) => gen_struct_de(&item.name, fields),
+        Shape::Enum(variants) => gen_enum_de(&item.name, variants),
+    };
+    code.parse().unwrap()
+}
