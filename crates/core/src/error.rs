@@ -25,6 +25,13 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The Gram matrix could not be Cholesky-factorised even after
+    /// escalating the ridge regularisation (degenerate or non-finite
+    /// training data).
+    FactorisationFailed {
+        /// The regularisation strength at the final, failed attempt.
+        lambda: f64,
+    },
     /// An error bubbled up from the dynamical-system substrate.
     Ising(IsingError),
     /// An error bubbled up from the graph substrate.
@@ -41,6 +48,10 @@ impl fmt::Display for CoreError {
             } => write!(f, "{what} has length {actual}, expected {expected}"),
             CoreError::EmptyTrainingSet => write!(f, "training set is empty"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::FactorisationFailed { lambda } => write!(
+                f,
+                "gram factorisation failed even with regularisation inflated to {lambda:e}"
+            ),
             CoreError::Ising(e) => write!(f, "dynamical system error: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
         }

@@ -247,6 +247,105 @@ pub fn infer_batch(
     results.into_iter().collect()
 }
 
+/// How a batch of windows seeds the free block of each machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum WarmStart {
+    /// Every window anneals from a seeded random initialisation.
+    /// Windows are fully independent (and maximally parallel); this is
+    /// the bit-exact historical behaviour.
+    #[default]
+    Cold,
+    /// Windows are grouped into fixed-size chunks; within a chunk each
+    /// window's free block starts from the *previous* window's
+    /// equilibrium. Consecutive temporal windows are highly
+    /// autocorrelated, so the machine starts near its fixed point and
+    /// the integrator takes far fewer steps — especially with the
+    /// event-driven [`dsgl_ising::EngineMode::Adaptive`] engine, whose
+    /// active set is nearly empty from the first step. Chunks are
+    /// processed in parallel and chained sequentially inside, so the
+    /// results depend only on `(samples, config, master_seed, chunk)`,
+    /// never on the thread count.
+    Chained {
+        /// Windows per chain (the first of each chunk starts cold).
+        /// `0` is treated as one chunk spanning the whole batch.
+        chunk: usize,
+    },
+}
+
+/// [`infer_batch`] with a [`WarmStart`] policy.
+///
+/// `WarmStart::Cold` is exactly [`infer_batch`]. `WarmStart::Chained`
+/// seeds each window (after the first of its chunk) from the previous
+/// window's equilibrium; the per-window RNG is still consumed
+/// identically to the cold path, so switching policies never perturbs
+/// the noise draws, and results remain bit-identical across thread
+/// counts and repeated calls for a fixed policy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_warm(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    warm: WarmStart,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    let chunk = match warm {
+        WarmStart::Cold => return infer_batch(model, samples, config, master_seed),
+        WarmStart::Chained { chunk } => {
+            if chunk == 0 {
+                samples.len()
+            } else {
+                chunk
+            }
+        }
+    };
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    let layout = model.layout();
+    let total = layout.total();
+    let n_chunks = samples.len().div_ceil(chunk);
+    let work_per_chunk = chunk * total * total * 64;
+    let chunks = crate::threading::par_map(n_chunks, work_per_chunk, |c| {
+        use rand::SeedableRng;
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(samples.len());
+        let mut out: Vec<Result<(Vec<f64>, AnnealReport), CoreError>> =
+            Vec::with_capacity(hi - lo);
+        // The previous window's full equilibrium state; the target block
+        // seeds the next window's free block.
+        let mut prev: Option<Vec<f64>> = None;
+        for (i, sample) in samples.iter().enumerate().take(hi).skip(lo) {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
+            // machine_for_sample consumes the same RNG draws as the cold
+            // path (free-block randomisation), so noise streams match.
+            let result = machine_for_sample(model, sample, &mut rng).and_then(|mut dspu| {
+                if let Some(prev_state) = &prev {
+                    let mut state = dspu.state().to_vec();
+                    for (v, &p) in layout.target_range().zip(prev_state.iter()) {
+                        state[v] = p;
+                    }
+                    dspu.set_state(&state)?;
+                }
+                let report = dspu.run(config, &mut rng);
+                let pred = dspu.state()[layout.target_range()].to_vec();
+                prev = Some(pred.clone());
+                Ok((pred, report))
+            });
+            if result.is_err() {
+                prev = None;
+            }
+            out.push(result);
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 /// Evaluates annealed inference over a test set using [`infer_batch`]:
 /// the parallel, deterministically-seeded counterpart of [`evaluate`].
 /// The report is reduced in sample order, so it inherits `infer_batch`'s
@@ -263,20 +362,44 @@ pub fn evaluate_batch(
     master_seed: u64,
 ) -> Result<EvalReport, CoreError> {
     let results = infer_batch(model, samples, config, master_seed)?;
+    Ok(reduce_eval(samples, &results))
+}
+
+/// [`evaluate_batch`] with a [`WarmStart`] policy (see
+/// [`infer_batch_warm`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty test set, or any
+/// per-sample inference error.
+pub fn evaluate_batch_warm(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    warm: WarmStart,
+) -> Result<EvalReport, CoreError> {
+    let results = infer_batch_warm(model, samples, config, master_seed, warm)?;
+    Ok(reduce_eval(samples, &results))
+}
+
+/// Reduces per-window predictions and reports to an [`EvalReport`] in
+/// sample order.
+fn reduce_eval(samples: &[Sample], results: &[(Vec<f64>, AnnealReport)]) -> EvalReport {
     let mut per_sample = Vec::with_capacity(samples.len());
     let mut latency_sum = 0.0;
     let mut converged = 0usize;
-    for (s, (pred, report)) in samples.iter().zip(&results) {
+    for (s, (pred, report)) in samples.iter().zip(results) {
         per_sample.push((crate::metrics::rmse(pred, &s.target), pred.len()));
         latency_sum += report.sim_time_ns;
         converged += report.converged as usize;
     }
-    Ok(EvalReport {
+    EvalReport {
         rmse: pooled_rmse(&per_sample),
         mean_latency_ns: latency_sum / samples.len() as f64,
         samples: samples.len(),
         converged_fraction: converged as f64 / samples.len() as f64,
-    })
+    }
 }
 
 /// Result of evaluating a model over a test set.
@@ -444,6 +567,76 @@ mod tests {
             infer_batch(&model, &[], &AnnealConfig::default(), 0),
             Err(CoreError::EmptyTrainingSet)
         ));
+    }
+
+    #[test]
+    fn warm_batch_matches_cold_within_tolerance_and_saves_steps() {
+        let (model, samples) = trained_model(9);
+        let cfg = AnnealConfig::default();
+        let cold = infer_batch_warm(&model, &samples[..12], &cfg, 3, WarmStart::Cold).unwrap();
+        let warm =
+            infer_batch_warm(&model, &samples[..12], &cfg, 3, WarmStart::Chained { chunk: 6 })
+                .unwrap();
+        let cold_steps: usize = cold.iter().map(|(_, r)| r.steps).sum();
+        let warm_steps: usize = warm.iter().map(|(_, r)| r.steps).sum();
+        for ((pc, _), (pw, rw)) in cold.iter().zip(&warm) {
+            assert!(rw.converged);
+            let diff = crate::metrics::rmse(pc, pw);
+            assert!(diff < 1e-3, "warm vs cold prediction diff {diff}");
+        }
+        assert!(
+            warm_steps < cold_steps,
+            "warm start should save steps: {warm_steps} vs {cold_steps}"
+        );
+        // First window of each chunk starts cold, so it matches exactly.
+        assert_eq!(cold[0].0, warm[0].0);
+        assert_eq!(cold[6].0, warm[6].0);
+    }
+
+    #[test]
+    fn warm_batch_deterministic_across_thread_counts() {
+        let (model, samples) = trained_model(10);
+        let cfg = AnnealConfig::default();
+        let warm = WarmStart::Chained { chunk: 4 };
+        let par = infer_batch_warm(&model, &samples[..10], &cfg, 5, warm).unwrap();
+        let ser = crate::Threading::Sequential
+            .install(|| infer_batch_warm(&model, &samples[..10], &cfg, 5, warm))
+            .unwrap();
+        for ((pp, rp), (ps, rs)) in par.iter().zip(&ser) {
+            assert_eq!(pp, ps, "warm batch must be thread-count independent");
+            assert_eq!(rp.steps, rs.steps);
+        }
+    }
+
+    #[test]
+    fn warm_chunk_zero_means_one_chain() {
+        let (model, samples) = trained_model(11);
+        let cfg = AnnealConfig::default();
+        let a = infer_batch_warm(&model, &samples[..6], &cfg, 2, WarmStart::Chained { chunk: 0 })
+            .unwrap();
+        let b = infer_batch_warm(&model, &samples[..6], &cfg, 2, WarmStart::Chained { chunk: 6 })
+            .unwrap();
+        for ((pa, _), (pb, _)) in a.iter().zip(&b) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn warm_evaluate_close_to_cold() {
+        let (model, samples) = trained_model(12);
+        let cfg = AnnealConfig::default();
+        let cold = evaluate_batch(&model, &samples[..10], &cfg, 4).unwrap();
+        let warm = evaluate_batch_warm(
+            &model,
+            &samples[..10],
+            &cfg,
+            4,
+            WarmStart::Chained { chunk: 5 },
+        )
+        .unwrap();
+        assert_eq!(warm.samples, 10);
+        assert!((warm.rmse - cold.rmse).abs() < 1e-3);
+        assert!(warm.converged_fraction > 0.9);
     }
 
     #[test]

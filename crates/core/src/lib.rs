@@ -57,6 +57,7 @@ pub mod trainer;
 pub mod windows;
 
 pub use error::CoreError;
+pub use inference::WarmStart;
 pub use model::{DsGlModel, VariableLayout};
 pub use patterns::PatternKind;
 pub use sparsify::{decompose, DecomposeConfig, DecomposedModel};

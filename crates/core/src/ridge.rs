@@ -27,10 +27,12 @@ use dsgl_nn::Matrix;
 /// Cholesky factor of `G + λI`, escalating `λ` by 10× until the
 /// factorisation succeeds (mirrors [`ridge_solve`]'s policy).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if factorisation keeps failing.
-fn factor_with_escalation(gram: &Matrix, lambda: f64) -> Matrix {
+/// Returns [`CoreError::FactorisationFailed`] when seven escalations
+/// still leave the matrix unfactorisable (degenerate or non-finite
+/// training data).
+fn factor_with_escalation(gram: &Matrix, lambda: f64) -> Result<Matrix, CoreError> {
     let n = gram.rows();
     let mut lam = lambda.max(1e-12);
     for _ in 0..7 {
@@ -39,11 +41,11 @@ fn factor_with_escalation(gram: &Matrix, lambda: f64) -> Matrix {
             a.set(i, i, a.get(i, i) + lam);
         }
         if let Some(l) = cholesky(&a) {
-            return l;
+            return Ok(l);
         }
         lam *= 10.0;
     }
-    panic!("gram factorisation failed even with inflated regularisation");
+    Err(CoreError::FactorisationFailed { lambda: lam / 10.0 })
 }
 
 /// Fits `model`'s couplings by closed-form ridge regression of each
@@ -60,7 +62,10 @@ fn factor_with_escalation(gram: &Matrix, lambda: f64) -> Matrix {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::EmptyTrainingSet`] or a shape mismatch.
+/// Returns [`CoreError::EmptyTrainingSet`], a shape mismatch, or
+/// [`CoreError::FactorisationFailed`] when the Gram matrix cannot be
+/// factorised even with escalated regularisation (e.g. non-finite
+/// sample values).
 pub fn fit_ridge(
     model: &mut DsGlModel,
     samples: &[Sample],
@@ -86,7 +91,7 @@ pub fn fit_ridge(
     // row.
     let gram = x.t_matmul(&x);
     let xty = x.t_matmul(&targets); // hist × frame_len
-    let factor = factor_with_escalation(&gram, lambda);
+    let factor = factor_with_escalation(&gram, lambda)?;
 
     // Per-target rows are independent: each reads only its own row of
     // the incoming model and the shared factorisation, so the solves
@@ -271,7 +276,7 @@ pub fn fit_gaussian_couplings(
         sigma.set(i, i, sigma.get(i, i).max(1e-10));
     }
     // Precision matrix via Cholesky: Θ column-by-column.
-    let factor = factor_with_escalation(&sigma, 1e-10);
+    let factor = factor_with_escalation(&sigma, 1e-10)?;
     let mut theta = Matrix::zeros(t_len, t_len);
     let mut e = vec![0.0; t_len];
     for col in 0..t_len {
@@ -470,6 +475,23 @@ mod tests {
             refit_ridge_masked(&mut model, &[], 1e-3),
             Err(CoreError::EmptyTrainingSet)
         ));
+    }
+
+    #[test]
+    fn non_finite_samples_yield_error_not_panic() {
+        // A NaN in the design matrix poisons the Gram matrix: every
+        // escalation of λ still fails to factorise, and the fit must
+        // report the failure instead of panicking.
+        let mut samples = linear_samples(4, 20, 9);
+        samples[3].history[1] = f64::NAN;
+        let layout = VariableLayout::new(1, 4, 1);
+        let mut model = DsGlModel::new(layout);
+        match fit_ridge(&mut model, &samples, 1e-6) {
+            Err(CoreError::FactorisationFailed { lambda }) => {
+                assert!(lambda > 1e-6, "escalated λ reported: {lambda}")
+            }
+            other => panic!("expected FactorisationFailed, got {other:?}"),
+        }
     }
 
     #[test]

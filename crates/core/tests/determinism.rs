@@ -9,10 +9,11 @@
 //! with `--no-default-features`, which pins the serial build to the
 //! same bits.
 
+use dsgl_core::inference::WarmStart;
 use dsgl_core::ridge::{fit_ridge, refit_ridge_masked};
 use dsgl_core::{inference, DsGlModel, Threading, TrainConfig, Trainer, VariableLayout};
 use dsgl_data::Sample;
-use dsgl_ising::{AnnealConfig, Coupling};
+use dsgl_ising::{AnnealConfig, Coupling, EngineMode};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -131,6 +132,39 @@ fn batch_inference_is_bit_identical_across_policies() {
             infer_under(*policy),
             reference,
             "batch inference diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_adaptive_batch_is_bit_identical_across_policies() {
+    // The event-driven engine plus chained warm starts: chunks are
+    // chained sequentially inside and parallel across, so the policy
+    // still must not change a single output bit.
+    let samples = linear_samples(2, 50, 40, 5);
+    let layout = VariableLayout::new(2, 50, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &samples[..30], 1e-3).unwrap();
+    let windows = &samples[30..];
+    let cfg = AnnealConfig {
+        mode: EngineMode::adaptive(),
+        ..AnnealConfig::default()
+    };
+    let warm = WarmStart::Chained { chunk: 3 };
+    let infer_under = |policy: Threading| -> Vec<u64> {
+        policy
+            .install(|| inference::infer_batch_warm(&model, windows, &cfg, 31, warm))
+            .unwrap()
+            .into_iter()
+            .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let reference = infer_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            infer_under(*policy),
+            reference,
+            "warm adaptive batch diverged under {policy:?}"
         );
     }
 }

@@ -3,10 +3,11 @@
 //! zero-diagonal `J`, strictly negative `h`) and its annealed state must
 //! agree with the analytic fixed point of the programmed dynamics.
 
+use dsgl_core::inference::WarmStart;
 use dsgl_core::ridge::fit_ridge;
 use dsgl_core::{inference, DsGlModel, TrainConfig, Trainer, VariableLayout};
 use dsgl_data::Sample;
-use dsgl_ising::AnnealConfig;
+use dsgl_ising::{AnnealConfig, EngineMode};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use rand::rngs::StdRng;
@@ -96,6 +97,74 @@ proptest! {
                 prop_assert!(
                     (a - s).abs() < 1e-2,
                     "node {}: analytic {} vs annealed {}", v, a, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_annealing_matches_full_integrator(
+        n_nodes in 3usize..7,
+        seed in 0u64..1000,
+    ) {
+        // Both engines run at a tight tolerance so their residual
+        // distance from the shared fixed point is far inside the 1e-6
+        // rail-unit agreement the predictions must show.
+        let samples = random_samples(n_nodes, 50, seed, 0.5);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples[..40], 1e-6).unwrap();
+        let tight = |mode| AnnealConfig {
+            tolerance: 1e-9,
+            max_time_ns: 20_000.0,
+            mode,
+            ..AnnealConfig::default()
+        };
+        for sample in &samples[40..43] {
+            // Identical machine construction (same RNG stream) for both
+            // engines: only the integration schedule differs.
+            let mut strict_rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+            let mut strict = inference::machine_for_sample(&model, sample, &mut strict_rng).unwrap();
+            let mut adaptive = strict.clone();
+            let rs = strict.run(&tight(EngineMode::Strict), &mut strict_rng);
+            let ra = adaptive.run(&tight(EngineMode::adaptive()), &mut strict_rng);
+            prop_assert!(rs.converged && ra.converged, "an engine failed to converge");
+            for v in layout.target_range() {
+                let (s, a) = (strict.state()[v], adaptive.state()[v]);
+                prop_assert!(
+                    (s - a).abs() < 1e-6,
+                    "node {}: strict {} vs event-driven {}", v, s, a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_batch_matches_cold_start(
+        n_nodes in 3usize..7,
+        seed in 0u64..1000,
+        chunk in 2usize..6,
+    ) {
+        let samples = random_samples(n_nodes, 52, seed, 0.5);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples[..40], 1e-6).unwrap();
+        let cfg = AnnealConfig {
+            tolerance: 1e-9,
+            max_time_ns: 20_000.0,
+            ..AnnealConfig::default()
+        };
+        let windows = &samples[40..];
+        let cold = inference::infer_batch_warm(&model, windows, &cfg, seed, WarmStart::Cold).unwrap();
+        let warm = inference::infer_batch_warm(
+            &model, windows, &cfg, seed, WarmStart::Chained { chunk },
+        ).unwrap();
+        for (i, ((pc, _), (pw, rw))) in cold.iter().zip(&warm).enumerate() {
+            prop_assert!(rw.converged, "warm window {} did not converge", i);
+            for (c, w) in pc.iter().zip(pw) {
+                prop_assert!(
+                    (c - w).abs() < 1e-6,
+                    "window {}: cold {} vs warm {}", i, c, w
                 );
             }
         }

@@ -29,7 +29,7 @@ use dsgl_core::{CoreError, DecomposedModel};
 use dsgl_data::Sample;
 use dsgl_ising::convergence::max_rate;
 use dsgl_ising::noise::gaussian;
-use dsgl_ising::{AnnealReport, Coupling, SparseCoupling, RC_NS};
+use dsgl_ising::{AnnealReport, Coupling, TiledCoupling, RC_NS};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -53,8 +53,16 @@ pub struct CoAnnealReport {
 #[derive(Debug, Clone)]
 pub struct MappedMachine {
     n: usize,
-    intra: SparseCoupling,
+    /// Intra-PE couplings as dense per-PE tiles: `step_once` runs
+    /// cache-resident tile kernels instead of CSR index chasing.
+    intra: TiledCoupling,
+    /// Scratch for the tiled mat-vec's gathered state.
+    tile_gather: Vec<f64>,
     links: Vec<LinkSchedule>,
+    /// Couplings of all purely spatial (single-slice) links, flattened
+    /// into one contiguous list — these act on live voltages with no
+    /// sample-and-hold state, so one hot loop covers them all.
+    spatial: Vec<CrossCoupling>,
     /// Sample-and-hold values per sliced link: for each coupling of each
     /// slice, the held remote values `(held_of_b_for_a, held_of_a_for_b)`.
     held: Vec<Vec<Vec<(f64, f64)>>>,
@@ -113,11 +121,19 @@ impl MappedMachine {
                     .collect()
             })
             .collect();
+        let spatial: Vec<CrossCoupling> = links
+            .iter()
+            .filter_map(LinkSchedule::spatial)
+            .flatten()
+            .copied()
+            .collect();
         let layout = model.layout();
         Ok(MappedMachine {
             n,
-            intra: SparseCoupling::from_dense(&intra),
+            intra: TiledCoupling::from_dense_partition(&intra, &decomposed.var_to_pe),
+            tile_gather: Vec::new(),
             links,
+            spatial,
             held,
             h: model.h().to_vec(),
             state: vec![0.0; n],
@@ -202,36 +218,39 @@ impl MappedMachine {
             self.snapshot.copy_from_slice(&self.state);
             *last_sync = t;
         }
-        // Intra-PE couplings act on live voltages.
-        self.intra.matvec(&self.state, currents);
+        // Intra-PE couplings act on live voltages: dense per-PE tile
+        // kernels over gathered state.
+        self.intra
+            .matvec_with_scratch(&self.state, currents, &mut self.tile_gather);
         // Cross-PE couplings: spatially co-annealed links (one slice)
         // are continuous analog paths through the CU crossbar and act on
         // live voltages — the paper needs no synchronisation within a
-        // mapping. Time-multiplexed links sample-and-hold: the active
-        // slice refreshes its held remote values (from the synchronised
+        // mapping; all of them are flattened into one contiguous list.
+        for c in &self.spatial {
+            currents[c.var_a] += c.weight * self.state[c.var_b];
+            currents[c.var_b] += c.weight * self.state[c.var_a];
+        }
+        // Time-multiplexed links sample-and-hold: the active slice
+        // refreshes its held remote values (from the synchronised
         // snapshot), and every coupling keeps driving with its held
         // value between activations.
         for (li, link) in self.links.iter().enumerate() {
             let s = link.slice_count();
             if s == 1 {
-                for c in &link.slices[0] {
-                    currents[c.var_a] += c.weight * self.state[c.var_b];
-                    currents[c.var_b] += c.weight * self.state[c.var_a];
-                }
-            } else {
-                let active = active_slice(s, config.slice_dwell_ns, t);
-                for (c, h) in link.slices[active]
-                    .iter()
-                    .zip(self.held[li][active].iter_mut())
-                {
-                    h.0 = self.snapshot[c.var_b];
-                    h.1 = self.snapshot[c.var_a];
-                }
-                for (slice, helds) in link.slices.iter().zip(&self.held[li]) {
-                    for (c, h) in slice.iter().zip(helds) {
-                        currents[c.var_a] += c.weight * h.0;
-                        currents[c.var_b] += c.weight * h.1;
-                    }
+                continue; // handled by the flattened spatial list
+            }
+            let active = active_slice(s, config.slice_dwell_ns, t);
+            for (c, h) in link.slices[active]
+                .iter()
+                .zip(self.held[li][active].iter_mut())
+            {
+                h.0 = self.snapshot[c.var_b];
+                h.1 = self.snapshot[c.var_a];
+            }
+            for (slice, helds) in link.slices.iter().zip(&self.held[li]) {
+                for (c, h) in slice.iter().zip(helds) {
+                    currents[c.var_a] += c.weight * h.0;
+                    currents[c.var_b] += c.weight * h.1;
                 }
             }
         }
@@ -364,6 +383,8 @@ impl MappedMachine {
                 sim_time_ns: t,
                 final_rate: rate,
                 energy: 0.0,
+                sparse_steps: 0,
+                mean_active_fraction: 1.0,
             },
             links: self.link_count(),
             temporal_links: self.temporal_link_count(),

@@ -47,6 +47,18 @@ impl LinkSchedule {
     pub fn coupling_count(&self) -> usize {
         self.slices.iter().map(Vec::len).sum()
     }
+
+    /// The couplings of a purely spatial (single-slice) link, or `None`
+    /// when temporal multiplexing is engaged. Spatial couplings are
+    /// continuous analog paths and can be flattened into one hot list —
+    /// see `MappedMachine` in `dsgl-hw`.
+    pub fn spatial(&self) -> Option<&[CrossCoupling]> {
+        if self.is_temporal() {
+            None
+        } else {
+            self.slices.first().map(Vec::as_slice)
+        }
+    }
 }
 
 /// Builds the slice schedule for one PE pair given `lanes` per portal.

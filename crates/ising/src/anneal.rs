@@ -1,5 +1,6 @@
 //! Annealing configuration and reporting.
 
+use crate::engine::EngineMode;
 use crate::noise::NoiseModel;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,11 @@ pub struct AnnealConfig {
     pub check_every: usize,
     /// Dynamic noise injected while annealing.
     pub noise: NoiseModel,
+    /// Integration engine. Defaults to [`EngineMode::Strict`], which
+    /// reproduces the fixed-schedule integrator bit-for-bit; configs
+    /// serialised before this field existed deserialise to `Strict`.
+    #[serde(default)]
+    pub mode: EngineMode,
 }
 
 impl AnnealConfig {
@@ -45,6 +51,15 @@ impl AnnealConfig {
     pub fn with_budget(max_time_ns: f64) -> Self {
         AnnealConfig {
             max_time_ns,
+            ..AnnealConfig::default()
+        }
+    }
+
+    /// The default configuration with the event-driven adaptive engine
+    /// enabled (see [`EngineMode::Adaptive`]).
+    pub fn adaptive() -> Self {
+        AnnealConfig {
+            mode: EngineMode::adaptive(),
             ..AnnealConfig::default()
         }
     }
@@ -65,6 +80,7 @@ impl Default for AnnealConfig {
             tolerance: 1e-6,
             check_every: 10,
             noise: NoiseModel::none(),
+            mode: EngineMode::Strict,
         }
     }
 }
@@ -82,6 +98,17 @@ pub struct AnnealReport {
     pub final_rate: f64,
     /// Final Hamiltonian value.
     pub energy: f64,
+    /// Steps taken on the event-driven sparse path (0 for strict runs).
+    #[serde(default)]
+    pub sparse_steps: usize,
+    /// Mean fraction of free nodes in the active set per step. Strict
+    /// runs integrate every free node every step, so they report 1.0.
+    #[serde(default = "full_occupancy")]
+    pub mean_active_fraction: f64,
+}
+
+fn full_occupancy() -> f64 {
+    1.0
 }
 
 /// Random-flip schedule used by the binary BRIM machine to escape local

@@ -250,6 +250,8 @@ impl Brim {
             sim_time_ns: t,
             final_rate: 0.0,
             energy: self.energy(),
+            sparse_steps: 0,
+            mean_active_fraction: 1.0,
         }
     }
 

@@ -1,17 +1,28 @@
 //! Convergence detection for annealing runs.
+//!
+//! These helpers sit on the integrator hot path (the strict engine calls
+//! [`max_rate`] every `check_every` steps; the event-driven engine's
+//! validation rescans call it on every drain), so length agreement is a
+//! documented caller contract checked with `debug_assert!` rather than a
+//! release-mode branch. All in-tree callers pass slices derived from the
+//! same machine, which guarantees the contract structurally.
 
 /// Maximum absolute rate `|Δσᵢ| / dt` over the masked (free) nodes.
 ///
 /// `free[i] == true` marks nodes whose rate is considered; clamped input
 /// nodes are held by the node-control unit and excluded.
 ///
-/// # Panics
+/// # Contract
 ///
-/// Panics if slice lengths differ or `dt <= 0`.
+/// `prev`, `next`, and `free` must have equal lengths and `dt` must be
+/// positive. Violations are caught by `debug_assert!` in debug builds;
+/// in release builds a length mismatch truncates the iteration to the
+/// shortest slice and a non-positive `dt` yields a meaningless (but
+/// non-panicking) rate.
 pub fn max_rate(prev: &[f64], next: &[f64], free: &[bool], dt: f64) -> f64 {
-    assert_eq!(prev.len(), next.len(), "state length mismatch");
-    assert_eq!(prev.len(), free.len(), "mask length mismatch");
-    assert!(dt > 0.0, "dt must be positive");
+    debug_assert_eq!(prev.len(), next.len(), "state length mismatch");
+    debug_assert_eq!(prev.len(), free.len(), "mask length mismatch");
+    debug_assert!(dt > 0.0, "dt must be positive");
     prev.iter()
         .zip(next)
         .zip(free)
@@ -22,11 +33,12 @@ pub fn max_rate(prev: &[f64], next: &[f64], free: &[bool], dt: f64) -> f64 {
 
 /// Maximum absolute element-wise difference between two states.
 ///
-/// # Panics
+/// # Contract
 ///
-/// Panics if the slices have different lengths.
+/// `a` and `b` must have equal lengths (`debug_assert!`-checked; release
+/// builds truncate to the shorter slice).
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "state length mismatch");
+    debug_assert_eq!(a.len(), b.len(), "state length mismatch");
     a.iter()
         .zip(b)
         .map(|(&x, &y)| (x - y).abs())
@@ -35,11 +47,12 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 
 /// Root-mean-square difference between two states (0 for empty slices).
 ///
-/// # Panics
+/// # Contract
 ///
-/// Panics if the slices have different lengths.
+/// `a` and `b` must have equal lengths (`debug_assert!`-checked; release
+/// builds truncate to the shorter slice, normalising by `a.len()`).
 pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "state length mismatch");
+    debug_assert_eq!(a.len(), b.len(), "state length mismatch");
     if a.is_empty() {
         return 0.0;
     }
@@ -64,10 +77,18 @@ mod tests {
         assert_eq!(max_rate(&[1.0], &[2.0], &[false], 1.0), 0.0);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "dt must be positive")]
     fn max_rate_bad_dt() {
         max_rate(&[0.0], &[0.0], &[true], 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn max_rate_bad_lengths() {
+        max_rate(&[0.0, 1.0], &[0.0], &[true], 1.0);
     }
 
     #[test]

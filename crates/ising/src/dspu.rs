@@ -45,13 +45,13 @@ use rand::{Rng, RngExt};
 /// ```
 #[derive(Debug, Clone)]
 pub struct RealValuedDspu {
-    coupling: SparseCoupling,
-    h: Vec<f64>,
-    state: Vec<f64>,
-    free: Vec<bool>,
-    rail: f64,
-    capacitance: f64,
-    scratch: Vec<f64>,
+    pub(crate) coupling: SparseCoupling,
+    pub(crate) h: Vec<f64>,
+    pub(crate) state: Vec<f64>,
+    pub(crate) free: Vec<bool>,
+    pub(crate) rail: f64,
+    pub(crate) capacitance: f64,
+    pub(crate) scratch: Vec<f64>,
 }
 
 impl RealValuedDspu {
@@ -358,6 +358,15 @@ impl RealValuedDspu {
         rng: &mut R,
         mut trace: Option<&mut Trace>,
     ) -> AnnealReport {
+        // The event-driven engine handles noiseless Euler runs; noise
+        // keeps every node active (nothing to skip) and RK4's staged
+        // mat-vecs defeat incremental current maintenance, so both fall
+        // back to the strict fixed-schedule path below.
+        if let crate::engine::EngineMode::Adaptive { config: acfg } = config.mode {
+            if config.noise.is_none() && config.integrator == Integrator::Euler {
+                return crate::engine::run_adaptive(self, config, &acfg, trace);
+            }
+        }
         let mut t = 0.0;
         let mut steps = 0;
         let mut converged = false;
@@ -430,6 +439,8 @@ impl RealValuedDspu {
             sim_time_ns: t,
             final_rate: rate,
             energy: self.energy(),
+            sparse_steps: 0,
+            mean_active_fraction: 1.0,
         }
     }
 

@@ -49,6 +49,7 @@ pub mod brim;
 pub mod convergence;
 pub mod coupling;
 pub mod dspu;
+pub mod engine;
 pub mod error;
 pub mod hamiltonian;
 pub mod noise;
@@ -66,7 +67,8 @@ pub use anneal::{AnnealConfig, AnnealReport, FlipSchedule};
 pub use brim::Brim;
 pub use coupling::Coupling;
 pub use dspu::RealValuedDspu;
+pub use engine::{AdaptiveConfig, EngineMode};
 pub use error::IsingError;
 pub use noise::NoiseModel;
-pub use sparse::SparseCoupling;
+pub use sparse::{SparseCoupling, TiledCoupling};
 pub use trace::Trace;

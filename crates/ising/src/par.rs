@@ -44,6 +44,40 @@ where
     }
 }
 
+/// Computes `vec![f(0), f(1), …, f(len-1)]`, mapping items across
+/// threads when the `parallel` feature is enabled and the estimated
+/// work (`len * work_per_item`) is large enough. Order-preserving, so
+/// results are position-identical to the serial build. Unlike
+/// [`fill_rows`] the item type is generic — used by kernels that
+/// produce a buffer per item and scatter afterwards (the crate forbids
+/// unsafe code, so disjoint parallel scatter is not an option).
+#[cfg(feature = "parallel")]
+pub(crate) fn map_indexed<T, F>(len: usize, work_per_item: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use rayon::prelude::*;
+    let total_work = len.saturating_mul(work_per_item.max(1));
+    if total_work < PAR_MIN_WORK || rayon::current_num_threads() <= 1 {
+        return (0..len).map(f).collect();
+    }
+    (0..len).into_par_iter().map(f).collect()
+}
+
+/// Serial fallback when the `parallel` feature is disabled. Only the
+/// parallel tile path calls this from the library, so the serial build
+/// keeps it for the shared unit test alone.
+#[cfg(not(feature = "parallel"))]
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn map_indexed<T, F>(len: usize, _work_per_item: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..len).map(f).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +97,13 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, &v)| v.to_bits() == (i as f64).sqrt().to_bits()));
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for work in [1, 4096] {
+            let out: Vec<usize> = map_indexed(1024, work, |i| i * 3);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        }
     }
 }

@@ -122,6 +122,161 @@ impl SparseCoupling {
     }
 }
 
+/// One processing element's couplings as a dense `K×K` block over the
+/// nodes mapped to that PE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Node indices in this tile, ascending.
+    nodes: Vec<u32>,
+    /// Row-major `K×K` weights: `weights[r*K + c] = J[nodes[r]][nodes[c]]`.
+    weights: Vec<f64>,
+}
+
+impl Tile {
+    /// Nodes mapped to this tile, ascending.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Tile dimension `K`.
+    pub fn dim(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// PE-tiled block-sparse form of the intra-PE coupling structure.
+///
+/// The mapped mesh machine partitions nodes onto processing elements;
+/// couplings between nodes on the *same* PE form a dense block no larger
+/// than the PE capacity. Storing each block as a contiguous row-major
+/// tile turns the intra-PE mat-vec into a sequence of small dense
+/// kernels over gathered state — cache-resident and free of CSR index
+/// chasing. Cross-PE couplings are *not* represented here; the machine
+/// keeps them in per-portal lists (see `dsgl-hw`).
+///
+/// Within a tile, each output row accumulates over the tile's nodes in
+/// ascending order — the same order a CSR row restricted to intra-PE
+/// entries would use — so results match [`SparseCoupling::matvec`] on
+/// the same couplings bit-for-bit (dense zeros only add `+0.0` terms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledCoupling {
+    n: usize,
+    tiles: Vec<Tile>,
+    /// Total multiply-add estimate `Σ K²`, used for fork decisions.
+    work: usize,
+}
+
+impl TiledCoupling {
+    /// Builds tiles from a dense coupling matrix and a node→block
+    /// partition (`block_of[i]` is node `i`'s PE). Only couplings whose
+    /// endpoints share a block are captured; cross-block couplings are
+    /// ignored (callers route those separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_of.len() != dense.n()`.
+    pub fn from_dense_partition(dense: &Coupling, block_of: &[usize]) -> Self {
+        let n = dense.n();
+        assert_eq!(block_of.len(), n, "partition length mismatch");
+        let mut groups: std::collections::BTreeMap<usize, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (i, &b) in block_of.iter().enumerate() {
+            groups.entry(b).or_default().push(i as u32);
+        }
+        let mut tiles = Vec::with_capacity(groups.len());
+        let mut work = 0usize;
+        for nodes in groups.into_values() {
+            let k = nodes.len();
+            let mut weights = vec![0.0; k * k];
+            for (r, &ir) in nodes.iter().enumerate() {
+                let row = dense.row(ir as usize);
+                for (c, &ic) in nodes.iter().enumerate() {
+                    weights[r * k + c] = row[ic as usize];
+                }
+            }
+            work += k * k;
+            tiles.push(Tile { nodes, weights });
+        }
+        TiledCoupling { n, tiles, work }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tiles, one per occupied PE.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Tiled mat-vec `out = J_intra * s`.
+    ///
+    /// `gather` is a caller-owned scratch buffer (grown as needed) that
+    /// holds each tile's gathered state, letting the hot loop run on
+    /// contiguous memory without per-call allocation. Tiles are
+    /// processed in parallel when the `parallel` feature is on and the
+    /// total tile work clears the fork threshold; per-row accumulation
+    /// order is fixed either way, so results are bit-identical across
+    /// thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `out` have wrong length.
+    pub fn matvec_with_scratch(&self, s: &[f64], out: &mut [f64], gather: &mut Vec<f64>) {
+        assert_eq!(s.len(), self.n, "state length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        out.fill(0.0);
+        #[cfg(feature = "parallel")]
+        if self.work >= crate::par::PAR_MIN_WORK {
+            // forbid(unsafe_code) rules out disjoint scatter from
+            // threads: compute per-tile products in parallel, scatter
+            // serially (the scatter is O(n), the products O(Σ K²)).
+            let products = crate::par::map_indexed(self.tiles.len(), self.work / self.tiles.len().max(1), |t| {
+                let tile = &self.tiles[t];
+                let k = tile.nodes.len();
+                let mut local = Vec::with_capacity(k);
+                for r in 0..k {
+                    let row = &tile.weights[r * k..(r + 1) * k];
+                    let mut acc = 0.0;
+                    for (c, &w) in row.iter().enumerate() {
+                        acc += w * s[tile.nodes[c] as usize];
+                    }
+                    local.push(acc);
+                }
+                local
+            });
+            for (tile, local) in self.tiles.iter().zip(products) {
+                for (&node, v) in tile.nodes.iter().zip(local) {
+                    out[node as usize] = v;
+                }
+            }
+            return;
+        }
+        for tile in &self.tiles {
+            let k = tile.nodes.len();
+            gather.clear();
+            gather.extend(tile.nodes.iter().map(|&j| s[j as usize]));
+            for r in 0..k {
+                let row = &tile.weights[r * k..(r + 1) * k];
+                let mut acc = 0.0;
+                for (c, &g) in gather.iter().enumerate() {
+                    acc += row[c] * g;
+                }
+                out[tile.nodes[r] as usize] = acc;
+            }
+        }
+    }
+
+    /// Tiled mat-vec with an internal scratch buffer (convenience for
+    /// tests and one-off callers; hot paths should hold their own
+    /// scratch and use [`TiledCoupling::matvec_with_scratch`]).
+    pub fn matvec(&self, s: &[f64], out: &mut [f64]) {
+        let mut gather = Vec::new();
+        self.matvec_with_scratch(s, out, &mut gather);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +380,67 @@ mod tests {
         sparse.matvec(&[1.0, 2.0, 3.0, 4.0, 5.0], &mut out);
         assert_eq!(out[2], 0.0);
         assert_eq!(sparse.row_abs_sum(2), 0.0);
+    }
+
+    #[test]
+    fn tiled_matvec_matches_csr_on_intra_block_couplings() {
+        // Build a matrix with only intra-block couplings: tiled and CSR
+        // mat-vecs must agree bit-for-bit.
+        let n = 12;
+        let block_of: Vec<usize> = (0..n).map(|i| i / 4).collect();
+        let mut j = Coupling::zeros(n);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..n {
+            for k in (i + 1)..n {
+                if block_of[i] == block_of[k] {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    j.set(i, k, (x % 1000) as f64 / 500.0 - 1.0);
+                }
+            }
+        }
+        let csr = SparseCoupling::from_dense(&j);
+        let tiled = TiledCoupling::from_dense_partition(&j, &block_of);
+        assert_eq!(tiled.tiles().len(), 3);
+        let s: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut csr_out = vec![0.0; n];
+        let mut tiled_out = vec![0.0; n];
+        csr.matvec(&s, &mut csr_out);
+        tiled.matvec(&s, &mut tiled_out);
+        for i in 0..n {
+            assert_eq!(
+                csr_out[i].to_bits(),
+                tiled_out[i].to_bits(),
+                "row {i}: {} vs {}",
+                csr_out[i],
+                tiled_out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_ignores_cross_block_couplings() {
+        let mut j = Coupling::zeros(4);
+        j.set(0, 1, 1.0); // intra (block 0)
+        j.set(1, 2, 9.0); // cross: dropped from tiles
+        j.set(2, 3, -0.5); // intra (block 1)
+        let tiled = TiledCoupling::from_dense_partition(&j, &[0, 0, 1, 1]);
+        let mut out = vec![0.0; 4];
+        tiled.matvec(&[1.0, 1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [1.0, 1.0, -0.5, -0.5]);
+    }
+
+    #[test]
+    fn tiled_handles_singleton_and_empty_gaps() {
+        // Non-contiguous block ids with a singleton tile.
+        let mut j = Coupling::zeros(3);
+        j.set(0, 2, 2.0);
+        let tiled = TiledCoupling::from_dense_partition(&j, &[7, 3, 7]);
+        assert_eq!(tiled.tiles().len(), 2);
+        let mut out = vec![9.0; 3];
+        tiled.matvec(&[0.5, 1.0, 1.0], &mut out);
+        assert_eq!(out, [2.0, 0.0, 1.0]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! # }
 //! ```
 
-use dsgl_core::inference::{infer_batch, infer_dense, infer_dense_imputation};
+use dsgl_core::inference::{infer_batch_warm, infer_dense, infer_dense_imputation, WarmStart};
 use dsgl_core::ridge::{fit_gaussian_couplings, fit_ridge, fit_ridge_validated};
 use dsgl_core::{
     decompose, CoreError, DecomposeConfig, DecomposedModel, DsGlModel, PatternKind,
@@ -39,6 +39,7 @@ pub struct ForecasterBuilder {
     lambda_grid: Vec<f64>,
     gaussian_outputs: bool,
     anneal: AnnealConfig,
+    warm_start: WarmStart,
 }
 
 impl ForecasterBuilder {
@@ -70,6 +71,16 @@ impl ForecasterBuilder {
     /// The annealing configuration used at inference.
     pub fn anneal(mut self, config: AnnealConfig) -> Self {
         self.anneal = config;
+        self
+    }
+
+    /// How [`Forecaster::forecast_batch`] seeds consecutive windows
+    /// (default [`WarmStart::Cold`] — independent windows, the bit-exact
+    /// historical behaviour). [`WarmStart::Chained`] starts each window
+    /// from the previous window's equilibrium, collapsing
+    /// steps-to-converge on autocorrelated series.
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = warm;
         self
     }
 
@@ -119,6 +130,7 @@ impl ForecasterBuilder {
             model,
             joint,
             anneal: self.anneal,
+            warm_start: self.warm_start,
         })
     }
 }
@@ -136,6 +148,7 @@ pub struct Forecaster {
     model: DsGlModel,
     joint: Option<DsGlModel>,
     anneal: AnnealConfig,
+    warm_start: WarmStart,
 }
 
 impl Forecaster {
@@ -148,6 +161,7 @@ impl Forecaster {
             lambda_grid: vec![0.1, 1.0, 10.0, 100.0],
             gaussian_outputs: false,
             anneal: AnnealConfig::default(),
+            warm_start: WarmStart::Cold,
         }
     }
 
@@ -182,7 +196,10 @@ impl Forecaster {
     /// `master_seed` and its index, so the output is reproducible and
     /// bit-identical across thread counts (see
     /// [`dsgl_core::inference::infer_batch`]). Predictions are returned
-    /// in window order.
+    /// in window order. With
+    /// [`warm_start`](ForecasterBuilder::warm_start) set to
+    /// [`WarmStart::Chained`], consecutive windows seed each other's
+    /// equilibria (still deterministic for a fixed policy).
     ///
     /// # Errors
     ///
@@ -201,7 +218,8 @@ impl Forecaster {
                 target: vec![0.0; target_len],
             })
             .collect();
-        let results = infer_batch(&self.model, &samples, &self.anneal, master_seed)?;
+        let results =
+            infer_batch_warm(&self.model, &samples, &self.anneal, master_seed, self.warm_start)?;
         Ok(results.into_iter().map(|(pred, _)| pred).collect())
     }
 
@@ -363,6 +381,32 @@ mod tests {
         let again = f.forecast_batch(&windows, 7).unwrap();
         assert_eq!(preds, again);
         assert!(f.forecast_batch(&[], 7).is_err(), "empty batch rejected");
+    }
+
+    #[test]
+    fn warm_adaptive_batch_forecast_close_to_cold_strict() {
+        let dataset = dsgl_data::covid::generate(9).truncate(16, 160);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cold = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let fast = Forecaster::builder()
+            .history(3)
+            .anneal(AnnealConfig::adaptive())
+            .warm_start(WarmStart::Chained { chunk: 4 })
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let windows: Vec<Vec<f64>> = (100..108).map(|t| history_of(&dataset, t, 3)).collect();
+        let baseline = cold.forecast_batch(&windows, 7).unwrap();
+        let preds = fast.forecast_batch(&windows, 7).unwrap();
+        for (b, p) in baseline.iter().zip(&preds) {
+            let diff = dsgl_core::metrics::rmse(b, p);
+            assert!(diff < 1e-3, "fast path diverged from baseline: {diff}");
+        }
+        // Still deterministic for a fixed policy.
+        assert_eq!(preds, fast.forecast_batch(&windows, 7).unwrap());
     }
 
     #[test]
