@@ -10,5 +10,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pipeline;
 pub mod report;

@@ -168,7 +168,7 @@ pub fn infer_fixed_point_imputation(
 /// Derives the RNG seed for window `index` of a batch from the batch's
 /// master seed (splitmix64 finaliser). Pure in `(master, index)`, so the
 /// assignment of windows to threads can never change a window's noise.
-fn window_seed(master: u64, index: u64) -> u64 {
+pub(crate) fn window_seed(master: u64, index: u64) -> u64 {
     let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod guard;
 pub mod inference;
 pub mod metrics;
 pub mod model;
@@ -57,6 +58,7 @@ pub mod trainer;
 pub mod windows;
 
 pub use error::CoreError;
+pub use guard::{GuardedAnneal, HealthReport, RetryPolicy};
 pub use inference::WarmStart;
 pub use model::{DsGlModel, VariableLayout};
 pub use patterns::PatternKind;

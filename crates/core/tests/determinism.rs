@@ -9,9 +9,10 @@
 //! with `--no-default-features`, which pins the serial build to the
 //! same bits.
 
+use dsgl_core::guard::GuardedAnneal;
 use dsgl_core::inference::WarmStart;
 use dsgl_core::ridge::{fit_ridge, refit_ridge_masked};
-use dsgl_core::{inference, DsGlModel, Threading, TrainConfig, Trainer, VariableLayout};
+use dsgl_core::{guard, inference, DsGlModel, Threading, TrainConfig, Trainer, VariableLayout};
 use dsgl_data::Sample;
 use dsgl_ising::{AnnealConfig, Coupling, EngineMode};
 use rand::rngs::StdRng;
@@ -165,6 +166,42 @@ fn warm_adaptive_batch_is_bit_identical_across_policies() {
             infer_under(*policy),
             reference,
             "warm adaptive batch diverged under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn guarded_batch_matches_unguarded_across_policies() {
+    // Fault-free guarded inference must be a zero-cost wrapper: every
+    // prediction bit-identical to the unguarded strict batch, under
+    // every threading policy, with every window's health clean.
+    let samples = linear_samples(2, 50, 40, 7);
+    let layout = VariableLayout::new(2, 50, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &samples[..30], 1e-3).unwrap();
+    let windows = &samples[30..];
+    let cfg = AnnealConfig::default();
+    let guard = GuardedAnneal::new(cfg);
+    let unguarded: Vec<u64> = inference::infer_batch(&model, windows, &cfg, 17)
+        .unwrap()
+        .into_iter()
+        .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+        .collect();
+    for policy in POLICIES {
+        let guarded = policy
+            .install(|| guard::infer_batch_guarded(&model, windows, &guard, 17))
+            .unwrap();
+        for (_, _, health) in &guarded {
+            assert!(health.healthy(), "guard fired on healthy hardware: {health:?}");
+            assert_eq!(health.retries, 0);
+        }
+        let bits: Vec<u64> = guarded
+            .into_iter()
+            .flat_map(|(pred, _, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(
+            bits, unguarded,
+            "guarded batch diverged from strict under {policy:?}"
         );
     }
 }

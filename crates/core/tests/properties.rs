@@ -5,7 +5,7 @@
 
 use dsgl_core::inference::WarmStart;
 use dsgl_core::ridge::fit_ridge;
-use dsgl_core::{inference, DsGlModel, TrainConfig, Trainer, VariableLayout};
+use dsgl_core::{inference, DsGlModel, GuardedAnneal, Threading, TrainConfig, Trainer, VariableLayout};
 use dsgl_data::Sample;
 use dsgl_ising::{AnnealConfig, EngineMode};
 use proptest::prelude::*;
@@ -136,6 +136,48 @@ proptest! {
                     "node {}: strict {} vs event-driven {}", v, s, a
                 );
             }
+        }
+    }
+
+    #[test]
+    fn guarded_anneal_is_transparent_on_healthy_hardware(
+        n_nodes in 3usize..7,
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        // On fault-free hardware the guard must be invisible: zero
+        // retries, a clean health report, a bit-identical final state,
+        // and the exact same RNG consumption as the unguarded strict
+        // run — under any thread count.
+        let samples = random_samples(n_nodes, 50, seed, 0.5);
+        let layout = VariableLayout::new(1, n_nodes, 1);
+        let mut model = DsGlModel::new(layout);
+        fit_ridge(&mut model, &samples[..40], 1e-6).unwrap();
+        let cfg = AnnealConfig::default();
+        for sample in &samples[40..43] {
+            let mut plain_rng = StdRng::seed_from_u64(seed ^ 0x6A4D);
+            let mut plain = inference::machine_for_sample(&model, sample, &mut plain_rng).unwrap();
+            let plain_report = plain.run(&cfg, &mut plain_rng);
+
+            let guard = GuardedAnneal::new(cfg);
+            let mut guard_rng = StdRng::seed_from_u64(seed ^ 0x6A4D);
+            let mut guarded = inference::machine_for_sample(&model, sample, &mut guard_rng).unwrap();
+            let (report, health) = Threading::Fixed(threads)
+                .install(|| guard.run(&mut guarded, &mut guard_rng));
+
+            prop_assert!(health.healthy(), "guard fired on healthy run: {:?}", health);
+            prop_assert_eq!(health.retries, 0);
+            prop_assert_eq!(report.converged, plain_report.converged);
+            prop_assert_eq!(report.steps, plain_report.steps);
+            let plain_bits: Vec<u64> = plain.state().iter().map(|v| v.to_bits()).collect();
+            let guard_bits: Vec<u64> = guarded.state().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(guard_bits, plain_bits, "guarded state diverged");
+            // Same RNG consumption: the next draw from each stream agrees.
+            prop_assert_eq!(
+                plain_rng.random::<u64>(),
+                guard_rng.random::<u64>(),
+                "guard consumed RNG on a healthy run"
+            );
         }
     }
 

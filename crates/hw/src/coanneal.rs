@@ -22,6 +22,7 @@
 //!    behave like ordinary cross-PE couplings once routed.
 
 use crate::config::HwConfig;
+use crate::fault::HwFaultModel;
 use crate::schedule::{active_slice, schedule_link, CrossCoupling, LinkSchedule};
 use dsgl_core::inference::EvalReport;
 use dsgl_core::metrics::{pooled_rmse, rmse};
@@ -76,6 +77,11 @@ pub struct MappedMachine {
     history_len: usize,
     wormholes: usize,
     readout: Option<Vec<f64>>,
+    /// Per-node mask: `true` for variables placed on a declared-dead PE.
+    /// Such nodes are pinned to ground on every load and never anneal.
+    faulted: Vec<bool>,
+    /// Cross-PE couplings severed by dead CU lanes at programming time.
+    severed_couplings: usize,
 }
 
 impl MappedMachine {
@@ -85,20 +91,54 @@ impl MappedMachine {
     ///
     /// Returns [`CoreError::InvalidConfig`] if `lanes == 0`.
     pub fn new(decomposed: &DecomposedModel, lanes: usize) -> Result<Self, CoreError> {
+        Self::with_faults(decomposed, lanes, &HwFaultModel::none())
+    }
+
+    /// Programs the mesh around declared-dead resources: cross-PE
+    /// couplings through dead CU lanes are severed, and every variable
+    /// placed on a dead PE is pinned to ground on each sample load (it
+    /// neither anneals nor drives its couplers with anything but 0 V).
+    /// Run [`crate::validate::validate_mapping_with_faults`] first to
+    /// audit how much of the mapping the defects take out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `lanes == 0` or a
+    /// declared defect references a PE outside the grid.
+    pub fn with_faults(
+        decomposed: &DecomposedModel,
+        lanes: usize,
+        faults: &HwFaultModel,
+    ) -> Result<Self, CoreError> {
         if lanes == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "hardware must have at least one lane per portal".into(),
             });
         }
+        let pe_count = decomposed.grid.0 * decomposed.grid.1;
+        if let Some(max_pe) = faults.max_pe() {
+            if max_pe >= pe_count {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "fault model references PE {max_pe}, grid has {pe_count} PEs"
+                    ),
+                });
+            }
+        }
         let model = &decomposed.model;
         let n = model.layout().total();
         let mut intra = Coupling::zeros(n);
         let mut cross: BTreeMap<(usize, usize), Vec<CrossCoupling>> = BTreeMap::new();
+        let mut severed = 0usize;
         for (i, j, w) in model.coupling().nonzeros() {
             let (pa, pb) = (decomposed.var_to_pe[i], decomposed.var_to_pe[j]);
             if pa == pb {
                 intra.set(i, j, w);
             } else {
+                if faults.lane_dead(pa, pb) {
+                    severed += 1;
+                    continue;
+                }
                 let key = (pa.min(pb), pa.max(pb));
                 let (va, vb) = if pa < pb { (i, j) } else { (j, i) };
                 cross.entry(key).or_default().push(CrossCoupling {
@@ -108,6 +148,11 @@ impl MappedMachine {
                 });
             }
         }
+        let faulted: Vec<bool> = decomposed
+            .var_to_pe
+            .iter()
+            .map(|&pe| faults.pe_dead(pe))
+            .collect();
         let links: Vec<LinkSchedule> = cross
             .into_iter()
             .map(|((a, b), cs)| schedule_link(a, b, &cs, lanes))
@@ -145,7 +190,50 @@ impl MappedMachine {
             history_len: layout.history_len(),
             wormholes: decomposed.wormholes.len(),
             readout: None,
+            faulted,
+            severed_couplings: severed,
         })
+    }
+
+    /// Variables placed on declared-dead PEs (pinned to ground).
+    pub fn faulted_nodes(&self) -> Vec<usize> {
+        self.faulted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect()
+    }
+
+    /// Target-frame indices whose variable sits on a dead PE — the
+    /// entries a caller should degrade to a fallback value after
+    /// [`MappedMachine::prediction`].
+    pub fn faulted_target_indices(&self) -> Vec<usize> {
+        self.target_range
+            .clone()
+            .enumerate()
+            .filter_map(|(frame_idx, v)| self.faulted[v].then_some(frame_idx))
+            .collect()
+    }
+
+    /// Cross-PE couplings severed by dead CU lanes when programming.
+    pub fn severed_couplings(&self) -> usize {
+        self.severed_couplings
+    }
+
+    /// Whether any declared defect affects this machine.
+    pub fn has_faults(&self) -> bool {
+        self.severed_couplings > 0 || self.faulted.iter().any(|&f| f)
+    }
+
+    /// Pins every faulted node to ground: a dead PE's outputs read 0 V
+    /// and must not be treated as free variables.
+    fn pin_faulted(&mut self) {
+        for (v, &dead) in self.faulted.iter().enumerate() {
+            if dead {
+                self.state[v] = 0.0;
+                self.free[v] = false;
+            }
+        }
     }
 
     /// Number of PE-pair links.
@@ -188,6 +276,7 @@ impl MappedMachine {
             self.state[v] = (rng.random::<f64>() - 0.5) * 0.2 * self.rail;
             self.free[v] = true;
         }
+        self.pin_faulted();
         self.snapshot.copy_from_slice(&self.state);
         // Prime the sample-and-hold buffers with the loaded state.
         for (li, link) in self.links.iter().enumerate() {
@@ -303,6 +392,7 @@ impl MappedMachine {
             self.state[v] = sample.target[t_idx].clamp(-self.rail, self.rail);
             self.free[v] = false;
         }
+        self.pin_faulted();
         self.snapshot.copy_from_slice(&self.state);
         for (li, link) in self.links.iter().enumerate() {
             for (slice, helds) in link.slices.iter().zip(self.held[li].iter_mut()) {
@@ -676,6 +766,85 @@ mod tests {
         // Bad fraction rejected.
         assert!(evaluate_mapped_imputation(&d, &samples[..2], 1.5, &hw, &mut rng).is_err());
         assert!(evaluate_mapped_imputation(&d, &[], 0.5, &hw, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dead_pe_pins_its_variables_to_ground() {
+        let (d, samples) = trained_decomposed(8, 0.6, 20);
+        let pe = (0..d.pe_count()).find(|&p| !d.vars_on(p).is_empty()).unwrap();
+        let faults = HwFaultModel {
+            dead_pes: vec![pe],
+            dead_cu_lanes: vec![],
+        };
+        let mut machine = MappedMachine::with_faults(&d, 30, &faults).unwrap();
+        assert!(machine.has_faults());
+        assert_eq!(machine.faulted_nodes(), d.vars_on(pe));
+        let mut rng = StdRng::seed_from_u64(21);
+        machine.load_sample(&samples[0], &mut rng).unwrap();
+        machine.run(&HwConfig::default(), &mut rng);
+        for &v in &machine.faulted_nodes() {
+            assert_eq!(machine.state()[v], 0.0, "dead node {v} must read ground");
+        }
+        // The surviving fabric still produces finite output.
+        assert!(machine.prediction().iter().all(|p| p.is_finite()));
+        // Frame indices line up with the faulted target variables.
+        for idx in machine.faulted_target_indices() {
+            assert!(machine.faulted_nodes().contains(&(d.model.layout().history_len() + idx)));
+        }
+    }
+
+    #[test]
+    fn dead_cu_lane_severs_cross_couplings() {
+        let (d, samples) = trained_decomposed(8, 0.6, 22);
+        let healthy = MappedMachine::new(&d, 30).unwrap();
+        let Some(first) = d.cross_pe_couplings().first().copied() else {
+            return; // fully local placement; nothing to sever
+        };
+        let (pa, pb) = (d.var_to_pe[first.0], d.var_to_pe[first.1]);
+        let faults = HwFaultModel {
+            dead_pes: vec![],
+            dead_cu_lanes: vec![(pa, pb)],
+        };
+        let mut machine = MappedMachine::with_faults(&d, 30, &faults).unwrap();
+        assert!(machine.severed_couplings() > 0);
+        assert!(machine.link_count() < healthy.link_count() || machine.severed_couplings() > 0);
+        // Still anneals to finite output without the severed couplings.
+        let mut rng = StdRng::seed_from_u64(23);
+        machine.load_sample(&samples[0], &mut rng).unwrap();
+        machine.run(&HwConfig::default(), &mut rng);
+        assert!(machine.prediction().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn fault_model_outside_grid_rejected() {
+        let (d, _) = trained_decomposed(8, 0.6, 24);
+        let faults = HwFaultModel {
+            dead_pes: vec![99],
+            dead_cu_lanes: vec![],
+        };
+        assert!(matches!(
+            MappedMachine::with_faults(&d, 30, &faults),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn no_faults_is_bit_identical_to_new() {
+        let (d, samples) = trained_decomposed(8, 0.6, 25);
+        let run = |mut machine: MappedMachine| {
+            let mut rng = StdRng::seed_from_u64(26);
+            machine.load_sample(&samples[0], &mut rng).unwrap();
+            machine.run(&HwConfig::default(), &mut rng);
+            machine
+                .prediction()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let plain = run(MappedMachine::new(&d, 30).unwrap());
+        let faultless =
+            run(MappedMachine::with_faults(&d, 30, &HwFaultModel::none()).unwrap());
+        assert_eq!(plain, faultless);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Mesh-level hardware defects: dead Processing Elements and dead
+//! Coupling-Unit lanes.
+//!
+//! `dsgl-ising`'s `FaultModel` covers node- and coupler-level defects of
+//! a single analog fabric. At the Scalable-DSPU level (paper Sec. IV)
+//! whole *resources* fail instead: a PE loses power or its node-control
+//! unit, taking every variable placed on it down with it, or the analog
+//! lanes of a CU serving one PE pair break, severing every cross-PE
+//! coupling routed through that portal.
+//!
+//! A [`HwFaultModel`] declares these defects so that
+//! [`crate::MappedMachine::with_faults`] can program around them
+//! (severed couplings are dropped, dead-PE variables are pinned to
+//! ground) and [`crate::validate::validate_mapping_with_faults`] can
+//! flag a mapping that lands work on broken silicon *before*
+//! programming.
+
+use serde::{Deserialize, Serialize};
+
+/// Declared-dead resources of one Scalable-DSPU mesh.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_hw::fault::HwFaultModel;
+///
+/// let mut faults = HwFaultModel::none();
+/// assert!(faults.is_none());
+/// faults.dead_pes.push(3);
+/// faults.dead_cu_lanes.push((0, 1));
+/// assert!(!faults.is_none());
+/// assert!(faults.lane_dead(1, 0), "lane pairs are unordered");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HwFaultModel {
+    /// PEs that are entirely dead: every variable placed on one reads
+    /// ground and never anneals.
+    pub dead_pes: Vec<usize>,
+    /// Unordered PE pairs whose CU portal lanes are broken: every
+    /// cross-PE coupling between the pair is severed.
+    pub dead_cu_lanes: Vec<(usize, usize)>,
+}
+
+impl HwFaultModel {
+    /// A defect-free mesh.
+    pub fn none() -> Self {
+        HwFaultModel::default()
+    }
+
+    /// Whether this model declares any defect at all.
+    pub fn is_none(&self) -> bool {
+        self.dead_pes.is_empty() && self.dead_cu_lanes.is_empty()
+    }
+
+    /// Whether PE `pe` is declared dead.
+    pub fn pe_dead(&self, pe: usize) -> bool {
+        self.dead_pes.contains(&pe)
+    }
+
+    /// Whether the CU lanes between `a` and `b` are dead (order-free).
+    pub fn lane_dead(&self, a: usize, b: usize) -> bool {
+        self.dead_cu_lanes.contains(&(a, b)) || self.dead_cu_lanes.contains(&(b, a))
+    }
+
+    /// Largest PE index referenced by any declared defect, if any.
+    pub fn max_pe(&self) -> Option<usize> {
+        self.dead_pes
+            .iter()
+            .copied()
+            .chain(self.dead_cu_lanes.iter().flat_map(|&(a, b)| [a, b]))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_declares_nothing() {
+        let f = HwFaultModel::none();
+        assert!(f.is_none());
+        assert!(!f.pe_dead(0));
+        assert!(!f.lane_dead(0, 1));
+        assert_eq!(f.max_pe(), None);
+    }
+
+    #[test]
+    fn membership_is_order_free_for_lanes() {
+        let f = HwFaultModel {
+            dead_pes: vec![2],
+            dead_cu_lanes: vec![(3, 1)],
+        };
+        assert!(f.pe_dead(2) && !f.pe_dead(1));
+        assert!(f.lane_dead(1, 3) && f.lane_dead(3, 1));
+        assert!(!f.lane_dead(1, 2));
+        assert_eq!(f.max_pe(), Some(3));
+    }
+}

@@ -44,6 +44,7 @@
 pub mod coanneal;
 pub mod config;
 pub mod cost;
+pub mod fault;
 pub mod platform;
 pub mod schedule;
 pub mod topology;
@@ -52,6 +53,7 @@ pub mod validate;
 pub use coanneal::{infer_mapped, CoAnnealReport, MappedMachine};
 pub use config::HwConfig;
 pub use cost::{CostModel, HwCost};
+pub use fault::HwFaultModel;
 pub use platform::{Platform, PLATFORMS};
 pub use topology::MeshTopology;
-pub use validate::{validate_mapping, MappingReport};
+pub use validate::{validate_mapping, validate_mapping_with_faults, MappingReport};

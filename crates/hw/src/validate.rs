@@ -5,6 +5,7 @@
 //! independently audits the result against the PE/CU topology — the kind
 //! of checker a hardware compiler runs before programming a chip.
 
+use crate::fault::HwFaultModel;
 use crate::topology::MeshTopology;
 use dsgl_core::patterns::pe_allowed;
 use dsgl_core::DecomposedModel;
@@ -46,6 +47,32 @@ pub enum Violation {
         /// Model variables.
         expected: usize,
     },
+    /// The mapping lands work on a resource the fault model declares
+    /// dead: variables on a dead PE, or cross-PE couplings routed
+    /// through dead CU lanes. Programming such a mapping silently loses
+    /// the affected work, so the audit flags it up front.
+    FaultedResource {
+        /// The dead resource being used.
+        resource: FaultedResource,
+        /// How many variables (dead PE) or couplings (dead CU lane) the
+        /// defect takes out.
+        affected: usize,
+    },
+}
+
+/// The dead resource behind a [`Violation::FaultedResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultedResource {
+    /// A Processing Element declared dead.
+    DeadPe {
+        /// The dead PE.
+        pe: usize,
+    },
+    /// The CU lanes between a PE pair (normalised order) declared dead.
+    DeadCuLane {
+        /// The PE pair whose portal lanes are broken.
+        pes: (usize, usize),
+    },
 }
 
 /// Per-link lane-demand summary produced alongside validation.
@@ -82,6 +109,19 @@ impl MappingReport {
 /// Audits a decomposed model against the machine topology at `lanes`
 /// lanes per portal.
 pub fn validate_mapping(d: &DecomposedModel, lanes: usize) -> MappingReport {
+    validate_mapping_with_faults(d, lanes, &HwFaultModel::none())
+}
+
+/// Audits a decomposed model against a machine with declared-dead
+/// resources: on top of [`validate_mapping`]'s legality checks, every
+/// dead PE hosting variables and every dead CU lane carrying couplings
+/// is reported as a [`Violation::FaultedResource`] — the pre-programming
+/// signal that the mapping will run degraded on this unit.
+pub fn validate_mapping_with_faults(
+    d: &DecomposedModel,
+    lanes: usize,
+    faults: &HwFaultModel,
+) -> MappingReport {
     let mut violations = Vec::new();
     let topo = MeshTopology::new(d.grid);
     let total = d.model.layout().total();
@@ -157,6 +197,24 @@ pub fn validate_mapping(d: &DecomposedModel, lanes: usize) -> MappingReport {
             }
         })
         .collect();
+    // Declared-dead resources hosting work.
+    for &pe in &faults.dead_pes {
+        let load = loads.get(pe).copied().unwrap_or(0);
+        if load > 0 {
+            violations.push(Violation::FaultedResource {
+                resource: FaultedResource::DeadPe { pe },
+                affected: load,
+            });
+        }
+    }
+    for link in &links {
+        if faults.lane_dead(link.pes.0, link.pes.1) {
+            violations.push(Violation::FaultedResource {
+                resource: FaultedResource::DeadCuLane { pes: link.pes },
+                affected: link.couplings,
+            });
+        }
+    }
     let temporal = links.iter().filter(|l| l.slices > 1).count();
     let temporal_fraction = if links.is_empty() {
         0.0
@@ -248,6 +306,82 @@ mod tests {
                 .any(|v| matches!(v, Violation::UnroutableCoupling { .. })),
             "violations: {:?}",
             report.violations
+        );
+    }
+
+    #[test]
+    fn dead_pe_with_work_is_flagged() {
+        let d = decomposed(5);
+        // Find a PE that actually hosts variables.
+        let pe = (0..4).find(|&p| !d.vars_on(p).is_empty()).unwrap();
+        let faults = HwFaultModel {
+            dead_pes: vec![pe],
+            dead_cu_lanes: vec![],
+        };
+        let report = validate_mapping_with_faults(&d, 30, &faults);
+        assert!(!report.is_legal());
+        let expected = d.vars_on(pe).len();
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::FaultedResource {
+                resource: FaultedResource::DeadPe { pe: p },
+                affected,
+            } if *p == pe && *affected == expected
+        )));
+    }
+
+    #[test]
+    fn dead_cu_lane_with_couplings_is_flagged() {
+        let d = decomposed(6);
+        let base = validate_mapping(&d, 30);
+        let Some(link) = base.links.first() else {
+            return; // placement happened to be fully local
+        };
+        let faults = HwFaultModel {
+            dead_pes: vec![],
+            dead_cu_lanes: vec![(link.pes.1, link.pes.0)], // reversed order
+        };
+        let report = validate_mapping_with_faults(&d, 30, &faults);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::FaultedResource {
+                resource: FaultedResource::DeadCuLane { pes },
+                affected,
+            } if *pes == link.pes && *affected == link.couplings
+        )));
+    }
+
+    #[test]
+    fn idle_dead_resources_stay_silent() {
+        let d = decomposed(7);
+        // A dead PE hosting nothing and a dead lane carrying nothing
+        // cost the mapping nothing — no violation.
+        let idle_pe = (0..4).find(|&p| d.vars_on(p).is_empty());
+        let base = validate_mapping(&d, 30);
+        let unused_lane = (0..4)
+            .flat_map(|a| (a + 1..4).map(move |b| (a, b)))
+            .find(|&pes| !base.links.iter().any(|l| l.pes == pes));
+        let faults = HwFaultModel {
+            dead_pes: idle_pe.into_iter().collect(),
+            dead_cu_lanes: unused_lane.into_iter().collect(),
+        };
+        let report = validate_mapping_with_faults(&d, 30, &faults);
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::FaultedResource { .. })),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn no_faults_matches_plain_validation() {
+        let d = decomposed(8);
+        assert_eq!(
+            validate_mapping(&d, 4),
+            validate_mapping_with_faults(&d, 4, &HwFaultModel::none())
         );
     }
 

@@ -84,12 +84,19 @@ impl Brim {
 
     /// Overrides the node capacitance (default [`crate::RC_NS`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `c` is finite and positive.
-    pub fn set_capacitance(&mut self, c: f64) {
-        assert!(c.is_finite() && c > 0.0, "capacitance must be positive");
+    /// Returns [`IsingError::InvalidParameter`] unless `c` is finite and
+    /// positive.
+    pub fn set_capacitance(&mut self, c: f64) -> Result<(), IsingError> {
+        if !c.is_finite() || c <= 0.0 {
+            return Err(IsingError::InvalidParameter {
+                what: "capacitance",
+                value: c,
+            });
+        }
         self.capacitance = c;
+        Ok(())
     }
 
     /// Current node voltages.
@@ -286,6 +293,18 @@ mod tests {
     }
 
     #[test]
+    fn capacitance_setter_validates() {
+        let mut b = Brim::new(Coupling::zeros(2), vec![0.0; 2]).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.set_capacitance(bad),
+                Err(IsingError::InvalidParameter { .. })
+            ));
+        }
+        b.set_capacitance(25.0).unwrap();
+    }
+
+    #[test]
     fn free_nodes_polarise() {
         // Ferromagnetic chain driven by a clamped node: every free node
         // should saturate at a rail, not an interior value.
@@ -388,7 +407,7 @@ mod tests {
             let mut j = Coupling::zeros(2);
             j.set(0, 1, 1.0);
             let mut b = Brim::new(j, vec![0.0; 2]).unwrap();
-            b.set_capacitance(c);
+            b.set_capacitance(c).unwrap();
             b.clamp(0, 0.5).unwrap();
             let mut rng = StdRng::seed_from_u64(5);
             b.randomize(&mut rng);

@@ -95,12 +95,19 @@ impl RealValuedDspu {
 
     /// Overrides the node capacitance.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `c` is finite and positive.
-    pub fn set_capacitance(&mut self, c: f64) {
-        assert!(c.is_finite() && c > 0.0, "capacitance must be positive");
+    /// Returns [`IsingError::InvalidParameter`] unless `c` is finite and
+    /// positive.
+    pub fn set_capacitance(&mut self, c: f64) -> Result<(), IsingError> {
+        if !c.is_finite() || c <= 0.0 {
+            return Err(IsingError::InvalidParameter {
+                what: "capacitance",
+                value: c,
+            });
+        }
         self.capacitance = c;
+        Ok(())
     }
 
     /// Number of nodes.
@@ -115,12 +122,19 @@ impl RealValuedDspu {
 
     /// Sets the voltage rail magnitude.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `rail` is finite and positive.
-    pub fn set_rail(&mut self, rail: f64) {
-        assert!(rail.is_finite() && rail > 0.0, "rail must be positive");
+    /// Returns [`IsingError::InvalidParameter`] unless `rail` is finite
+    /// and positive.
+    pub fn set_rail(&mut self, rail: f64) -> Result<(), IsingError> {
+        if !rail.is_finite() || rail <= 0.0 {
+            return Err(IsingError::InvalidParameter {
+                what: "rail",
+                value: rail,
+            });
+        }
         self.rail = rail;
+        Ok(())
     }
 
     /// Clamps node `i` to `value` (an observed input).
@@ -208,6 +222,87 @@ impl RealValuedDspu {
                 self.state[i] = (rng.random::<f64>() - 0.5) * 0.2 * self.rail;
             }
         }
+    }
+
+    /// Injects persistent hardware defects described by a
+    /// [`crate::fault::FaultModel`]: dead couplers are removed from the
+    /// fabric, coupler drift freezes a multiplicative offset onto every
+    /// surviving weight (drawn from `rng`), and stuck nodes are pinned —
+    /// removed from the free set with their voltage forced to the stuck
+    /// level, *even when that level is non-finite*, so garbage readouts
+    /// propagate exactly as they would on silicon.
+    ///
+    /// Call after clamping inputs and before annealing. The event-driven
+    /// engine needs no special handling: stuck nodes are not free, so the
+    /// active set never integrates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of
+    /// [`crate::fault::FaultModel::validate`] and leaves the machine
+    /// untouched.
+    pub fn inject_faults<R: Rng + ?Sized>(
+        &mut self,
+        faults: &crate::fault::FaultModel,
+        rng: &mut R,
+    ) -> Result<(), IsingError> {
+        faults.validate(self.n())?;
+        if faults.is_none() {
+            return Ok(());
+        }
+        if !faults.dead_couplers.is_empty() || faults.coupler_drift > 0.0 {
+            let mut dense = self.coupling.to_dense();
+            faults.apply_to_coupling(&mut dense, rng);
+            self.coupling = SparseCoupling::from_dense(&dense);
+        }
+        for s in &faults.stuck_nodes {
+            // Deliberately bypasses `clamp` validation: a stuck level may
+            // sit outside the rails or be NaN.
+            self.free[s.idx] = false;
+            self.state[s.idx] = s.value;
+        }
+        Ok(())
+    }
+
+    /// Replaces every non-finite state entry with `fallback`, returning
+    /// how many entries were replaced. The recovery primitive used by
+    /// guarded annealing after NaN contamination.
+    pub fn sanitize(&mut self, fallback: f64) -> usize {
+        let mut replaced = 0;
+        for v in &mut self.state {
+            if !v.is_finite() {
+                *v = fallback;
+                replaced += 1;
+            }
+        }
+        replaced
+    }
+
+    /// Instantaneous maximum free-node rate `|dσ/dt|` at the current
+    /// state, in rail fractions per ns — the residual of the equilibrium
+    /// condition `σᵢ = -Σⱼ Jᵢⱼσⱼ / hᵢ`. Nodes pinned at a rail with
+    /// outward drive are stationary (the clamp holds them) and excluded.
+    ///
+    /// Unlike the in-run convergence check, which compares states a full
+    /// check window apart and can be aliased by an even-period
+    /// oscillation, this is a point-in-time measurement: it is large at
+    /// any point of a limit cycle. One mat-vec; consumes no RNG.
+    pub fn max_free_rate(&self) -> f64 {
+        let mut js = vec![0.0; self.n()];
+        self.coupling.matvec(&self.state, &mut js);
+        let mut rate = 0.0f64;
+        for (i, &jsi) in js.iter().enumerate() {
+            if !self.free[i] {
+                continue;
+            }
+            let dv = (jsi + self.h[i] * self.state[i]) / self.capacitance;
+            let pinned = (self.state[i] >= self.rail && dv > 0.0)
+                || (self.state[i] <= -self.rail && dv < 0.0);
+            if !pinned {
+                rate = rate.max(dv.abs());
+            }
+        }
+        rate
     }
 
     /// Current Hamiltonian `H_RV`.
@@ -510,6 +605,31 @@ mod tests {
         assert!(!d.free_mask()[0]);
         d.release(0).unwrap();
         assert!(d.free_mask()[0]);
+    }
+
+    #[test]
+    fn setter_validation_returns_errors() {
+        let mut d = chain3();
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                d.set_capacitance(bad),
+                Err(IsingError::InvalidParameter {
+                    what: "capacitance",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                d.set_rail(bad),
+                Err(IsingError::InvalidParameter { what: "rail", .. })
+            ));
+        }
+        // Failed setters leave the machine untouched.
+        assert_eq!(d.capacitance(), crate::RC_NS);
+        assert_eq!(d.rail(), 1.0);
+        d.set_capacitance(50.0).unwrap();
+        d.set_rail(2.0).unwrap();
+        assert_eq!(d.capacitance(), 50.0);
+        assert_eq!(d.rail(), 2.0);
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub enum IsingError {
         /// What was being supplied.
         what: &'static str,
     },
+    /// A scalar hardware parameter was outside its valid range
+    /// (non-finite, non-positive, or otherwise physically meaningless).
+    InvalidParameter {
+        /// Which parameter was being set.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for IsingError {
@@ -70,6 +78,9 @@ impl fmt::Display for IsingError {
                 "clamp value {value} for node {node} outside voltage rails ±{rail}"
             ),
             IsingError::NonFinite { what } => write!(f, "{what} contains a non-finite value"),
+            IsingError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
         }
     }
 }
@@ -91,6 +102,14 @@ mod tests {
         assert!(IsingError::NonNegativeSelfReaction { node: 2, value: 0.5 }
             .to_string()
             .contains("strictly negative"));
+        assert_eq!(
+            IsingError::InvalidParameter {
+                what: "capacitance",
+                value: -1.0
+            }
+            .to_string(),
+            "invalid capacitance: -1"
+        );
     }
 
     #[test]

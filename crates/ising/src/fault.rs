@@ -1,0 +1,348 @@
+//! Persistent hardware defects of analog Ising machines.
+//!
+//! [`crate::NoiseModel`] covers *transient* per-step jitter — the paper's
+//! Fig. 13 robustness sweep. Real CMOS Ising machines (the BRIM line of
+//! work and its almost-linear descendants) also suffer *persistent*
+//! defects that no amount of time-averaging filters out:
+//!
+//! - **Stuck nodes**: a node's latch, comparator, or DAC fails and the
+//!   capacitor voltage pins at a fixed level — ground, a rail, or (for a
+//!   floating readout) garbage that reads as NaN;
+//! - **Dead couplers**: a programmable resistor's switch is stuck open,
+//!   so the coupling between two nodes simply vanishes;
+//! - **Coupler drift**: process variation and aging shift every
+//!   programmed conductance by a multiplicative factor — unlike the
+//!   [`crate::NoiseModel`] jitter this offset is frozen at program time
+//!   and biases the fixed point itself.
+//!
+//! A [`FaultModel`] bundles one machine's defects. It is applied once,
+//! before annealing, by [`crate::RealValuedDspu::inject_faults`] (the
+//! event-driven engine inherits the result automatically: a stuck node
+//! is never free, so the active set skips it). Mesh-level defects —
+//! dead PEs and dead CU lanes — live in `dsgl-hw`, which consumes this
+//! module's node/coupler classes for the per-PE fabric.
+
+use crate::coupling::Coupling;
+use crate::error::IsingError;
+use crate::noise::gaussian;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A node whose voltage is pinned by a defect.
+///
+/// `value` may be non-finite: a dead readout chain returns garbage, and
+/// the simulator propagates it exactly like the silicon would, so that
+/// guarded annealing (see `dsgl-core`) can be tested against NaN
+/// contamination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StuckNode {
+    /// The defective node.
+    pub idx: usize,
+    /// The level it is stuck at (non-finite = garbage readout).
+    pub value: f64,
+}
+
+/// Persistent defects of one analog machine.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_ising::fault::{FaultModel, StuckNode};
+///
+/// let mut faults = FaultModel::none();
+/// assert!(faults.is_none());
+/// faults.stuck_nodes.push(StuckNode { idx: 2, value: 0.0 });
+/// faults.dead_couplers.push((0, 1));
+/// faults.coupler_drift = 0.05;
+/// assert!(!faults.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Nodes pinned at a fixed (possibly garbage) voltage.
+    pub stuck_nodes: Vec<StuckNode>,
+    /// Unordered node pairs whose coupling resistor is stuck open.
+    pub dead_couplers: Vec<(usize, usize)>,
+    /// Relative σ of the frozen multiplicative conductance offset
+    /// applied to every surviving coupling (`0.0` = no drift).
+    pub coupler_drift: f64,
+}
+
+impl FaultModel {
+    /// A defect-free machine.
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// Whether this model describes any defect at all.
+    pub fn is_none(&self) -> bool {
+        self.stuck_nodes.is_empty() && self.dead_couplers.is_empty() && self.coupler_drift == 0.0
+    }
+
+    /// Samples a fault population for a fault-rate campaign: each node is
+    /// stuck (at a uniform level in the rails, or NaN with probability
+    /// `nan_fraction` among the stuck) with probability `stuck_rate`, and
+    /// each *present* coupling of `j` dies with probability `dead_rate`.
+    /// `drift` is copied through. Deterministic in `(rng, j)`.
+    pub fn sampled<R: Rng + ?Sized>(
+        j: &Coupling,
+        stuck_rate: f64,
+        dead_rate: f64,
+        drift: f64,
+        nan_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut faults = FaultModel {
+            coupler_drift: drift,
+            ..FaultModel::default()
+        };
+        for idx in 0..j.n() {
+            if rng.random::<f64>() < stuck_rate {
+                let value = if rng.random::<f64>() < nan_fraction {
+                    f64::NAN
+                } else {
+                    rng.random::<f64>() * 2.0 - 1.0
+                };
+                faults.stuck_nodes.push(StuckNode { idx, value });
+            }
+        }
+        for (a, b, _) in j.nonzeros() {
+            if rng.random::<f64>() < dead_rate {
+                faults.dead_couplers.push((a, b));
+            }
+        }
+        faults
+    }
+
+    /// Validates indices against a machine of `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::NodeOutOfRange`] for any out-of-range node
+    /// and [`IsingError::InvalidParameter`] for a non-finite or negative
+    /// drift σ. (Non-finite *stuck values* are deliberately legal — they
+    /// model garbage readouts.)
+    pub fn validate(&self, n: usize) -> Result<(), IsingError> {
+        for s in &self.stuck_nodes {
+            if s.idx >= n {
+                return Err(IsingError::NodeOutOfRange { node: s.idx, len: n });
+            }
+        }
+        for &(a, b) in &self.dead_couplers {
+            let bad = a.max(b);
+            if bad >= n {
+                return Err(IsingError::NodeOutOfRange { node: bad, len: n });
+            }
+        }
+        if !self.coupler_drift.is_finite() || self.coupler_drift < 0.0 {
+            return Err(IsingError::InvalidParameter {
+                what: "coupler drift sigma",
+                value: self.coupler_drift,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the coupler-level defects to a dense coupling matrix:
+    /// dead couplers are zeroed, then every surviving coupling is scaled
+    /// by a frozen `1 + drift·𝒩(0,1)` factor. Drift draws consume `rng`
+    /// in ascending `(i, j)` order, so the defect pattern is a pure
+    /// function of the seed.
+    pub fn apply_to_coupling<R: Rng + ?Sized>(&self, j: &mut Coupling, rng: &mut R) {
+        for &(a, b) in &self.dead_couplers {
+            if a != b && a < j.n() && b < j.n() {
+                j.set(a, b, 0.0);
+            }
+        }
+        if self.coupler_drift > 0.0 {
+            for (a, b, w) in j.nonzeros() {
+                j.set(a, b, w * (1.0 + self.coupler_drift * gaussian(rng)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::AnnealConfig;
+    use crate::dspu::RealValuedDspu;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain3() -> Coupling {
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 0.5);
+        j.set(1, 2, 0.5);
+        j
+    }
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultModel::none().is_none());
+        let f = FaultModel {
+            coupler_drift: 0.1,
+            ..FaultModel::none()
+        };
+        assert!(!f.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_indices() {
+        let f = FaultModel {
+            stuck_nodes: vec![StuckNode { idx: 5, value: 0.0 }],
+            ..FaultModel::none()
+        };
+        assert!(matches!(
+            f.validate(3),
+            Err(IsingError::NodeOutOfRange { node: 5, len: 3 })
+        ));
+        let f = FaultModel {
+            dead_couplers: vec![(0, 9)],
+            ..FaultModel::none()
+        };
+        assert!(f.validate(3).is_err());
+        let f = FaultModel {
+            coupler_drift: -0.5,
+            ..FaultModel::none()
+        };
+        assert!(matches!(
+            f.validate(3),
+            Err(IsingError::InvalidParameter { .. })
+        ));
+        // NaN stuck values are legal: they model garbage readouts.
+        let f = FaultModel {
+            stuck_nodes: vec![StuckNode {
+                idx: 1,
+                value: f64::NAN,
+            }],
+            ..FaultModel::none()
+        };
+        assert!(f.validate(3).is_ok());
+    }
+
+    #[test]
+    fn dead_coupler_zeroes_symmetrically() {
+        let mut j = chain3();
+        let f = FaultModel {
+            dead_couplers: vec![(1, 0)],
+            ..FaultModel::none()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        f.apply_to_coupling(&mut j, &mut rng);
+        assert_eq!(j.get(0, 1), 0.0);
+        assert_eq!(j.get(1, 0), 0.0);
+        assert_eq!(j.get(1, 2), 0.5, "unrelated coupling untouched");
+    }
+
+    #[test]
+    fn drift_is_seed_deterministic_and_scales() {
+        let apply = |seed: u64| {
+            let mut j = chain3();
+            let f = FaultModel {
+                coupler_drift: 0.1,
+                ..FaultModel::none()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            f.apply_to_coupling(&mut j, &mut rng);
+            (j.get(0, 1), j.get(1, 2))
+        };
+        assert_eq!(apply(3), apply(3), "same seed, same frozen drift");
+        let (a, b) = apply(3);
+        assert_ne!(a, 0.5, "drift must actually move the weight");
+        assert!((a - 0.5).abs() < 0.25 && (b - 0.5).abs() < 0.25, "±5σ bound");
+    }
+
+    #[test]
+    fn sampled_rates_zero_yields_no_faults() {
+        let j = chain3();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = FaultModel::sampled(&j, 0.0, 0.0, 0.0, 0.0, &mut rng);
+        assert!(f.is_none());
+    }
+
+    #[test]
+    fn sampled_rates_one_faults_everything() {
+        let j = chain3();
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = FaultModel::sampled(&j, 1.0, 1.0, 0.0, 0.0, &mut rng);
+        assert_eq!(f.stuck_nodes.len(), 3);
+        assert_eq!(f.dead_couplers.len(), 2);
+        assert!(f.stuck_nodes.iter().all(|s| s.value.is_finite()));
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = FaultModel::sampled(&j, 1.0, 0.0, 0.0, 1.0, &mut rng);
+        assert!(f.stuck_nodes.iter().all(|s| s.value.is_nan()));
+    }
+
+    #[test]
+    fn injected_stuck_node_excluded_from_annealing() {
+        let mut d = RealValuedDspu::new(chain3(), vec![-1.5; 3]).unwrap();
+        d.clamp(0, 0.9).unwrap();
+        let faults = FaultModel {
+            stuck_nodes: vec![StuckNode { idx: 2, value: 0.25 }],
+            ..FaultModel::none()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        d.inject_faults(&faults, &mut rng).unwrap();
+        assert!(!d.free_mask()[2]);
+        d.randomize_free(&mut rng);
+        let report = d.run(&AnnealConfig::default(), &mut rng);
+        assert!(report.converged);
+        assert_eq!(d.state()[2], 0.25, "stuck node must hold its level");
+        // σ1 sees the stuck neighbour: σ1 = (0.5·0.9 + 0.5·0.25)/1.5.
+        let expect = (0.5 * 0.9 + 0.5 * 0.25) / 1.5;
+        assert!((d.state()[1] - expect).abs() < 1e-3, "σ1 = {}", d.state()[1]);
+    }
+
+    #[test]
+    fn injected_dead_coupler_isolates() {
+        let mut d = RealValuedDspu::new(chain3(), vec![-1.5; 3]).unwrap();
+        d.clamp(0, 0.9).unwrap();
+        let faults = FaultModel {
+            dead_couplers: vec![(1, 2)],
+            ..FaultModel::none()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        d.inject_faults(&faults, &mut rng).unwrap();
+        d.randomize_free(&mut rng);
+        let report = d.run(&AnnealConfig::default(), &mut rng);
+        assert!(report.converged);
+        // Node 2 lost its only coupling: it decays to 0.
+        assert!(d.state()[2].abs() < 1e-3, "σ2 = {}", d.state()[2]);
+        assert!((d.state()[1] - 0.3).abs() < 1e-3, "σ1 = {}", d.state()[1]);
+    }
+
+    #[test]
+    fn injected_nan_stuck_node_contaminates_state() {
+        let mut d = RealValuedDspu::new(chain3(), vec![-1.5; 3]).unwrap();
+        d.clamp(0, 0.9).unwrap();
+        let faults = FaultModel {
+            stuck_nodes: vec![StuckNode {
+                idx: 1,
+                value: f64::NAN,
+            }],
+            ..FaultModel::none()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        d.inject_faults(&faults, &mut rng).unwrap();
+        d.randomize_free(&mut rng);
+        d.run(&AnnealConfig::with_budget(50.0), &mut rng);
+        // NaN spreads into the coupled free node — the failure mode
+        // guarded annealing must catch.
+        assert!(d.state().iter().any(|v| !v.is_finite()));
+        // Sanitising replaces the garbage and reports how much there was.
+        let replaced = d.sanitize(0.0);
+        assert!(replaced >= 1);
+        assert!(d.state().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn inject_rejects_bad_model() {
+        let mut d = RealValuedDspu::new(chain3(), vec![-1.5; 3]).unwrap();
+        let faults = FaultModel {
+            stuck_nodes: vec![StuckNode { idx: 9, value: 0.0 }],
+            ..FaultModel::none()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(d.inject_faults(&faults, &mut rng).is_err());
+    }
+}

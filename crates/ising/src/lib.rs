@@ -51,6 +51,7 @@ pub mod coupling;
 pub mod dspu;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod hamiltonian;
 pub mod noise;
 pub(crate) mod par;
@@ -69,6 +70,7 @@ pub use coupling::Coupling;
 pub use dspu::RealValuedDspu;
 pub use engine::{AdaptiveConfig, EngineMode};
 pub use error::IsingError;
+pub use fault::{FaultModel, StuckNode};
 pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
 pub use trace::Trace;

@@ -106,4 +106,66 @@ mod tests {
         let b = gaussian(&mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn relative_sets_both_channels_equally() {
+        for n in [0.05, 0.10, 0.15] {
+            let m = NoiseModel::relative(n);
+            assert_eq!(m.node_std, n);
+            assert_eq!(m.coupler_std, n);
+        }
+        // One-sided models are not "none": each channel counts alone.
+        let node_only = NoiseModel {
+            node_std: 0.1,
+            coupler_std: 0.0,
+        };
+        let coupler_only = NoiseModel {
+            node_std: 0.0,
+            coupler_std: 0.1,
+        };
+        assert!(!node_only.is_none() && !coupler_only.is_none());
+    }
+
+    #[test]
+    fn none_fast_path_consumes_no_rng() {
+        // A noiseless step must not touch the RNG: the fast path keeps
+        // clean runs bit-reproducible regardless of how many steps ran.
+        use crate::coupling::Coupling;
+        use crate::dspu::RealValuedDspu;
+        let mut j = Coupling::zeros(3);
+        j.set(0, 1, 0.5);
+        j.set(1, 2, 0.5);
+        let mut d = RealValuedDspu::new(j, vec![-1.5; 3]).unwrap();
+        d.clamp(0, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            d.step(1.0, &NoiseModel::none(), &mut rng);
+        }
+        let after_run: f64 = rng.random();
+        let untouched: f64 = StdRng::seed_from_u64(31).random();
+        assert_eq!(after_run, untouched, "noiseless steps consumed RNG");
+    }
+
+    #[test]
+    fn noisy_run_deterministic_under_fixed_seed() {
+        use crate::anneal::AnnealConfig;
+        use crate::coupling::Coupling;
+        use crate::dspu::RealValuedDspu;
+        let run = |seed: u64| {
+            let mut j = Coupling::zeros(4);
+            j.set(0, 1, 0.4);
+            j.set(1, 2, -0.3);
+            j.set(2, 3, 0.2);
+            let mut d = RealValuedDspu::new(j, vec![-1.2; 4]).unwrap();
+            d.clamp(0, 0.7).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            d.randomize_free(&mut rng);
+            let mut cfg = AnnealConfig::with_budget(300.0);
+            cfg.noise = NoiseModel::relative(0.10);
+            d.run(&cfg, &mut rng);
+            d.state().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed must be bit-identical");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
 }

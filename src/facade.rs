@@ -18,15 +18,16 @@
 //! # }
 //! ```
 
+use dsgl_core::guard::{infer_batch_guarded, infer_dense_guarded};
 use dsgl_core::inference::{infer_batch_warm, infer_dense, infer_dense_imputation, WarmStart};
 use dsgl_core::ridge::{fit_gaussian_couplings, fit_ridge, fit_ridge_validated};
 use dsgl_core::{
-    decompose, CoreError, DecomposeConfig, DecomposedModel, DsGlModel, PatternKind,
-    VariableLayout,
+    decompose, CoreError, DecomposeConfig, DecomposedModel, DsGlModel, GuardedAnneal,
+    HealthReport, PatternKind, RetryPolicy, VariableLayout,
 };
 use dsgl_data::{Dataset, Sample, WindowConfig};
-use dsgl_hw::coanneal::infer_mapped;
-use dsgl_hw::HwConfig;
+use dsgl_hw::coanneal::{infer_mapped, MappedMachine};
+use dsgl_hw::{HwConfig, HwFaultModel};
 use dsgl_ising::AnnealConfig;
 use rand::Rng;
 
@@ -40,6 +41,7 @@ pub struct ForecasterBuilder {
     gaussian_outputs: bool,
     anneal: AnnealConfig,
     warm_start: WarmStart,
+    retry: RetryPolicy,
 }
 
 impl ForecasterBuilder {
@@ -81,6 +83,16 @@ impl ForecasterBuilder {
     /// steps-to-converge on autocorrelated series.
     pub fn warm_start(mut self, warm: WarmStart) -> Self {
         self.warm_start = warm;
+        self
+    }
+
+    /// Retry policy for the guarded inference paths
+    /// ([`Forecaster::forecast_with_health`] and
+    /// [`Forecaster::forecast_batch_with_health`]); the default allows
+    /// three retries with a 2× budget backoff. The unguarded paths are
+    /// unaffected.
+    pub fn guard(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -131,6 +143,7 @@ impl ForecasterBuilder {
             joint,
             anneal: self.anneal,
             warm_start: self.warm_start,
+            guard: GuardedAnneal::new(self.anneal).with_policy(self.retry),
         })
     }
 }
@@ -149,6 +162,7 @@ pub struct Forecaster {
     joint: Option<DsGlModel>,
     anneal: AnnealConfig,
     warm_start: WarmStart,
+    guard: GuardedAnneal,
 }
 
 impl Forecaster {
@@ -162,6 +176,7 @@ impl Forecaster {
             gaussian_outputs: false,
             anneal: AnnealConfig::default(),
             warm_start: WarmStart::Cold,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -187,6 +202,30 @@ impl Forecaster {
         };
         let (pred, _) = infer_dense(&self.model, &sample, &self.anneal, rng)?;
         Ok(pred)
+    }
+
+    /// [`forecast`](Self::forecast) under the guarded annealing path:
+    /// bad runs (non-finite state, rail saturation, non-convergence)
+    /// are retried with escalating mitigation per the builder's
+    /// [`guard`](ForecasterBuilder::guard) policy, and the returned
+    /// [`HealthReport`] says what happened. The prediction is always
+    /// finite; on a healthy run it is bit-identical to
+    /// [`forecast`](Self::forecast).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch if `history` has the wrong length.
+    pub fn forecast_with_health<R: Rng + ?Sized>(
+        &self,
+        history: &[f64],
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, HealthReport), CoreError> {
+        let sample = Sample {
+            history: history.to_vec(),
+            target: vec![0.0; self.model.layout().target_len()],
+        };
+        let (pred, _, health) = infer_dense_guarded(&self.model, &sample, &self.guard, rng)?;
+        Ok((pred, health))
     }
 
     /// Forecasts many history windows at once, annealing them in
@@ -221,6 +260,38 @@ impl Forecaster {
         let results =
             infer_batch_warm(&self.model, &samples, &self.anneal, master_seed, self.warm_start)?;
         Ok(results.into_iter().map(|(pred, _)| pred).collect())
+    }
+
+    /// [`forecast_batch`](Self::forecast_batch) under the guarded
+    /// annealing path: every window gets its own guard with the
+    /// builder's retry policy and reports its health alongside the
+    /// prediction. Windows whose guard never fires are bit-identical to
+    /// the unguarded cold-start batch under every threading policy.
+    /// (The guarded batch always cold-starts; warm chaining would let
+    /// one window's degraded equilibrium seed the next.)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty batch or a window with a wrong
+    /// history length.
+    pub fn forecast_batch_with_health(
+        &self,
+        windows: &[Vec<f64>],
+        master_seed: u64,
+    ) -> Result<Vec<(Vec<f64>, HealthReport)>, CoreError> {
+        let target_len = self.model.layout().target_len();
+        let samples: Vec<Sample> = windows
+            .iter()
+            .map(|history| Sample {
+                history: history.clone(),
+                target: vec![0.0; target_len],
+            })
+            .collect();
+        let results = infer_batch_guarded(&self.model, &samples, &self.guard, master_seed)?;
+        Ok(results
+            .into_iter()
+            .map(|(pred, _, health)| (pred, health))
+            .collect())
     }
 
     /// Imputes the unknown entries of a partially observed target frame:
@@ -285,9 +356,24 @@ impl Forecaster {
         if !finetune_samples.is_empty() {
             dsgl_core::ridge::refit_ridge_masked(&mut decomposed.model, finetune_samples, 10.0)?;
         }
+        // Historical per-index target means: the fallback values a
+        // faulted deployment degrades to (0 V when no samples exist).
+        let target_len = self.model.layout().target_len();
+        let mut fallback = vec![0.0; target_len];
+        if !finetune_samples.is_empty() {
+            for s in finetune_samples {
+                for (acc, &t) in fallback.iter_mut().zip(&s.target) {
+                    *acc += t;
+                }
+            }
+            let inv = 1.0 / finetune_samples.len() as f64;
+            fallback.iter_mut().for_each(|v| *v *= inv);
+        }
         Ok(MappedForecaster {
             decomposed,
             hw: HwConfig::default(),
+            faults: HwFaultModel::none(),
+            fallback,
         })
     }
 }
@@ -297,6 +383,8 @@ impl Forecaster {
 pub struct MappedForecaster {
     decomposed: DecomposedModel,
     hw: HwConfig,
+    faults: HwFaultModel,
+    fallback: Vec<f64>,
 }
 
 impl MappedForecaster {
@@ -308,6 +396,16 @@ impl MappedForecaster {
     /// Overrides the hardware configuration (lanes, sync interval, …).
     pub fn with_hw(mut self, hw: HwConfig) -> Self {
         self.hw = hw;
+        self
+    }
+
+    /// Declares dead PEs and CU lanes on the deployed mesh. Subsequent
+    /// [`forecast_with_health`](Self::forecast_with_health) calls run
+    /// around the defects: couplings through dead lanes are severed,
+    /// and predictions read off dead PEs are degraded to the historical
+    /// target means captured at [`Forecaster::deploy`].
+    pub fn with_faults(mut self, faults: HwFaultModel) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -328,6 +426,46 @@ impl MappedForecaster {
         };
         let (pred, report) = infer_mapped(&self.decomposed, &sample, &self.hw, rng)?;
         Ok((pred, report.anneal.sim_time_ns))
+    }
+
+    /// Forecasts on the (possibly faulted) mesh with a health account.
+    /// Target entries whose variable sits on a dead PE are re-clamped
+    /// to the historical-mean fallback captured at deploy time, as are
+    /// any non-finite readouts; each patch is counted in the
+    /// [`HealthReport`] and marks the result degraded. A defect-free
+    /// mesh returns the same bits as [`forecast`](Self::forecast) with
+    /// a clean report.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape mismatches and invalid fault declarations (a dead
+    /// PE outside the grid).
+    pub fn forecast_with_health<R: Rng + ?Sized>(
+        &self,
+        history: &[f64],
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, f64, HealthReport), CoreError> {
+        let sample = Sample {
+            history: history.to_vec(),
+            target: vec![0.0; self.decomposed.model.layout().target_len()],
+        };
+        let mut machine = MappedMachine::with_faults(&self.decomposed, self.hw.lanes, &self.faults)?;
+        machine.load_sample(&sample, rng)?;
+        let report = machine.run(&self.hw, rng);
+        let mut pred = machine.prediction();
+        let mut health = HealthReport::default();
+        for idx in machine.faulted_target_indices() {
+            pred[idx] = self.fallback[idx];
+            health.fault_clamped += 1;
+        }
+        for (p, &fb) in pred.iter_mut().zip(&self.fallback) {
+            if !p.is_finite() {
+                *p = fb;
+                health.sanitized_nodes += 1;
+            }
+        }
+        health.degraded = health.fault_clamped > 0 || health.sanitized_nodes > 0;
+        Ok((pred, report.anneal.sim_time_ns, health))
     }
 }
 
@@ -462,6 +600,98 @@ mod tests {
         let hist = history_of(&dataset, 90, 3);
         let pred = f.forecast(&hist, &mut rng).unwrap();
         assert_eq!(pred.len(), 2 * dataset.node_count());
+    }
+
+    #[test]
+    fn guarded_forecast_matches_unguarded_on_healthy_hardware() {
+        let dataset = dsgl_data::covid::generate(9).truncate(16, 160);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 100, 3);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let plain = f.forecast(&hist, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let (guarded, health) = f.forecast_with_health(&hist, &mut rng_b).unwrap();
+        assert!(health.healthy(), "health: {health:?}");
+        assert_eq!(plain, guarded, "guard must be invisible when healthy");
+        // Batch variant: same bits as the cold unguarded batch, every
+        // window clean.
+        let windows: Vec<Vec<f64>> = (100..104).map(|t| history_of(&dataset, t, 3)).collect();
+        let plain_batch = f.forecast_batch(&windows, 7).unwrap();
+        let guarded_batch = f.forecast_batch_with_health(&windows, 7).unwrap();
+        for ((p, (g, h)), k) in plain_batch.iter().zip(&guarded_batch).zip(0..) {
+            assert!(h.healthy(), "window {k}: {h:?}");
+            assert_eq!(p, g, "window {k} diverged");
+        }
+    }
+
+    #[test]
+    fn guard_policy_is_configurable_and_retries_a_starved_budget() {
+        let dataset = dsgl_data::covid::generate(9).truncate(12, 140);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = Forecaster::builder()
+            .history(3)
+            .anneal(AnnealConfig::with_budget(20.0)) // far too small
+            .guard(dsgl_core::RetryPolicy {
+                max_retries: 5,
+                backoff: 4.0,
+            })
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 90, 3);
+        let (pred, health) = f.forecast_with_health(&hist, &mut rng).unwrap();
+        assert!(pred.iter().all(|p| p.is_finite()));
+        assert!(health.retries >= 1, "starved budget must trigger retries");
+        assert!(!health.degraded, "backoff should rescue the run: {health:?}");
+    }
+
+    #[test]
+    fn faulted_mesh_degrades_to_historical_means() {
+        let dataset = dsgl_data::covid::generate(10).truncate(12, 160);
+        let wc = WindowConfig::one_step(3);
+        let (train, _, _) = dataset.split_windows(&wc, 0.8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = Forecaster::builder()
+            .history(3)
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let mapped = f
+            .deploy((2, 2), PatternKind::DMesh, 0.3, &train, &mut rng)
+            .unwrap();
+        let hist = history_of(&dataset, 100, 3);
+        // Clean mesh: health path returns the same bits as forecast.
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let (clean, _) = mapped.forecast(&hist, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(33);
+        let (pred, latency, health) = mapped.forecast_with_health(&hist, &mut rng_b).unwrap();
+        assert!(health.healthy(), "clean mesh must report healthy");
+        assert_eq!(clean, pred);
+        assert!(latency > 0.0);
+        // Kill PE 0: its target outputs fall back to historical means,
+        // the report says so, and the output stays finite.
+        let faulted = mapped.clone().with_faults(HwFaultModel {
+            dead_pes: vec![0],
+            dead_cu_lanes: vec![],
+        });
+        let mut rng_c = StdRng::seed_from_u64(33);
+        let (dpred, _, dhealth) = faulted.forecast_with_health(&hist, &mut rng_c).unwrap();
+        assert!(dhealth.degraded, "dead PE must degrade the forecast");
+        assert!(dhealth.fault_clamped > 0, "health: {dhealth:?}");
+        assert!(!dhealth.healthy());
+        assert!(dpred.iter().all(|p| p.is_finite()));
+        // Degradation is still a usable forecast, not garbage.
+        let truth = dataset.series.frame(103);
+        let rmse = dsgl_core::metrics::rmse(&dpred, truth);
+        assert!(rmse < 0.5, "degraded forecast unusable: rmse {rmse}");
+        // A fault outside the grid is rejected, not silently ignored.
+        let bad = mapped.clone().with_faults(HwFaultModel {
+            dead_pes: vec![99],
+            dead_cu_lanes: vec![],
+        });
+        assert!(bad.forecast_with_health(&hist, &mut rng_c).is_err());
     }
 
     #[test]
