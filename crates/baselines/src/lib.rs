@@ -21,6 +21,7 @@
 //! `EXPERIMENTS.md` when comparing absolute latencies with the paper.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 #![warn(missing_docs)]
 
 pub mod adaptive;

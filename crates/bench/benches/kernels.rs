@@ -2,7 +2,7 @@
 //! Louvain, Cholesky, ridge fits.
 //!
 //! Besides the criterion benches, `cargo bench --bench kernels` writes a
-//! machine-readable snapshot to `BENCH_kernels.json` at the repo root:
+//! machine-readable snapshot to `results/BENCH_kernels.json`:
 //! per-kernel ns/op plus a batch-forecast comparison of the strict
 //! fixed-schedule integrator against the event-driven engine (cold and
 //! warm-started), with steps-to-converge and active-set occupancy. Set
@@ -192,7 +192,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Machine-readable snapshot: BENCH_kernels.json at the repo root.
+// Machine-readable snapshot: results/BENCH_kernels.json.
 // ---------------------------------------------------------------------------
 
 #[derive(Serialize)]
@@ -398,7 +398,7 @@ fn emit_snapshot() {
         kernels: kernel_entries(),
         batch_forecast: batch_forecast_snapshot(),
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_kernels.json");
     let json = serde_json::to_string_pretty(&snapshot).expect("serialise bench snapshot");
     std::fs::write(path, json + "\n").expect("write BENCH_kernels.json");
     println!("wrote {path}");

@@ -242,6 +242,9 @@ fn historical_means(p: &Prepared) -> Vec<f64> {
 
 /// Runs the full campaign: trains the model once, then sweeps every
 /// fault class. Deterministic in the config.
+// Progress markers for the long-running campaign bins; stderr only, so
+// machine-readable stdout/JSON artifacts stay clean.
+#[allow(clippy::print_stderr)]
 pub fn run_campaign(cfg: &FaultCampaignConfig) -> FaultCampaignReport {
     let p = prepare(&cfg.dataset, &cfg.scale, cfg.seed);
     let (model, _) = train_dense(&p, &cfg.scale, cfg.seed);

@@ -8,6 +8,7 @@
 //! kernels and run scaled-down versions of every experiment.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 #![warn(missing_docs)]
 
 pub mod fault;

@@ -99,6 +99,9 @@ impl Table {
     /// # Errors
     ///
     /// Returns I/O errors from creating the directory or file.
+    // The rendered table is the bench bins' user-facing terminal output;
+    // this is the one sanctioned stdout print in the bench library.
+    #[allow(clippy::print_stdout)]
     pub fn emit(&self, out_dir: &Path, stem: &str) -> std::io::Result<PathBuf> {
         println!("{}", self.to_text());
         fs::create_dir_all(out_dir)?;

@@ -31,6 +31,7 @@
 use crate::error::CoreError;
 use crate::inference::window_seed;
 use crate::model::DsGlModel;
+use crate::telemetry::TelemetrySink;
 use dsgl_data::Sample;
 use dsgl_ising::fault::FaultModel;
 use dsgl_ising::{AnnealConfig, AnnealReport, EngineMode, RealValuedDspu};
@@ -116,6 +117,14 @@ pub struct HealthReport {
     /// Output entries re-clamped to fallback values because their
     /// hardware resource is faulted (filled in by the mapped facade).
     pub fault_clamped: usize,
+    /// Integration steps of the accepted (or final, when degraded)
+    /// annealing attempt — the per-window cost metric.
+    #[serde(default)]
+    pub anneal_steps: usize,
+    /// Simulated time of the accepted (or final) attempt in ns — the
+    /// per-window latency metric.
+    #[serde(default)]
+    pub anneal_sim_time_ns: f64,
 }
 
 impl HealthReport {
@@ -221,6 +230,9 @@ impl GuardedAnneal {
         loop {
             let report = dspu.run(&config, rng);
             let Some(cause) = self.diagnose(dspu, &report) else {
+                health.anneal_steps = report.steps;
+                health.anneal_sim_time_ns = report.sim_time_ns;
+                record_guard_metrics(dspu.telemetry(), &health);
                 return (report, health);
             };
             let out_of_retries = health.retries >= self.policy.max_retries;
@@ -245,6 +257,9 @@ impl GuardedAnneal {
             let Some(mitigation) = mitigation else {
                 health.degraded = true;
                 health.sanitized_nodes += dspu.sanitize(0.0);
+                health.anneal_steps = report.steps;
+                health.anneal_sim_time_ns = report.sim_time_ns;
+                record_guard_metrics(dspu.telemetry(), &health);
                 return (report, health);
             };
             health.retries += 1;
@@ -265,6 +280,30 @@ impl GuardedAnneal {
             config.max_time_ns *= self.policy.backoff.max(1.0);
         }
     }
+}
+
+/// Records the `guard.*` instrument family for one completed guarded
+/// run. Free when the sink is disabled (single branch, no allocation).
+fn record_guard_metrics(sink: &TelemetrySink, health: &HealthReport) {
+    if !sink.is_enabled() {
+        return;
+    }
+    sink.counter_add("guard.runs", 1);
+    sink.counter_add("guard.attempts", health.retries as u64 + 1);
+    sink.counter_add("guard.retries", health.retries as u64);
+    for attempt in &health.attempts {
+        let name = match attempt.mitigation {
+            Some(Mitigation::HalveDt) => "guard.retries.halve_dt",
+            Some(Mitigation::StrictFallback) => "guard.retries.strict_fallback",
+            Some(Mitigation::Rerandomize) => "guard.retries.rerandomize",
+            None => continue,
+        };
+        sink.counter_add(name, 1);
+    }
+    if health.degraded {
+        sink.counter_add("guard.degraded_runs", 1);
+    }
+    sink.counter_add("guard.sanitized_nodes", health.sanitized_nodes as u64);
 }
 
 /// Guarded counterpart of [`crate::inference::infer_dense`]: clamp
@@ -301,7 +340,36 @@ pub fn infer_dense_guarded_faulted<R: Rng + ?Sized>(
     faults: &FaultModel,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_faulted_instrumented(
+        model,
+        sample,
+        guard,
+        faults,
+        &TelemetrySink::noop(),
+        rng,
+    )
+}
+
+/// [`infer_dense_guarded_faulted`] with a [`TelemetrySink`] attached to
+/// the per-window machine, so the run records the `anneal.*` and
+/// `guard.*` instrument families. Passing a noop sink is exactly the
+/// plain call; the sink never touches the RNG or the dynamics, so
+/// results are bit-identical either way.
+///
+/// # Errors
+///
+/// Returns shape mismatches, invalid parameters, and fault-model
+/// validation errors.
+pub fn infer_dense_guarded_faulted_instrumented<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
     let mut dspu = crate::inference::machine_for_sample(model, sample, rng)?;
+    dspu.set_telemetry(sink.clone());
     dspu.inject_faults(faults, rng)?;
     let (report, health) = guard.run(&mut dspu, rng);
     let layout = model.layout();
@@ -328,6 +396,26 @@ pub fn infer_batch_guarded(
     guard: &GuardedAnneal,
     master_seed: u64,
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_instrumented(model, samples, guard, master_seed, &TelemetrySink::noop())
+}
+
+/// [`infer_batch_guarded`] with a [`TelemetrySink`] shared across every
+/// per-window machine. The registry behind the sink is thread-safe, so
+/// windows annealed in parallel aggregate into the same instruments;
+/// recording happens at window granularity (never inside the
+/// integration loop), keeping contention negligible.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_guarded_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    master_seed: u64,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
@@ -336,7 +424,14 @@ pub fn infer_batch_guarded(
     let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
-        infer_dense_guarded(model, &samples[i], guard, &mut rng)
+        infer_dense_guarded_faulted_instrumented(
+            model,
+            &samples[i],
+            guard,
+            &FaultModel::none(),
+            sink,
+            &mut rng,
+        )
     });
     results.into_iter().collect()
 }

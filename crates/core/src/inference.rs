@@ -3,6 +3,7 @@
 use crate::error::CoreError;
 use crate::metrics::pooled_rmse;
 use crate::model::DsGlModel;
+use crate::telemetry::TelemetrySink;
 use crate::windows::observed_state;
 use dsgl_data::Sample;
 use dsgl_ising::{AnnealConfig, AnnealReport, RealValuedDspu};
@@ -46,7 +47,26 @@ pub fn infer_dense<R: Rng + ?Sized>(
     config: &AnnealConfig,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport), CoreError> {
+    infer_dense_instrumented(model, sample, config, &TelemetrySink::noop(), rng)
+}
+
+/// [`infer_dense`] with a [`TelemetrySink`] attached to the per-window
+/// machine, so the run records the `anneal.*` instrument family. The
+/// sink never touches the RNG or the dynamics: results are bit-identical
+/// to the plain call whether the sink is enabled or not.
+///
+/// # Errors
+///
+/// Returns shape mismatches and invalid-parameter errors.
+pub fn infer_dense_instrumented<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    config: &AnnealConfig,
+    sink: &TelemetrySink,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport), CoreError> {
     let mut dspu = machine_for_sample(model, sample, rng)?;
+    dspu.set_telemetry(sink.clone());
     let report = dspu.run(config, rng);
     let layout = model.layout();
     Ok((dspu.state()[layout.target_range()].to_vec(), report))
@@ -232,6 +252,26 @@ pub fn infer_batch(
     config: &AnnealConfig,
     master_seed: u64,
 ) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    infer_batch_instrumented(model, samples, config, master_seed, &TelemetrySink::noop())
+}
+
+/// [`infer_batch`] with a [`TelemetrySink`] shared across every
+/// per-window machine. The registry behind the sink is thread-safe and
+/// recording happens once per window (never inside the integration
+/// loop), so parallel windows aggregate into the same instruments with
+/// negligible contention and unchanged results.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
@@ -242,7 +282,7 @@ pub fn infer_batch(
     let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
-        infer_dense(model, &samples[i], config, &mut rng)
+        infer_dense_instrumented(model, &samples[i], config, sink, &mut rng)
     });
     results.into_iter().collect()
 }
@@ -292,8 +332,35 @@ pub fn infer_batch_warm(
     master_seed: u64,
     warm: WarmStart,
 ) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    infer_batch_warm_instrumented(
+        model,
+        samples,
+        config,
+        master_seed,
+        warm,
+        &TelemetrySink::noop(),
+    )
+}
+
+/// [`infer_batch_warm`] with a [`TelemetrySink`] shared across every
+/// per-window machine (see [`infer_batch_instrumented`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_warm_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    warm: WarmStart,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
     let chunk = match warm {
-        WarmStart::Cold => return infer_batch(model, samples, config, master_seed),
+        WarmStart::Cold => {
+            return infer_batch_instrumented(model, samples, config, master_seed, sink)
+        }
         WarmStart::Chained { chunk } => {
             if chunk == 0 {
                 samples.len()
@@ -324,6 +391,7 @@ pub fn infer_batch_warm(
             // machine_for_sample consumes the same RNG draws as the cold
             // path (free-block randomisation), so noise streams match.
             let result = machine_for_sample(model, sample, &mut rng).and_then(|mut dspu| {
+                dspu.set_telemetry(sink.clone());
                 if let Some(prev_state) = &prev {
                     let mut state = dspu.state().to_vec();
                     for (v, &p) in layout.target_range().zip(prev_state.iter()) {

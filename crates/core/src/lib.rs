@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod error;
 pub mod guard;
@@ -53,6 +54,7 @@ pub mod model;
 pub mod patterns;
 pub mod ridge;
 pub mod sparsify;
+pub mod telemetry;
 pub mod threading;
 pub mod trainer;
 pub mod windows;
@@ -63,5 +65,6 @@ pub use inference::WarmStart;
 pub use model::{DsGlModel, VariableLayout};
 pub use patterns::PatternKind;
 pub use sparsify::{decompose, DecomposeConfig, DecomposedModel};
+pub use telemetry::{MetricsSnapshot, TelemetrySink};
 pub use threading::Threading;
 pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -19,6 +19,7 @@
 
 use crate::error::CoreError;
 use crate::model::DsGlModel;
+use crate::telemetry::TelemetrySink;
 use crate::windows::full_state;
 use dsgl_data::Sample;
 use dsgl_nn::linalg::{cholesky, cholesky_solve, ridge_solve};
@@ -32,19 +33,27 @@ use dsgl_nn::Matrix;
 /// Returns [`CoreError::FactorisationFailed`] when seven escalations
 /// still leave the matrix unfactorisable (degenerate or non-finite
 /// training data).
-fn factor_with_escalation(gram: &Matrix, lambda: f64) -> Result<Matrix, CoreError> {
+fn factor_with_escalation(
+    gram: &Matrix,
+    lambda: f64,
+    sink: &TelemetrySink,
+) -> Result<Matrix, CoreError> {
     let n = gram.rows();
     let mut lam = lambda.max(1e-12);
-    for _ in 0..7 {
+    for attempt in 0..7u64 {
         let mut a = gram.clone();
         for i in 0..n {
             a.set(i, i, a.get(i, i) + lam);
         }
         if let Some(l) = cholesky(&a) {
+            if attempt > 0 {
+                sink.counter_add("train.ridge_escalations", attempt);
+            }
             return Ok(l);
         }
         lam *= 10.0;
     }
+    sink.counter_add("train.ridge_escalations", 7);
     Err(CoreError::FactorisationFailed { lambda: lam / 10.0 })
 }
 
@@ -71,9 +80,28 @@ pub fn fit_ridge(
     samples: &[Sample],
     lambda: f64,
 ) -> Result<(), CoreError> {
+    fit_ridge_instrumented(model, samples, lambda, &TelemetrySink::noop())
+}
+
+/// [`fit_ridge`] with a [`TelemetrySink`]: records `train.ridge_fits`,
+/// `train.ridge_solves` (one per target row), `train.ridge_escalations`
+/// (λ escalations needed to factorise), and the wall-clock
+/// `train.phase.ridge_ns` span. The sink never influences the solve, so
+/// fitted weights are bit-identical with or without it.
+///
+/// # Errors
+///
+/// Same as [`fit_ridge`].
+pub fn fit_ridge_instrumented(
+    model: &mut DsGlModel,
+    samples: &[Sample],
+    lambda: f64,
+    sink: &TelemetrySink,
+) -> Result<(), CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
+    let _span = sink.time_phase("train.phase.ridge_ns");
     let layout = model.layout();
     let hist = layout.history_len();
     let n_samples = samples.len();
@@ -91,7 +119,7 @@ pub fn fit_ridge(
     // row.
     let gram = x.t_matmul(&x);
     let xty = x.t_matmul(&targets); // hist × frame_len
-    let factor = factor_with_escalation(&gram, lambda)?;
+    let factor = factor_with_escalation(&gram, lambda, sink)?;
 
     // Per-target rows are independent: each reads only its own row of
     // the incoming model and the shared factorisation, so the solves
@@ -124,6 +152,8 @@ pub fn fit_ridge(
             }
         }
     }
+    sink.counter_add("train.ridge_fits", 1);
+    sink.counter_add("train.ridge_solves", layout.target_len() as u64);
     Ok(())
 }
 
@@ -143,9 +173,25 @@ pub fn refit_ridge_masked(
     samples: &[Sample],
     lambda: f64,
 ) -> Result<(), CoreError> {
+    refit_ridge_masked_instrumented(model, samples, lambda, &TelemetrySink::noop())
+}
+
+/// [`refit_ridge_masked`] with a [`TelemetrySink`] (see
+/// [`fit_ridge_instrumented`]).
+///
+/// # Errors
+///
+/// Same as [`refit_ridge_masked`].
+pub fn refit_ridge_masked_instrumented(
+    model: &mut DsGlModel,
+    samples: &[Sample],
+    lambda: f64,
+    sink: &TelemetrySink,
+) -> Result<(), CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
+    let _span = sink.time_phase("train.phase.ridge_ns");
     let layout = model.layout();
     let total = layout.total();
     let n_samples = samples.len();
@@ -201,6 +247,8 @@ pub fn refit_ridge_masked(
             model.coupling_mut().set(v, j, wj);
         }
     }
+    sink.counter_add("train.ridge_fits", 1);
+    sink.counter_add("train.ridge_solves", layout.target_len() as u64);
     Ok(())
 }
 
@@ -276,7 +324,7 @@ pub fn fit_gaussian_couplings(
         sigma.set(i, i, sigma.get(i, i).max(1e-10));
     }
     // Precision matrix via Cholesky: Θ column-by-column.
-    let factor = factor_with_escalation(&sigma, 1e-10)?;
+    let factor = factor_with_escalation(&sigma, 1e-10, &TelemetrySink::noop())?;
     let mut theta = Matrix::zeros(t_len, t_len);
     let mut e = vec![0.0; t_len];
     for col in 0..t_len {
@@ -349,13 +397,30 @@ pub fn fit_ridge_validated(
     val: &[Sample],
     candidates: &[f64],
 ) -> Result<f64, CoreError> {
+    fit_ridge_validated_instrumented(model, train, val, candidates, &TelemetrySink::noop())
+}
+
+/// [`fit_ridge_validated`] with a [`TelemetrySink`]: every candidate fit
+/// records its `train.ridge_*` instruments (see
+/// [`fit_ridge_instrumented`]), so the counts reflect the full λ sweep.
+///
+/// # Errors
+///
+/// Same as [`fit_ridge_validated`].
+pub fn fit_ridge_validated_instrumented(
+    model: &mut DsGlModel,
+    train: &[Sample],
+    val: &[Sample],
+    candidates: &[f64],
+    sink: &TelemetrySink,
+) -> Result<f64, CoreError> {
     if candidates.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
     let mut best: Option<(f64, f64, DsGlModel)> = None;
     for &lambda in candidates {
         let mut m = model.clone();
-        fit_ridge(&mut m, train, lambda)?;
+        fit_ridge_instrumented(&mut m, train, lambda, sink)?;
         let rmse = crate::trainer::Trainer::regression_rmse(&m, val)?;
         if best.as_ref().is_none_or(|(r, _, _)| rmse < *r) {
             best = Some((rmse, lambda, m));

@@ -1,0 +1,34 @@
+//! Workspace telemetry, re-exported at the core layer.
+//!
+//! The registry primitives live in [`dsgl_ising::telemetry`] — the
+//! lowest crate whose hot paths are instrumented — and this module
+//! re-exports them so every consumer of `dsgl-core` reaches the whole
+//! telemetry surface through one path. See the source module for the
+//! design notes (zero-cost noop sink, run-granularity recording,
+//! bit-identity guarantees).
+//!
+//! # Instrument catalogue
+//!
+//! | family | instrument | kind | recorded by |
+//! |---|---|---|---|
+//! | `anneal` | `anneal.runs`, `anneal.converged` | counter | every [`RealValuedDspu`](dsgl_ising::RealValuedDspu) run |
+//! | `anneal` | `anneal.steps`, `anneal.sim_time_ns`, `anneal.final_rate`, `anneal.sparse_steps`, `anneal.active_fraction`, `anneal.rail_saturated_nodes` | histogram | every run |
+//! | `anneal` | `anneal.drain_validations` | counter | the event-driven engine |
+//! | `anneal` | `anneal.active_set_peak` | histogram | the event-driven engine |
+//! | `guard` | `guard.runs`, `guard.attempts`, `guard.retries`, `guard.retries.halve_dt`, `guard.retries.strict_fallback`, `guard.retries.rerandomize`, `guard.degraded_runs`, `guard.sanitized_nodes`, `guard.fault_clamped` | counter | [`GuardedAnneal`](crate::GuardedAnneal) and the mapped facade |
+//! | `train` | `train.ridge_fits`, `train.ridge_solves`, `train.ridge_escalations`, `train.sgd_fits`, `train.epochs` | counter | [`ridge`](crate::ridge) / [`Trainer`](crate::Trainer) |
+//! | `train` | `train.epoch_loss` | histogram | [`Trainer`](crate::Trainer) |
+//! | `train` | `train.final_loss` | gauge | [`Trainer`](crate::Trainer) |
+//! | `train` | `train.phase.fit_ns`, `train.phase.ridge_ns` | histogram (wall ns) | phase spans |
+//! | `hw` | `hw.mappings`, `hw.coanneal_runs`, `hw.slice_switches`, `hw.sync_refreshes` | counter | `MappedMachine` |
+//! | `hw` | `hw.pes`, `hw.lanes`, `hw.links`, `hw.temporal_links`, `hw.max_slices`, `hw.wormholes` | gauge | `MappedMachine` |
+//! | `hw` | `hw.pe_occupancy`, `hw.cu_lane_demand` | histogram | `MappedMachine` |
+//!
+//! Durations are simulated nanoseconds wherever the dynamics define
+//! simulated time; only the coarse `*.phase.*_ns` spans read the wall
+//! clock.
+
+pub use dsgl_ising::telemetry::{
+    bucket_bounds, HistogramBucket, InstrumentSnapshot, MetricsRegistry, MetricsSnapshot,
+    PhaseSpan, TelemetrySink, SCHEMA_VERSION,
+};

@@ -27,6 +27,7 @@
 
 use crate::error::CoreError;
 use crate::model::DsGlModel;
+use crate::telemetry::TelemetrySink;
 use crate::windows::full_state;
 use dsgl_data::Sample;
 use dsgl_nn::Adam;
@@ -117,6 +118,7 @@ impl TrainReport {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    telemetry: TelemetrySink,
 }
 
 impl Trainer {
@@ -135,12 +137,32 @@ impl Trainer {
             config.contraction_margin > 0.0 && config.contraction_margin < 1.0,
             "contraction margin must lie in (0, 1)"
         );
-        Trainer { config }
+        Trainer {
+            config,
+            telemetry: TelemetrySink::noop(),
+        }
+    }
+
+    /// Attaches a [`TelemetrySink`]: fits record the `train.*`
+    /// instrument family (SGD fits, epochs, per-epoch losses, final
+    /// loss, and a wall-clock fit span). The sink never touches the RNG
+    /// or the optimiser, so fitted models are bit-identical with or
+    /// without it.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// The attached telemetry sink (noop unless
+    /// [`with_telemetry`](Self::with_telemetry) was called).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Fits `model` on `samples` with all couplings trainable.
@@ -180,6 +202,7 @@ impl Trainer {
         if samples.is_empty() {
             return Err(CoreError::EmptyTrainingSet);
         }
+        let _fit_span = self.telemetry.time_phase("train.phase.fit_ns");
         let layout = model.layout();
         let n = layout.total();
         if let Some(m) = mask {
@@ -290,6 +313,17 @@ impl Trainer {
             epoch_losses.push(epoch_sse / epoch_count.max(1) as f64);
         }
         self.project_contraction(model, &target);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("train.sgd_fits", 1);
+            self.telemetry
+                .counter_add("train.epochs", epoch_losses.len() as u64);
+            for &loss in &epoch_losses {
+                self.telemetry.record("train.epoch_loss", loss);
+            }
+            if let Some(&last) = epoch_losses.last() {
+                self.telemetry.gauge_set("train.final_loss", last);
+            }
+        }
         Ok(TrainReport { epoch_losses })
     }
 

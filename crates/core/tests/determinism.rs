@@ -12,7 +12,9 @@
 use dsgl_core::guard::GuardedAnneal;
 use dsgl_core::inference::WarmStart;
 use dsgl_core::ridge::{fit_ridge, refit_ridge_masked};
-use dsgl_core::{guard, inference, DsGlModel, Threading, TrainConfig, Trainer, VariableLayout};
+use dsgl_core::{
+    guard, inference, DsGlModel, TelemetrySink, Threading, TrainConfig, Trainer, VariableLayout,
+};
 use dsgl_data::Sample;
 use dsgl_ising::{AnnealConfig, Coupling, EngineMode};
 use rand::rngs::StdRng;
@@ -231,5 +233,58 @@ fn large_matvec_is_bit_identical_across_policies() {
             reference,
             "matvec diverged under {policy:?}"
         );
+    }
+}
+
+#[test]
+fn telemetry_sink_never_changes_inference_bits() {
+    // An enabled telemetry sink records after the dynamics finish and
+    // draws nothing from the RNG, so instrumented inference must emit
+    // the same bits as the plain (noop-sink) path — under every
+    // threading policy, for both the guarded and unguarded batch.
+    let samples = linear_samples(2, 50, 40, 11);
+    let layout = VariableLayout::new(2, 50, 1);
+    let mut model = DsGlModel::new(layout);
+    fit_ridge(&mut model, &samples[..30], 1e-3).unwrap();
+    let windows = &samples[30..];
+    let cfg = AnnealConfig::default();
+    let guard = GuardedAnneal::new(cfg);
+
+    let plain: Vec<u64> = inference::infer_batch(&model, windows, &cfg, 23)
+        .unwrap()
+        .into_iter()
+        .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+        .collect();
+    for policy in POLICIES {
+        let sink = TelemetrySink::enabled();
+        let instrumented: Vec<u64> = policy
+            .install(|| inference::infer_batch_instrumented(&model, windows, &cfg, 23, &sink))
+            .unwrap()
+            .into_iter()
+            .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(
+            instrumented, plain,
+            "enabled sink changed inference bits under {policy:?}"
+        );
+        let snapshot = sink.snapshot();
+        assert_eq!(snapshot.counter("anneal.runs"), windows.len() as u64);
+
+        let sink = TelemetrySink::enabled();
+        let guarded: Vec<u64> = policy
+            .install(|| {
+                guard::infer_batch_guarded_instrumented(&model, windows, &guard, 23, &sink)
+            })
+            .unwrap()
+            .into_iter()
+            .flat_map(|(pred, _, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(
+            guarded, plain,
+            "enabled sink changed guarded bits under {policy:?}"
+        );
+        let snapshot = sink.snapshot();
+        assert_eq!(snapshot.counter("guard.runs"), windows.len() as u64);
+        assert_eq!(snapshot.counter("guard.retries"), 0);
     }
 }

@@ -26,7 +26,7 @@ use crate::fault::HwFaultModel;
 use crate::schedule::{active_slice, schedule_link, CrossCoupling, LinkSchedule};
 use dsgl_core::inference::EvalReport;
 use dsgl_core::metrics::{pooled_rmse, rmse};
-use dsgl_core::{CoreError, DecomposedModel};
+use dsgl_core::{CoreError, DecomposedModel, TelemetrySink};
 use dsgl_data::Sample;
 use dsgl_ising::convergence::max_rate;
 use dsgl_ising::noise::gaussian;
@@ -82,6 +82,13 @@ pub struct MappedMachine {
     faulted: Vec<bool>,
     /// Cross-PE couplings severed by dead CU lanes at programming time.
     severed_couplings: usize,
+    /// Variables placed per PE (index = PE id), for occupancy telemetry.
+    pe_occupancy: Vec<usize>,
+    /// Portal lanes per PE pair the machine was built with.
+    lanes: usize,
+    /// Metrics sink; noop unless [`set_telemetry`](Self::set_telemetry)
+    /// attached an enabled one.
+    telemetry: TelemetrySink,
 }
 
 impl MappedMachine {
@@ -153,6 +160,10 @@ impl MappedMachine {
             .iter()
             .map(|&pe| faults.pe_dead(pe))
             .collect();
+        let mut pe_occupancy = vec![0usize; pe_count];
+        for &pe in &decomposed.var_to_pe {
+            pe_occupancy[pe] += 1;
+        }
         let links: Vec<LinkSchedule> = cross
             .into_iter()
             .map(|((a, b), cs)| schedule_link(a, b, &cs, lanes))
@@ -192,7 +203,53 @@ impl MappedMachine {
             readout: None,
             faulted,
             severed_couplings: severed,
+            pe_occupancy,
+            lanes,
+            telemetry: TelemetrySink::noop(),
         })
+    }
+
+    /// Attaches a [`TelemetrySink`] and records the static mapping shape
+    /// (`hw.mappings`, `hw.pes`, `hw.lanes`, `hw.links`,
+    /// `hw.temporal_links`, `hw.max_slices`, `hw.wormholes`,
+    /// `hw.pe_occupancy`, `hw.cu_lane_demand`) once. Subsequent
+    /// [`run`](Self::run)s record the `hw.coanneal_runs`,
+    /// `hw.slice_switches`, and `hw.sync_refreshes` counters. The sink
+    /// never touches the RNG or the dynamics, so co-annealed results are
+    /// bit-identical with or without it.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+        self.record_mapping_metrics();
+    }
+
+    /// The attached telemetry sink (noop by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Gauges and histograms describing the programmed mapping.
+    fn record_mapping_metrics(&self) {
+        let sink = &self.telemetry;
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.counter_add("hw.mappings", 1);
+        sink.gauge_set("hw.pes", self.pe_occupancy.len() as f64);
+        sink.gauge_set("hw.lanes", self.lanes as f64);
+        sink.gauge_set("hw.links", self.link_count() as f64);
+        sink.gauge_set("hw.temporal_links", self.temporal_link_count() as f64);
+        sink.gauge_set("hw.max_slices", self.max_slices() as f64);
+        sink.gauge_set("hw.wormholes", self.wormholes as f64);
+        for &occ in &self.pe_occupancy {
+            sink.record("hw.pe_occupancy", occ as f64);
+        }
+        // Per-link CU lane demand: the heavier side's boundary export
+        // count — compared against the built lane budget `L`, this is
+        // the slice pressure of the mapping.
+        for link in &self.links {
+            let (a, b) = link.boundary;
+            sink.record("hw.cu_lane_demand", a.max(b) as f64);
+        }
     }
 
     /// Variables placed on declared-dead PEs (pinned to ground).
@@ -465,6 +522,26 @@ impl MappedMachine {
             }
             let inv = 1.0 / avg_steps as f64;
             self.readout = Some(acc.into_iter().map(|a| a * inv).collect());
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("hw.coanneal_runs", 1);
+            // Both counters are derived arithmetically from simulated
+            // time, so the hot loop stays untouched: snapshot refreshes
+            // happen once per sync interval, and every temporal link
+            // advances its active slice once per dwell period.
+            if config.sync_interval_ns > 0.0 {
+                self.telemetry.counter_add(
+                    "hw.sync_refreshes",
+                    (t / config.sync_interval_ns).floor().max(0.0) as u64,
+                );
+            }
+            if self.max_slices() > 1 && config.slice_dwell_ns > 0.0 {
+                self.telemetry.counter_add(
+                    "hw.slice_switches",
+                    (t / config.slice_dwell_ns).floor().max(0.0) as u64
+                        * self.temporal_link_count() as u64,
+                );
+            }
         }
         CoAnnealReport {
             anneal: AnnealReport {

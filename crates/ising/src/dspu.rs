@@ -52,6 +52,7 @@ pub struct RealValuedDspu {
     pub(crate) rail: f64,
     pub(crate) capacitance: f64,
     pub(crate) scratch: Vec<f64>,
+    pub(crate) telemetry: crate::telemetry::TelemetrySink,
 }
 
 impl RealValuedDspu {
@@ -85,7 +86,23 @@ impl RealValuedDspu {
             rail: 1.0,
             capacitance: crate::RC_NS,
             scratch: vec![0.0; n],
+            telemetry: crate::telemetry::TelemetrySink::noop(),
         })
+    }
+
+    /// Attaches a telemetry sink: every subsequent annealing run reports
+    /// its `anneal.*` instruments (steps, simulated time, residual,
+    /// active-set occupancy, rail saturations) into it. The default
+    /// [noop sink](crate::telemetry::TelemetrySink::noop) costs nothing
+    /// and recording never perturbs machine state or RNG streams.
+    pub fn set_telemetry(&mut self, sink: crate::telemetry::TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink (noop unless
+    /// [`set_telemetry`](Self::set_telemetry) was called).
+    pub fn telemetry(&self) -> &crate::telemetry::TelemetrySink {
+        &self.telemetry
     }
 
     /// Node capacitance in ns·Ω (the RC time constant at unit `|h|`).
@@ -459,7 +476,9 @@ impl RealValuedDspu {
         // back to the strict fixed-schedule path below.
         if let crate::engine::EngineMode::Adaptive { config: acfg } = config.mode {
             if config.noise.is_none() && config.integrator == Integrator::Euler {
-                return crate::engine::run_adaptive(self, config, &acfg, trace);
+                let report = crate::engine::run_adaptive(self, config, &acfg, trace);
+                self.record_anneal_metrics(&report);
+                return report;
             }
         }
         let mut t = 0.0;
@@ -528,7 +547,7 @@ impl RealValuedDspu {
                 }
             }
         }
-        AnnealReport {
+        let report = AnnealReport {
             converged,
             steps,
             sim_time_ns: t,
@@ -536,7 +555,38 @@ impl RealValuedDspu {
             energy: self.energy(),
             sparse_steps: 0,
             mean_active_fraction: 1.0,
+        };
+        self.record_anneal_metrics(&report);
+        report
+    }
+
+    /// Reports one finished annealing run to the attached telemetry
+    /// sink. Every value is run-level (simulated time, not wall time);
+    /// the rail-saturation scan only runs when the sink is enabled, so
+    /// the noop path stays a single branch.
+    fn record_anneal_metrics(&self, report: &AnnealReport) {
+        let sink = &self.telemetry;
+        if !sink.is_enabled() {
+            return;
         }
+        sink.counter_add("anneal.runs", 1);
+        if report.converged {
+            sink.counter_add("anneal.converged", 1);
+        }
+        sink.record("anneal.steps", report.steps as f64);
+        sink.record("anneal.sim_time_ns", report.sim_time_ns);
+        if report.final_rate.is_finite() {
+            sink.record("anneal.final_rate", report.final_rate);
+        }
+        sink.record("anneal.sparse_steps", report.sparse_steps as f64);
+        sink.record("anneal.active_fraction", report.mean_active_fraction);
+        let railed = self
+            .state
+            .iter()
+            .zip(&self.free)
+            .filter(|(v, &free)| free && v.abs() >= self.rail)
+            .count();
+        sink.record("anneal.rail_saturated_nodes", railed as f64);
     }
 
     /// The analytic fixed point the free nodes should reach, obtained by

@@ -154,6 +154,8 @@ pub(crate) fn run_adaptive(
     let mut frac_sum = 0.0;
     let mut since_refresh = 0usize;
     let mut converged = false;
+    let mut drain_validations = 0u64;
+    let mut active_peak = queue.len();
     // Moves staged per step: (node, Δ applied to neighbours, new value).
     let mut moved: Vec<(u32, f64, f64)> = Vec::new();
     let mut candidates: Vec<u32> = Vec::new();
@@ -162,6 +164,7 @@ pub(crate) fn run_adaptive(
         if queue.is_empty() {
             // Validate the drained set against fresh currents before
             // declaring convergence (incremental updates carry drift).
+            drain_validations += 1;
             coupling.matvec(state, &mut js);
             since_refresh = 0;
             rescan(&js, state, &mut queue);
@@ -170,6 +173,7 @@ pub(crate) fn run_adaptive(
                 break;
             }
         }
+        active_peak = active_peak.max(queue.len());
         if t >= config.max_time_ns {
             break;
         }
@@ -260,6 +264,12 @@ pub(crate) fn run_adaptive(
         .fold(0.0, f64::max);
 
     dspu.scratch = js;
+    if dspu.telemetry.is_enabled() {
+        dspu.telemetry
+            .counter_add("anneal.drain_validations", drain_validations);
+        dspu.telemetry
+            .record("anneal.active_set_peak", active_peak as f64);
+    }
     AnnealReport {
         converged,
         steps,

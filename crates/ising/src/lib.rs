@@ -16,7 +16,10 @@
 //!   `σᵢ = -Σⱼ Jᵢⱼσⱼ / hᵢ` for the free nodes;
 //! - [`NoiseModel`]: per-step Gaussian disturbance of nodes and couplers
 //!   for the robustness study (paper Fig. 13);
-//! - [`Trace`]: voltage-vs-time recording (paper Fig. 4).
+//! - [`Trace`]: voltage-vs-time recording (paper Fig. 4);
+//! - [`TelemetrySink`]: run-level metrics (steps, simulated time,
+//!   residuals, active-set occupancy) reported by every annealing run
+//!   into a thread-safe registry — see [`telemetry`].
 //!
 //! Simulated time is explicit: the integrator advances in nanosecond
 //! timesteps, so "annealing latency" in the evaluation is simply the
@@ -43,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod anneal;
 pub mod brim;
@@ -56,6 +60,7 @@ pub mod hamiltonian;
 pub mod noise;
 pub(crate) mod par;
 pub mod sparse;
+pub mod telemetry;
 pub mod trace;
 
 /// Default node time constant in nanoseconds: the product of a node's
@@ -73,4 +78,5 @@ pub use error::IsingError;
 pub use fault::{FaultModel, StuckNode};
 pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};
 pub use trace::Trace;

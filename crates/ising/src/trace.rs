@@ -6,7 +6,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Recording is strided: a snapshot is kept only when at least
 /// `stride_ns` of simulated time has elapsed since the previous one (the
-/// first offered sample is always kept).
+/// first offered sample is always kept). An optional ring-buffer cap
+/// ([`with_capacity_bound`](Self::with_capacity_bound)) bounds the
+/// retained history so telemetry-heavy runs (e.g. long adaptive anneals
+/// traced step-by-step) never grow unbounded state snapshots.
 ///
 /// # Example
 ///
@@ -25,6 +28,9 @@ pub struct Trace {
     stride_ns: f64,
     times: Vec<f64>,
     states: Vec<Vec<f64>>,
+    /// Ring-buffer bound on kept samples; `None` keeps everything.
+    #[serde(default)]
+    capacity_bound: Option<usize>,
 }
 
 impl Trace {
@@ -42,14 +48,45 @@ impl Trace {
             stride_ns,
             times: Vec::new(),
             states: Vec::new(),
+            capacity_bound: None,
         }
     }
 
-    /// Offers a sample; it is kept if the stride has elapsed.
+    /// Like [`new`](Self::new), but keeps at most `max_samples` samples:
+    /// once full, recording a new sample drops the oldest one
+    /// (ring-buffer semantics), so memory stays bounded on arbitrarily
+    /// long runs while the trace always holds the most recent window of
+    /// the dynamics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride_ns` is negative or non-finite, or if
+    /// `max_samples` is zero.
+    pub fn with_capacity_bound(stride_ns: f64, max_samples: usize) -> Self {
+        assert!(max_samples > 0, "capacity bound must be at least one sample");
+        let mut trace = Trace::new(stride_ns);
+        trace.capacity_bound = Some(max_samples);
+        trace
+    }
+
+    /// The ring-buffer bound, when one was set.
+    pub fn capacity_bound(&self) -> Option<usize> {
+        self.capacity_bound
+    }
+
+    /// Offers a sample; it is kept if the stride has elapsed. When a
+    /// [capacity bound](Self::with_capacity_bound) is set and reached,
+    /// the oldest kept sample is evicted first.
     pub fn record(&mut self, t_ns: f64, state: &[f64]) {
         if let Some(&last) = self.times.last() {
             if t_ns - last < self.stride_ns {
                 return;
+            }
+        }
+        if let Some(bound) = self.capacity_bound {
+            if self.times.len() >= bound {
+                self.times.remove(0);
+                self.states.remove(0);
             }
         }
         self.times.push(t_ns);
@@ -129,6 +166,40 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_stride_panics() {
         Trace::new(-1.0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut t = Trace::with_capacity_bound(0.0, 3);
+        assert_eq!(t.capacity_bound(), Some(3));
+        for i in 0..10 {
+            t.record(i as f64, &[i as f64]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.times(), &[7.0, 8.0, 9.0]);
+        assert_eq!(t.state_at(0), &[7.0]);
+        assert_eq!(t.state_at(2), &[9.0]);
+    }
+
+    #[test]
+    fn capacity_bound_respects_stride() {
+        let mut t = Trace::with_capacity_bound(2.0, 2);
+        t.record(0.0, &[0.0]);
+        t.record(1.0, &[1.0]); // dropped: within stride
+        t.record(2.0, &[2.0]);
+        t.record(4.0, &[4.0]); // evicts t=0
+        assert_eq!(t.times(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_capacity_bound_panics() {
+        Trace::with_capacity_bound(1.0, 0);
+    }
+
+    #[test]
+    fn unbounded_trace_reports_no_bound() {
+        assert_eq!(Trace::new(1.0).capacity_bound(), None);
     }
 
     #[test]

@@ -18,16 +18,21 @@
 //! # }
 //! ```
 
-use dsgl_core::guard::{infer_batch_guarded, infer_dense_guarded};
-use dsgl_core::inference::{infer_batch_warm, infer_dense, infer_dense_imputation, WarmStart};
-use dsgl_core::ridge::{fit_gaussian_couplings, fit_ridge, fit_ridge_validated};
+use dsgl_core::guard::{infer_batch_guarded_instrumented, infer_dense_guarded_faulted_instrumented};
+use dsgl_core::inference::{
+    infer_batch_warm_instrumented, infer_dense_imputation, infer_dense_instrumented, WarmStart,
+};
+use dsgl_core::ridge::{
+    fit_gaussian_couplings, fit_ridge_instrumented, fit_ridge_validated_instrumented,
+};
 use dsgl_core::{
     decompose, CoreError, DecomposeConfig, DecomposedModel, DsGlModel, GuardedAnneal,
-    HealthReport, PatternKind, RetryPolicy, VariableLayout,
+    HealthReport, MetricsSnapshot, PatternKind, RetryPolicy, TelemetrySink, VariableLayout,
 };
 use dsgl_data::{Dataset, Sample, WindowConfig};
-use dsgl_hw::coanneal::{infer_mapped, MappedMachine};
+use dsgl_hw::coanneal::MappedMachine;
 use dsgl_hw::{HwConfig, HwFaultModel};
+use dsgl_ising::fault::FaultModel;
 use dsgl_ising::AnnealConfig;
 use rand::Rng;
 
@@ -42,6 +47,7 @@ pub struct ForecasterBuilder {
     anneal: AnnealConfig,
     warm_start: WarmStart,
     retry: RetryPolicy,
+    telemetry: TelemetrySink,
 }
 
 impl ForecasterBuilder {
@@ -96,6 +102,18 @@ impl ForecasterBuilder {
         self
     }
 
+    /// Attaches a [`TelemetrySink`]: training records the `train.*`
+    /// instrument family and every subsequent inference through the
+    /// fitted [`Forecaster`] records `anneal.*` / `guard.*` (and `hw.*`
+    /// after [`Forecaster::deploy`]). The default noop sink costs
+    /// nothing; an enabled sink never touches the RNG or the dynamics,
+    /// so results are bit-identical either way. Read the aggregate with
+    /// [`Forecaster::telemetry_snapshot`].
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
     /// Windows the dataset, fits the dynamical system (persistence +
     /// graph-diffusion prior, validated closed-form ridge), and returns
     /// a ready [`Forecaster`].
@@ -126,11 +144,17 @@ impl ForecasterBuilder {
         let mut model = DsGlModel::new(layout);
         model.h_mut().iter_mut().for_each(|h| *h = -self.h_magnitude);
         model.init_diffusion_prior(&dataset.graph, 0.7, 0.2);
-        let lambda = fit_ridge_validated(&mut model, &train, &val, &self.lambda_grid)?;
+        let lambda = fit_ridge_validated_instrumented(
+            &mut model,
+            &train,
+            &val,
+            &self.lambda_grid,
+            &self.telemetry,
+        )?;
         // Final fit on everything that was windowed.
         let mut all = train;
         all.extend(val);
-        fit_ridge(&mut model, &all, lambda)?;
+        fit_ridge_instrumented(&mut model, &all, lambda, &self.telemetry)?;
         let joint = if self.gaussian_outputs {
             let mut j = model.clone();
             fit_gaussian_couplings(&mut j, &all, 0.5, self.h_magnitude)?;
@@ -144,6 +168,7 @@ impl ForecasterBuilder {
             anneal: self.anneal,
             warm_start: self.warm_start,
             guard: GuardedAnneal::new(self.anneal).with_policy(self.retry),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -163,6 +188,7 @@ pub struct Forecaster {
     anneal: AnnealConfig,
     warm_start: WarmStart,
     guard: GuardedAnneal,
+    telemetry: TelemetrySink,
 }
 
 impl Forecaster {
@@ -177,12 +203,27 @@ impl Forecaster {
             anneal: AnnealConfig::default(),
             warm_start: WarmStart::Cold,
             retry: RetryPolicy::default(),
+            telemetry: TelemetrySink::noop(),
         }
     }
 
     /// The underlying model (for decomposition, serialisation, …).
     pub fn model(&self) -> &DsGlModel {
         &self.model
+    }
+
+    /// The telemetry sink every inference records into (noop unless
+    /// [`ForecasterBuilder::telemetry`] attached an enabled one).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// A point-in-time snapshot of every instrument recorded so far
+    /// (training, forecasting, guarded inference; empty for a noop
+    /// sink). Serialise it with serde or render
+    /// [`MetricsSnapshot::summary_table`].
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Forecasts the next `horizon` frames from `W·N·F` history values
@@ -200,7 +241,8 @@ impl Forecaster {
             history: history.to_vec(),
             target: vec![0.0; self.model.layout().target_len()],
         };
-        let (pred, _) = infer_dense(&self.model, &sample, &self.anneal, rng)?;
+        let (pred, _) =
+            infer_dense_instrumented(&self.model, &sample, &self.anneal, &self.telemetry, rng)?;
         Ok(pred)
     }
 
@@ -224,7 +266,14 @@ impl Forecaster {
             history: history.to_vec(),
             target: vec![0.0; self.model.layout().target_len()],
         };
-        let (pred, _, health) = infer_dense_guarded(&self.model, &sample, &self.guard, rng)?;
+        let (pred, _, health) = infer_dense_guarded_faulted_instrumented(
+            &self.model,
+            &sample,
+            &self.guard,
+            &FaultModel::none(),
+            &self.telemetry,
+            rng,
+        )?;
         Ok((pred, health))
     }
 
@@ -257,8 +306,14 @@ impl Forecaster {
                 target: vec![0.0; target_len],
             })
             .collect();
-        let results =
-            infer_batch_warm(&self.model, &samples, &self.anneal, master_seed, self.warm_start)?;
+        let results = infer_batch_warm_instrumented(
+            &self.model,
+            &samples,
+            &self.anneal,
+            master_seed,
+            self.warm_start,
+            &self.telemetry,
+        )?;
         Ok(results.into_iter().map(|(pred, _)| pred).collect())
     }
 
@@ -287,7 +342,13 @@ impl Forecaster {
                 target: vec![0.0; target_len],
             })
             .collect();
-        let results = infer_batch_guarded(&self.model, &samples, &self.guard, master_seed)?;
+        let results = infer_batch_guarded_instrumented(
+            &self.model,
+            &samples,
+            &self.guard,
+            master_seed,
+            &self.telemetry,
+        )?;
         Ok(results
             .into_iter()
             .map(|(pred, _, health)| (pred, health))
@@ -374,6 +435,7 @@ impl Forecaster {
             hw: HwConfig::default(),
             faults: HwFaultModel::none(),
             fallback,
+            telemetry: self.telemetry.clone(),
         })
     }
 }
@@ -385,6 +447,9 @@ pub struct MappedForecaster {
     hw: HwConfig,
     faults: HwFaultModel,
     fallback: Vec<f64>,
+    /// Inherited from the [`Forecaster`] at deploy time: mapped runs
+    /// record the `hw.*` instrument family into the same registry.
+    telemetry: TelemetrySink,
 }
 
 impl MappedForecaster {
@@ -409,6 +474,17 @@ impl MappedForecaster {
         self
     }
 
+    /// Replaces the telemetry sink inherited from the [`Forecaster`].
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// The telemetry sink mapped runs record into.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
     /// Forecasts by co-annealing on the mesh; also returns the inference
     /// latency in nanoseconds of simulated analog time.
     ///
@@ -424,8 +500,11 @@ impl MappedForecaster {
             history: history.to_vec(),
             target: vec![0.0; self.decomposed.model.layout().target_len()],
         };
-        let (pred, report) = infer_mapped(&self.decomposed, &sample, &self.hw, rng)?;
-        Ok((pred, report.anneal.sim_time_ns))
+        let mut machine = MappedMachine::new(&self.decomposed, self.hw.lanes)?;
+        machine.set_telemetry(self.telemetry.clone());
+        machine.load_sample(&sample, rng)?;
+        let report = machine.run(&self.hw, rng);
+        Ok((machine.prediction(), report.anneal.sim_time_ns))
     }
 
     /// Forecasts on the (possibly faulted) mesh with a health account.
@@ -450,10 +529,15 @@ impl MappedForecaster {
             target: vec![0.0; self.decomposed.model.layout().target_len()],
         };
         let mut machine = MappedMachine::with_faults(&self.decomposed, self.hw.lanes, &self.faults)?;
+        machine.set_telemetry(self.telemetry.clone());
         machine.load_sample(&sample, rng)?;
         let report = machine.run(&self.hw, rng);
         let mut pred = machine.prediction();
-        let mut health = HealthReport::default();
+        let mut health = HealthReport {
+            anneal_steps: report.anneal.steps,
+            anneal_sim_time_ns: report.anneal.sim_time_ns,
+            ..HealthReport::default()
+        };
         for idx in machine.faulted_target_indices() {
             pred[idx] = self.fallback[idx];
             health.fault_clamped += 1;
@@ -465,6 +549,17 @@ impl MappedForecaster {
             }
         }
         health.degraded = health.fault_clamped > 0 || health.sanitized_nodes > 0;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("guard.runs", 1);
+            self.telemetry.counter_add("guard.attempts", 1);
+            if health.degraded {
+                self.telemetry.counter_add("guard.degraded_runs", 1);
+            }
+            self.telemetry
+                .counter_add("guard.fault_clamped", health.fault_clamped as u64);
+            self.telemetry
+                .counter_add("guard.sanitized_nodes", health.sanitized_nodes as u64);
+        }
         Ok((pred, report.anneal.sim_time_ns, health))
     }
 }

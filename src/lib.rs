@@ -12,6 +12,7 @@
 //! - [`baselines`] — the GWN / MTGNN / DDGCRN baseline analogues.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 #![warn(missing_docs)]
 
 pub mod facade;

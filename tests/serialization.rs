@@ -67,3 +67,131 @@ fn configs_roundtrip() {
     let back: dsgl::hw::HwConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(hw, back);
 }
+
+/// Keys of a vendored [`serde::Value`] map, in serialized order.
+fn map_keys(value: &serde::Value) -> Vec<&str> {
+    value
+        .as_map()
+        .expect("expected a JSON object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+#[test]
+fn trace_roundtrips_with_capacity_bound() {
+    use serde::Deserialize as _;
+
+    let mut trace = dsgl::ising::Trace::with_capacity_bound(1.0, 3);
+    for i in 0..5 {
+        trace.record(i as f64, &[i as f64, -(i as f64)]);
+    }
+    // Ring-buffer semantics: only the newest 3 samples survive.
+    assert_eq!(trace.len(), 3);
+    assert_eq!(trace.times(), &[2.0, 3.0, 4.0]);
+
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: dsgl::ising::Trace = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+    assert_eq!(back.capacity_bound(), Some(3));
+
+    // A trace serialized before the bound existed (no `capacity_bound`
+    // key) must still deserialize, as unbounded.
+    let unbounded = serde::Serialize::to_value(&dsgl::ising::Trace::new(0.5));
+    let serde::Value::Map(mut entries) = unbounded else {
+        panic!("trace serializes as an object");
+    };
+    entries.retain(|(k, _)| k != "capacity_bound");
+    let legacy = dsgl::ising::Trace::from_value(&serde::Value::Map(entries)).unwrap();
+    assert_eq!(legacy.capacity_bound(), None);
+}
+
+#[test]
+fn health_report_roundtrips() {
+    use dsgl::core::guard::{Attempt, FailureCause, Mitigation};
+    use serde::Deserialize as _;
+    use serde::Serialize as _;
+
+    let health = dsgl::core::HealthReport {
+        attempts: vec![Attempt {
+            cause: FailureCause::NonFiniteState,
+            mitigation: Some(Mitigation::HalveDt),
+            dt_ns: 0.25,
+            budget_ns: 100.0,
+        }],
+        retries: 1,
+        degraded: false,
+        sanitized_nodes: 2,
+        fault_clamped: 0,
+        anneal_steps: 321,
+        anneal_sim_time_ns: 80.25,
+    };
+    let json = serde_json::to_string(&health).unwrap();
+    let back: dsgl::core::HealthReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(health, back);
+
+    // Field-name stability: downstream consumers key on these names.
+    assert_eq!(
+        map_keys(&health.to_value()),
+        [
+            "attempts",
+            "retries",
+            "degraded",
+            "sanitized_nodes",
+            "fault_clamped",
+            "anneal_steps",
+            "anneal_sim_time_ns"
+        ]
+    );
+
+    // Reports serialized before the telemetry fields existed must still
+    // deserialize (the new fields default to zero).
+    let serde::Value::Map(mut entries) = health.to_value() else {
+        panic!("health report serializes as an object");
+    };
+    entries.retain(|(k, _)| k != "anneal_steps" && k != "anneal_sim_time_ns");
+    let legacy =
+        dsgl::core::HealthReport::from_value(&serde::Value::Map(entries)).unwrap();
+    assert_eq!(legacy.anneal_steps, 0);
+    assert_eq!(legacy.anneal_sim_time_ns, 0.0);
+    assert_eq!(legacy.retries, health.retries);
+}
+
+#[test]
+fn metrics_snapshot_roundtrips() {
+    use serde::Serialize as _;
+
+    let sink = dsgl::core::TelemetrySink::enabled();
+    sink.counter_add("anneal.runs", 3);
+    sink.gauge_set("hw.pes", 16.0);
+    sink.record("anneal.steps", 120.0);
+    sink.record("anneal.steps", 480.0);
+
+    let snapshot = sink.snapshot();
+    assert_eq!(snapshot.schema_version, dsgl::ising::telemetry::SCHEMA_VERSION);
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: dsgl::core::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snapshot, back);
+    assert_eq!(back.counter("anneal.runs"), 3);
+    assert_eq!(back.families(), ["anneal", "hw"]);
+
+    // Field-name stability of the version-1 snapshot schema: the
+    // top-level object and every instrument expose exactly these keys.
+    let value = snapshot.to_value();
+    assert_eq!(map_keys(&value), ["schema_version", "instruments"]);
+    let serde::Value::Seq(instruments) = value.get("instruments").unwrap() else {
+        panic!("instruments serializes as an array");
+    };
+    assert_eq!(
+        map_keys(&instruments[0]),
+        ["name", "kind", "count", "sum", "min", "max", "last", "buckets", "overflow"]
+    );
+    let steps = instruments
+        .iter()
+        .find(|i| i.get("name").and_then(serde::Value::as_str) == Some("anneal.steps"))
+        .expect("anneal.steps instrument present");
+    let serde::Value::Seq(buckets) = steps.get("buckets").unwrap() else {
+        panic!("buckets serializes as an array");
+    };
+    assert_eq!(map_keys(&buckets[0]), ["le", "count"]);
+}

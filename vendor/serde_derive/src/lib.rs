@@ -36,9 +36,10 @@ fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().unwrap()
 }
 
-/// Extracts `default = "path"` from the tokens inside `#[serde(...)]`.
+/// Extracts `default = "path"` (or bare `default`, meaning
+/// `Default::default`) from the tokens inside `#[serde(...)]`.
 fn serde_default_attr(group: &proc_macro::Group) -> Option<String> {
-    // Attribute content: `serde ( default = "path" )`.
+    // Attribute content: `serde ( default )` or `serde ( default = "path" )`.
     let mut toks = group.stream().into_iter();
     match toks.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -60,6 +61,15 @@ fn serde_default_attr(group: &proc_macro::Group) -> Option<String> {
                         let text = lit.to_string();
                         return Some(text.trim_matches('"').to_string());
                     }
+                }
+                // Bare `default`: the next token (if any) must close the
+                // entry, and the field falls back to `Default::default`.
+                match inner_toks.get(i + 1) {
+                    None => return Some("::std::default::Default::default".to_string()),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        return Some("::std::default::Default::default".to_string())
+                    }
+                    _ => {}
                 }
             }
         }
