@@ -179,7 +179,9 @@ impl GuardedAnneal {
     }
 
     /// Diagnoses the machine state after a run, `None` = healthy.
-    fn diagnose(&self, dspu: &RealValuedDspu, report: &AnnealReport) -> Option<FailureCause> {
+    /// (`&mut` only because the residual probe reuses the machine's
+    /// pooled mat-vec buffer; observable state is untouched.)
+    fn diagnose(&self, dspu: &mut RealValuedDspu, report: &AnnealReport) -> Option<FailureCause> {
         if dspu.state().iter().any(|v| !v.is_finite()) {
             return Some(FailureCause::NonFiniteState);
         }
@@ -368,16 +370,40 @@ pub fn infer_dense_guarded_faulted_instrumented<R: Rng + ?Sized>(
     sink: &TelemetrySink,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_pooled(model, sample, guard, faults, sink, &mut None, rng)
+}
+
+/// [`infer_dense_guarded_faulted_instrumented`] with a caller-owned
+/// scratch [`dsgl_ising::Workspace`] pool. The per-window machine adopts
+/// the pooled workspace before annealing and returns it afterwards, so a
+/// loop over windows pays the stage-buffer allocations once instead of
+/// per window. Buffers carry capacity, never values, so a pooled call is
+/// bit-identical to the plain one (`&mut None` *is* the plain call).
+///
+/// # Errors
+///
+/// Returns shape mismatches, invalid parameters, and fault-model
+/// validation errors.
+pub fn infer_dense_guarded_pooled<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
     let mut dspu = crate::inference::machine_for_sample(model, sample, rng)?;
     dspu.set_telemetry(sink.clone());
+    if let Some(ws) = pool.take() {
+        dspu.adopt_workspace(ws);
+    }
     dspu.inject_faults(faults, rng)?;
     let (report, health) = guard.run(&mut dspu, rng);
     let layout = model.layout();
-    Ok((
-        dspu.state()[layout.target_range()].to_vec(),
-        report,
-        health,
-    ))
+    let pred = dspu.state()[layout.target_range()].to_vec();
+    *pool = Some(dspu.take_workspace());
+    Ok((pred, report, health))
 }
 
 /// Guarded counterpart of [`crate::inference::infer_batch`]: one
@@ -421,20 +447,43 @@ pub fn infer_batch_guarded_instrumented(
     }
     let total = model.layout().total();
     let work_per_window = total * total * 64;
-    let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
+    // Windows are grouped into small chunks so a scratch workspace can
+    // migrate machine-to-machine inside each chunk (only its first
+    // window pays the stage-buffer allocations). Every window still gets
+    // its own `(master_seed, index)` RNG and workspace buffers carry
+    // capacity, never values, so results stay bit-identical to the
+    // per-window formulation across every [`crate::Threading`] policy.
+    let chunk = GUARD_POOL_CHUNK;
+    let n_chunks = samples.len().div_ceil(chunk);
+    let chunks = crate::threading::par_map(n_chunks, chunk * work_per_window, |c| {
         use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
-        infer_dense_guarded_faulted_instrumented(
-            model,
-            &samples[i],
-            guard,
-            &FaultModel::none(),
-            sink,
-            &mut rng,
-        )
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(samples.len());
+        let mut pool: Option<dsgl_ising::Workspace> = None;
+        let mut out = Vec::with_capacity(hi - lo);
+        for (i, sample) in samples.iter().enumerate().take(hi).skip(lo) {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
+            out.push(infer_dense_guarded_pooled(
+                model,
+                sample,
+                guard,
+                &FaultModel::none(),
+                sink,
+                &mut pool,
+                &mut rng,
+            ));
+        }
+        out
     });
-    results.into_iter().collect()
+    chunks.into_iter().flatten().collect()
 }
+
+/// Windows per workspace-pooling chunk in
+/// [`infer_batch_guarded_instrumented`]: small enough that batches keep
+/// saturating the thread pool, large enough to amortise the first
+/// window's workspace warm-up across the rest of the chunk.
+const GUARD_POOL_CHUNK: usize = 8;
 
 #[cfg(test)]
 mod tests {

@@ -385,6 +385,11 @@ pub fn infer_batch_warm_instrumented(
         // The previous window's full equilibrium state; the target block
         // seeds the next window's free block.
         let mut prev: Option<Vec<f64>> = None;
+        // The previous machine's scratch workspace migrates down the
+        // chain, so only the first window of a chunk pays the warm-up
+        // allocations (buffers carry capacity, never values — results
+        // are unchanged).
+        let mut pool: Option<dsgl_ising::Workspace> = None;
         for (i, sample) in samples.iter().enumerate().take(hi).skip(lo) {
             let mut rng =
                 rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
@@ -392,6 +397,9 @@ pub fn infer_batch_warm_instrumented(
             // path (free-block randomisation), so noise streams match.
             let result = machine_for_sample(model, sample, &mut rng).and_then(|mut dspu| {
                 dspu.set_telemetry(sink.clone());
+                if let Some(ws) = pool.take() {
+                    dspu.adopt_workspace(ws);
+                }
                 if let Some(prev_state) = &prev {
                     let mut state = dspu.state().to_vec();
                     for (v, &p) in layout.target_range().zip(prev_state.iter()) {
@@ -402,6 +410,7 @@ pub fn infer_batch_warm_instrumented(
                 let report = dspu.run(config, &mut rng);
                 let pred = dspu.state()[layout.target_range()].to_vec();
                 prev = Some(pred.clone());
+                pool = Some(dspu.take_workspace());
                 Ok((pred, report))
             });
             if result.is_err() {

@@ -116,8 +116,12 @@ pub fn fit_ridge_instrumented(
     }
     // Shared Gram matrix, factorised once and reused for every target
     // row: the whole fit is one Cholesky plus one triangular solve per
-    // row.
-    let gram = x.t_matmul(&x);
+    // row. The SYRK path computes only the upper triangle and mirrors
+    // it — half the multiplies of the general product, bit-identical
+    // values (products commute, so (i,j) and (j,i) accumulate the same
+    // bits).
+    let gram = x.gram_t();
+    sink.counter_add("train.gram_syrk", 1);
     let xty = x.t_matmul(&targets); // hist × frame_len
     let factor = factor_with_escalation(&gram, lambda, sink)?;
 
@@ -202,7 +206,8 @@ pub fn refit_ridge_masked_instrumented(
         let state = full_state(&layout, s)?;
         x.row_mut(r).copy_from_slice(&state);
     }
-    let gram = x.t_matmul(&x); // total × total
+    let gram = x.gram_t(); // total × total, symmetric half-cost product
+    sink.counter_add("train.gram_syrk", 1);
 
     let target_start = layout.history_len();
     // Each row's support (`j < target_start || j > v`) never includes a
@@ -313,8 +318,8 @@ pub fn fit_gaussian_couplings(
             r.set(row, t_idx, state[v] - model.regress_one(&state, v));
         }
     }
-    // Shrunk covariance.
-    let mut sigma = r.t_matmul(&r).scale(1.0 / n_samples as f64);
+    // Shrunk covariance (symmetric half-cost Gram product).
+    let mut sigma = r.gram_t().scale(1.0 / n_samples as f64);
     for i in 0..t_len {
         for j in 0..t_len {
             if i != j {

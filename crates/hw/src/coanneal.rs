@@ -71,6 +71,12 @@ pub struct MappedMachine {
     state: Vec<f64>,
     free: Vec<bool>,
     snapshot: Vec<f64>,
+    /// Pooled run scratch: convergence snapshot, summed currents, and
+    /// readout accumulator. Dead storage between runs, fully
+    /// reinitialised at each use, so repeat runs allocate nothing.
+    run_prev: Vec<f64>,
+    run_currents: Vec<f64>,
+    run_acc: Vec<f64>,
     rail: f64,
     capacitance: f64,
     target_range: std::ops::Range<usize>,
@@ -195,6 +201,9 @@ impl MappedMachine {
             state: vec![0.0; n],
             free: vec![true; n],
             snapshot: vec![0.0; n],
+            run_prev: Vec::new(),
+            run_currents: Vec::new(),
+            run_acc: Vec::new(),
             rail: 1.0,
             capacitance: RC_NS,
             target_range: layout.target_range(),
@@ -470,8 +479,12 @@ impl MappedMachine {
         let mut last_sync = 0.0;
         let mut converged = false;
         let mut rate = f64::INFINITY;
-        let mut prev = self.state.clone();
-        let mut currents = vec![0.0; self.n];
+        let mut prev = std::mem::take(&mut self.run_prev);
+        prev.clear();
+        prev.extend_from_slice(&self.state);
+        let mut currents = std::mem::take(&mut self.run_currents);
+        currents.clear();
+        currents.resize(self.n, 0.0);
         self.snapshot.copy_from_slice(&self.state);
 
         while t < anneal.max_time_ns {
@@ -511,7 +524,9 @@ impl MappedMachine {
                 period_ns = period_ns.max(8.0 * self.capacitance / min_h);
             }
             let avg_steps = (period_ns / anneal.dt_ns).ceil() as usize;
-            let mut acc = vec![0.0; self.n];
+            let mut acc = std::mem::take(&mut self.run_acc);
+            acc.clear();
+            acc.resize(self.n, 0.0);
             for _ in 0..avg_steps {
                 self.step_once(t, &mut last_sync, config, &mut currents, rng);
                 t += anneal.dt_ns;
@@ -521,7 +536,8 @@ impl MappedMachine {
                 }
             }
             let inv = 1.0 / avg_steps as f64;
-            self.readout = Some(acc.into_iter().map(|a| a * inv).collect());
+            self.readout = Some(acc.iter().map(|&a| a * inv).collect());
+            self.run_acc = acc;
         }
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add("hw.coanneal_runs", 1);
@@ -543,6 +559,8 @@ impl MappedMachine {
                 );
             }
         }
+        self.run_prev = prev;
+        self.run_currents = currents;
         CoAnnealReport {
             anneal: AnnealReport {
                 converged,

@@ -143,9 +143,12 @@ impl Coupling {
 
     /// Dense mat-vec `out = J * s`.
     ///
-    /// Rows are computed in parallel when the `parallel` feature is on
-    /// and the system is large enough; each row accumulates in column
-    /// order either way, so results are bit-identical across thread
+    /// Runs on the row-blocked kernel
+    /// [`dsgl_nn::kernels::matvec_rows_into`] (four rows stream `s`
+    /// once), with four-row slabs computed in parallel when the
+    /// `parallel` feature is on and the system is large enough. Each
+    /// row still accumulates in column order, so results are
+    /// bit-identical to the historical per-row loop and across thread
     /// counts.
     ///
     /// # Panics
@@ -155,13 +158,9 @@ impl Coupling {
         assert_eq!(s.len(), self.n, "state length mismatch");
         assert_eq!(out.len(), self.n, "output length mismatch");
         let n = self.n;
-        crate::par::fill_rows(out, n, |i| {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mut acc = 0.0;
-            for j in 0..n {
-                acc += row[j] * s[j];
-            }
-            acc
+        crate::par::fill_row_chunks(out, 4, n, |start, slab| {
+            let rows = &self.data[start * n..(start + slab.len()) * n];
+            dsgl_nn::kernels::matvec_rows_into(rows, n, s, slab);
         });
     }
 

@@ -9,6 +9,7 @@ use crate::hamiltonian::rv_energy_from_matvec;
 use crate::noise::{gaussian, NoiseModel};
 use crate::sparse::SparseCoupling;
 use crate::trace::Trace;
+use crate::workspace::Workspace;
 use rand::{Rng, RngExt};
 
 /// A simulated Real-Valued Dynamical-System Processing Unit.
@@ -51,7 +52,7 @@ pub struct RealValuedDspu {
     pub(crate) free: Vec<bool>,
     pub(crate) rail: f64,
     pub(crate) capacitance: f64,
-    pub(crate) scratch: Vec<f64>,
+    pub(crate) workspace: Workspace,
     pub(crate) telemetry: crate::telemetry::TelemetrySink,
 }
 
@@ -85,7 +86,7 @@ impl RealValuedDspu {
             free: vec![true; n],
             rail: 1.0,
             capacitance: crate::RC_NS,
-            scratch: vec![0.0; n],
+            workspace: Workspace::new(),
             telemetry: crate::telemetry::TelemetrySink::noop(),
         })
     }
@@ -304,11 +305,16 @@ impl RealValuedDspu {
     /// check window apart and can be aliased by an even-period
     /// oscillation, this is a point-in-time measurement: it is large at
     /// any point of a limit cycle. One mat-vec; consumes no RNG.
-    pub fn max_free_rate(&self) -> f64 {
-        let mut js = vec![0.0; self.n()];
-        self.coupling.matvec(&self.state, &mut js);
+    ///
+    /// Takes `&mut self` only to reuse the machine's pooled current
+    /// buffer; observable state is untouched.
+    pub fn max_free_rate(&mut self) -> f64 {
+        let n = self.h.len();
+        self.workspace.ensure_step(n);
+        let ws = &mut self.workspace;
+        self.coupling.matvec(&self.state, &mut ws.js);
         let mut rate = 0.0f64;
-        for (i, &jsi) in js.iter().enumerate() {
+        for (i, &jsi) in ws.js.iter().enumerate() {
             if !self.free[i] {
                 continue;
             }
@@ -323,10 +329,38 @@ impl RealValuedDspu {
     }
 
     /// Current Hamiltonian `H_RV`.
-    pub fn energy(&self) -> f64 {
-        let mut js = vec![0.0; self.n()];
-        self.coupling.matvec(&self.state, &mut js);
-        rv_energy_from_matvec(&js, &self.h, &self.state)
+    ///
+    /// Takes `&mut self` only to reuse the machine's pooled current
+    /// buffer; observable state is untouched.
+    pub fn energy(&mut self) -> f64 {
+        let n = self.h.len();
+        self.workspace.ensure_step(n);
+        let ws = &mut self.workspace;
+        self.coupling.matvec(&self.state, &mut ws.js);
+        rv_energy_from_matvec(&ws.js, &self.h, &self.state)
+    }
+
+    /// Detaches the machine's scratch [`Workspace`], leaving an empty
+    /// pool behind. Batch drivers hand the detached workspace to the
+    /// next machine via [`adopt_workspace`](Self::adopt_workspace) so
+    /// consecutive windows share warmed-up buffers instead of paying
+    /// the first-use allocations again. Buffers carry capacity, never
+    /// values, so migration cannot change any result.
+    pub fn take_workspace(&mut self) -> Workspace {
+        std::mem::take(&mut self.workspace)
+    }
+
+    /// Installs a scratch [`Workspace`] (typically detached from a
+    /// previous machine with [`take_workspace`](Self::take_workspace)),
+    /// replacing the current pool.
+    pub fn adopt_workspace(&mut self, ws: Workspace) {
+        self.workspace = ws;
+    }
+
+    /// The machine's scratch [`Workspace`] — exposes the buffer-reuse
+    /// counters that prove the annealing hot path stopped allocating.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
     }
 
     /// Advances the machine one Euler step of `dt_ns`, returning the
@@ -348,10 +382,14 @@ impl RealValuedDspu {
         rng: &mut R,
     ) -> f64 {
         assert!(dt_ns > 0.0, "dt must be positive");
-        let mut js = std::mem::take(&mut self.scratch);
-        self.coupling.matvec(&self.state, &mut js);
+        let n = self.h.len();
+        self.workspace.ensure_step(n);
+        // Disjoint field borrows: the workspace lends its current buffer
+        // while coupling/state/h stay borrowed through `self`.
+        let ws = &mut self.workspace;
+        self.coupling.matvec(&self.state, &mut ws.js);
         let mut rate = 0.0f64;
-        for (i, &jsi) in js.iter().enumerate() {
+        for (i, &jsi) in ws.js.iter().enumerate() {
             if !self.free[i] {
                 continue;
             }
@@ -372,7 +410,6 @@ impl RealValuedDspu {
             }
             self.state[i] = next.clamp(-self.rail, self.rail);
         }
-        self.scratch = js;
         rate
     }
 
@@ -406,30 +443,31 @@ impl RealValuedDspu {
                 };
             }
         };
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut tmp = vec![0.0; n];
-        deriv(self, &self.state.clone(), &mut k1);
+        // `deriv` borrows the whole machine, so the stage buffers are
+        // detached for the duration of the step (`mem::take` leaves an
+        // empty pool in place) and restored afterwards — no per-step
+        // allocation once the pool is warm.
+        self.workspace.ensure_rk4(n);
+        let mut ws = std::mem::take(&mut self.workspace);
+        deriv(self, &self.state, &mut ws.k1);
         for i in 0..n {
-            tmp[i] = self.state[i] + 0.5 * dt_ns * k1[i];
+            ws.stage[i] = self.state[i] + 0.5 * dt_ns * ws.k1[i];
         }
-        deriv(self, &tmp.clone(), &mut k2);
+        deriv(self, &ws.stage, &mut ws.k2);
         for i in 0..n {
-            tmp[i] = self.state[i] + 0.5 * dt_ns * k2[i];
+            ws.stage[i] = self.state[i] + 0.5 * dt_ns * ws.k2[i];
         }
-        deriv(self, &tmp.clone(), &mut k3);
+        deriv(self, &ws.stage, &mut ws.k3);
         for i in 0..n {
-            tmp[i] = self.state[i] + dt_ns * k3[i];
+            ws.stage[i] = self.state[i] + dt_ns * ws.k3[i];
         }
-        deriv(self, &tmp.clone(), &mut k4);
+        deriv(self, &ws.stage, &mut ws.k4);
         let mut rate = 0.0f64;
         for i in 0..n {
             if !self.free[i] {
                 continue;
             }
-            let dv = (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]) / 6.0;
+            let dv = (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]) / 6.0;
             rate = rate.max(dv.abs());
             let mut next = self.state[i] + dv * dt_ns;
             if noise.node_std > 0.0 {
@@ -443,6 +481,7 @@ impl RealValuedDspu {
             }
             self.state[i] = next.clamp(-self.rail, self.rail);
         }
+        self.workspace = ws;
         rate
     }
 
@@ -484,7 +523,12 @@ impl RealValuedDspu {
         let mut t = 0.0;
         let mut steps = 0;
         let mut converged = false;
-        let mut prev = self.state.clone();
+        // Convergence snapshot from the pool: detached because `step`
+        // below needs the workspace, restored before returning.
+        let mut prev = std::mem::take(&mut self.workspace.prev);
+        let reused = Workspace::ensure_f64(&mut prev, self.n());
+        self.workspace.note(reused);
+        prev.copy_from_slice(&self.state);
         let mut rate = f64::INFINITY;
         if let Some(tr) = trace.as_deref_mut() {
             tr.record(0.0, &self.state);
@@ -525,7 +569,9 @@ impl RealValuedDspu {
                 .max(1e-9);
             let window_ns = 8.0 * self.capacitance / min_h;
             let avg_steps = ((window_ns / config.dt_ns).ceil() as usize).max(1);
-            let mut acc = vec![0.0; self.n()];
+            let mut acc = std::mem::take(&mut self.workspace.acc);
+            let reused = Workspace::ensure_f64(&mut acc, self.n());
+            self.workspace.note(reused);
             for _ in 0..avg_steps {
                 match config.integrator {
                     Integrator::Euler => self.step(config.dt_ns, &config.noise, rng),
@@ -541,12 +587,14 @@ impl RealValuedDspu {
                 }
             }
             let inv = 1.0 / avg_steps as f64;
-            for (i, a) in acc.into_iter().enumerate() {
+            for (i, &a) in acc.iter().enumerate() {
                 if self.free[i] {
                     self.state[i] = a * inv;
                 }
             }
+            self.workspace.acc = acc;
         }
+        self.workspace.prev = prev;
         let report = AnnealReport {
             converged,
             steps,
@@ -563,12 +611,16 @@ impl RealValuedDspu {
     /// Reports one finished annealing run to the attached telemetry
     /// sink. Every value is run-level (simulated time, not wall time);
     /// the rail-saturation scan only runs when the sink is enabled, so
-    /// the noop path stays a single branch.
-    fn record_anneal_metrics(&self, report: &AnnealReport) {
+    /// the noop path stays a single branch. The workspace-reuse tally is
+    /// drained either way so a later enabled run never reports stale
+    /// counts.
+    fn record_anneal_metrics(&mut self, report: &AnnealReport) {
+        let reuses = self.workspace.drain_unreported();
         let sink = &self.telemetry;
         if !sink.is_enabled() {
             return;
         }
+        sink.counter_add("anneal.workspace_reuses", reuses);
         sink.counter_add("anneal.runs", 1);
         if report.converged {
             sink.counter_add("anneal.converged", 1);

@@ -122,22 +122,35 @@ pub(crate) fn run_adaptive(
         tr.record(0.0, &dspu.state);
     }
 
-    let mut js = std::mem::take(&mut dspu.scratch);
-    if js.len() != n {
-        js = vec![0.0; n];
-    }
+    // The engine's five scratch vectors all come from the machine's
+    // pooled workspace (detached for the run, restored at the end), so
+    // repeat runs on a warm machine allocate nothing.
+    let mut ws = std::mem::take(&mut dspu.workspace);
+    let js_reused = crate::workspace::Workspace::ensure_f64(&mut ws.js, n);
+    ws.note(js_reused);
+    ws.note(ws.marked.capacity() >= n);
 
     // Split borrows: the loop mutates `state` and reads the rest.
     let coupling = &dspu.coupling;
     let h = &dspu.h;
     let free = &dspu.free;
     let state = &mut dspu.state;
+    let crate::workspace::Workspace {
+        js,
+        queue,
+        marked,
+        moved,
+        candidates,
+        ..
+    } = &mut ws;
+    marked.clear();
+    marked.resize(n, false);
+    moved.clear();
+    candidates.clear();
 
-    coupling.matvec(state, &mut js);
+    coupling.matvec(state, js);
     let free_count = free.iter().filter(|&&f| f).count();
 
-    let mut queue: Vec<u32> = Vec::with_capacity(free_count);
-    let mut marked = vec![false; n];
     let rescan = |js: &[f64], state: &[f64], queue: &mut Vec<u32>| {
         queue.clear();
         for (i, &is_free) in free.iter().enumerate() {
@@ -146,7 +159,7 @@ pub(crate) fn run_adaptive(
             }
         }
     };
-    rescan(&js, state, &mut queue);
+    rescan(js, state, queue);
 
     let mut t = 0.0;
     let mut steps = 0usize;
@@ -156,18 +169,15 @@ pub(crate) fn run_adaptive(
     let mut converged = false;
     let mut drain_validations = 0u64;
     let mut active_peak = queue.len();
-    // Moves staged per step: (node, Δ applied to neighbours, new value).
-    let mut moved: Vec<(u32, f64, f64)> = Vec::new();
-    let mut candidates: Vec<u32> = Vec::new();
 
     loop {
         if queue.is_empty() {
             // Validate the drained set against fresh currents before
             // declaring convergence (incremental updates carry drift).
             drain_validations += 1;
-            coupling.matvec(state, &mut js);
+            coupling.matvec(state, js);
             since_refresh = 0;
-            rescan(&js, state, &mut queue);
+            rescan(js, state, queue);
             if queue.is_empty() {
                 converged = true;
                 break;
@@ -189,9 +199,9 @@ pub(crate) fn run_adaptive(
                 let dv = (js[i] + h[i] * state[i]) / cap;
                 state[i] = (state[i] + dv * dt).clamp(-rail, rail);
             }
-            coupling.matvec(state, &mut js);
+            coupling.matvec(state, js);
             since_refresh = 0;
-            rescan(&js, state, &mut queue);
+            rescan(js, state, queue);
         } else {
             // Sparse phase: integrate only the active set, propagate
             // each move through the CSR rows, and re-examine exactly
@@ -199,7 +209,7 @@ pub(crate) fn run_adaptive(
             sparse_steps += 1;
             since_refresh += 1;
             moved.clear();
-            for &iu in &queue {
+            for &iu in queue.iter() {
                 let i = iu as usize;
                 let dv = (js[i] + h[i] * state[i]) / cap;
                 let next = (state[i] + dv * dt).clamp(-rail, rail);
@@ -208,18 +218,18 @@ pub(crate) fn run_adaptive(
                     moved.push((iu, delta, next));
                 }
             }
-            for &(iu, _, next) in &moved {
+            for &(iu, _, next) in moved.iter() {
                 state[iu as usize] = next;
             }
             candidates.clear();
-            for &iu in &queue {
+            for &iu in queue.iter() {
                 let i = iu as usize;
                 if !marked[i] {
                     marked[i] = true;
                     candidates.push(iu);
                 }
             }
-            for &(iu, delta, _) in &moved {
+            for &(iu, delta, _) in moved.iter() {
                 for (j, w) in coupling.row(iu as usize) {
                     js[j] += w * delta;
                     if free[j] && !marked[j] {
@@ -229,18 +239,18 @@ pub(crate) fn run_adaptive(
                 }
             }
             if since_refresh >= acfg.refresh_every.max(1) {
-                coupling.matvec(state, &mut js);
+                coupling.matvec(state, js);
                 since_refresh = 0;
-                for &ju in &candidates {
+                for &ju in candidates.iter() {
                     marked[ju as usize] = false;
                 }
-                rescan(&js, state, &mut queue);
+                rescan(js, state, queue);
             } else {
                 queue.clear();
-                for &ju in &candidates {
+                for &ju in candidates.iter() {
                     let j = ju as usize;
                     marked[j] = false;
-                    if eff_rate(&js, state, h, j, cap, dt, rail) >= tol {
+                    if eff_rate(js, state, h, j, cap, dt, rail) >= tol {
                         queue.push(ju);
                     }
                 }
@@ -256,14 +266,14 @@ pub(crate) fn run_adaptive(
     // Final rate from fresh currents (the convergence path left `js`
     // fresh; the budget-exhausted path may not have).
     if !converged {
-        coupling.matvec(state, &mut js);
+        coupling.matvec(state, js);
     }
     let final_rate = (0..n)
         .filter(|&i| free[i])
-        .map(|i| eff_rate(&js, state, h, i, cap, dt, rail))
+        .map(|i| eff_rate(js, state, h, i, cap, dt, rail))
         .fold(0.0, f64::max);
 
-    dspu.scratch = js;
+    dspu.workspace = ws;
     if dspu.telemetry.is_enabled() {
         dspu.telemetry
             .counter_add("anneal.drain_validations", drain_validations);

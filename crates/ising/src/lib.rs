@@ -62,6 +62,7 @@ pub(crate) mod par;
 pub mod sparse;
 pub mod telemetry;
 pub mod trace;
+pub mod workspace;
 
 /// Default node time constant in nanoseconds: the product of a node's
 /// nano-scale capacitor and its resistor ring is ≈ 100 ns, which makes a
@@ -80,3 +81,4 @@ pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};
 pub use trace::Trace;
+pub use workspace::Workspace;

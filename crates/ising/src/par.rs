@@ -78,6 +78,45 @@ where
     (0..len).map(f).collect()
 }
 
+/// Computes `f(start_row, chunk)` over consecutive `chunk`-row slabs of
+/// `out`, splitting slabs across threads when the `parallel` feature is
+/// enabled and the estimated work (`out.len() * work_per_row`) is large
+/// enough. The closure owns each slab exclusively, so multi-row blocked
+/// kernels (which share input streams across a few accumulator chains)
+/// can run under the same bit-exactness contract as [`fill_rows`]: the
+/// slab boundaries are identical in the serial and parallel paths, and
+/// per-row accumulation order never depends on which thread runs a slab.
+#[cfg(feature = "parallel")]
+pub(crate) fn fill_row_chunks<F>(out: &mut [f64], chunk: usize, work_per_row: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    use rayon::prelude::*;
+    let chunk = chunk.max(1);
+    let total_work = out.len().saturating_mul(work_per_row.max(1));
+    if total_work < PAR_MIN_WORK || rayon::current_num_threads() <= 1 {
+        for (ci, slab) in out.chunks_mut(chunk).enumerate() {
+            f(ci * chunk, slab);
+        }
+        return;
+    }
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, slab)| f(ci * chunk, slab));
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn fill_row_chunks<F>(out: &mut [f64], chunk: usize, _work_per_row: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let chunk = chunk.max(1);
+    for (ci, slab) in out.chunks_mut(chunk).enumerate() {
+        f(ci * chunk, slab);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +143,19 @@ mod tests {
         for work in [1, 4096] {
             let out: Vec<usize> = map_indexed(1024, work, |i| i * 3);
             assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        }
+    }
+
+    #[test]
+    fn fill_row_chunks_covers_ragged_tail() {
+        for (len, work) in [(10usize, 1usize), (2050, 4096)] {
+            let mut out = vec![0.0; len];
+            fill_row_chunks(&mut out, 4, work, |start, slab| {
+                for (r, o) in slab.iter_mut().enumerate() {
+                    *o = (start + r) as f64 * 2.0;
+                }
+            });
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i as f64 * 2.0));
         }
     }
 }

@@ -213,8 +213,9 @@ impl TiledCoupling {
     /// Tiled mat-vec `out = J_intra * s`.
     ///
     /// `gather` is a caller-owned scratch buffer (grown as needed) that
-    /// holds each tile's gathered state, letting the hot loop run on
-    /// contiguous memory without per-call allocation. Tiles are
+    /// holds each tile's gathered state and products, letting the hot
+    /// loop run allocation-free on contiguous memory via the row-blocked
+    /// kernel [`dsgl_nn::kernels::matvec_rows_into`]. Tiles are
     /// processed in parallel when the `parallel` feature is on and the
     /// total tile work clears the fork threshold; per-row accumulation
     /// order is fixed either way, so results are bit-identical across
@@ -235,19 +236,17 @@ impl TiledCoupling {
             let products = crate::par::map_indexed(self.tiles.len(), self.work / self.tiles.len().max(1), |t| {
                 let tile = &self.tiles[t];
                 let k = tile.nodes.len();
-                let mut local = Vec::with_capacity(k);
-                for r in 0..k {
-                    let row = &tile.weights[r * k..(r + 1) * k];
-                    let mut acc = 0.0;
-                    for (c, &w) in row.iter().enumerate() {
-                        acc += w * s[tile.nodes[c] as usize];
-                    }
-                    local.push(acc);
+                let mut local = vec![0.0; 2 * k];
+                let (gs, prod) = local.split_at_mut(k);
+                for (g, &j) in gs.iter_mut().zip(&tile.nodes) {
+                    *g = s[j as usize];
                 }
+                dsgl_nn::kernels::matvec_rows_into(&tile.weights, k, gs, prod);
                 local
             });
             for (tile, local) in self.tiles.iter().zip(products) {
-                for (&node, v) in tile.nodes.iter().zip(local) {
+                let k = tile.nodes.len();
+                for (&node, &v) in tile.nodes.iter().zip(&local[k..]) {
                     out[node as usize] = v;
                 }
             }
@@ -255,15 +254,17 @@ impl TiledCoupling {
         }
         for tile in &self.tiles {
             let k = tile.nodes.len();
+            // One scratch buffer holds both halves: gathered state in
+            // [0, k), the tile's products in [k, 2k).
             gather.clear();
-            gather.extend(tile.nodes.iter().map(|&j| s[j as usize]));
-            for r in 0..k {
-                let row = &tile.weights[r * k..(r + 1) * k];
-                let mut acc = 0.0;
-                for (c, &g) in gather.iter().enumerate() {
-                    acc += row[c] * g;
-                }
-                out[tile.nodes[r] as usize] = acc;
+            gather.resize(2 * k, 0.0);
+            let (gs, prod) = gather.split_at_mut(k);
+            for (g, &j) in gs.iter_mut().zip(&tile.nodes) {
+                *g = s[j as usize];
+            }
+            dsgl_nn::kernels::matvec_rows_into(&tile.weights, k, gs, prod);
+            for (&node, &v) in tile.nodes.iter().zip(prod.iter()) {
+                out[node as usize] = v;
             }
         }
     }

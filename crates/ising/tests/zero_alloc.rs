@@ -1,0 +1,139 @@
+//! Proves the zero-allocation contract on the hot integration path:
+//! after one warm-up call populates the machine-owned [`Workspace`],
+//! repeated `step_rk4` / `step` calls perform **zero** heap
+//! allocations. A counting `#[global_allocator]` wrapper makes the
+//! claim empirical rather than structural (the library itself forbids
+//! `unsafe`, so the allocator shim lives here in an integration test).
+//!
+//! The counter is thread-local: the libtest harness allocates on its
+//! own bookkeeping threads, and only allocations made *by the thread
+//! running the test* belong in the measurement window.
+//!
+//! The machine is kept small enough that the mat-vec stays on the
+//! serial path (`n·n` well under the parallel work threshold), so the
+//! count covers exactly the integrator and kernel code.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dsgl_ising::{Coupling, NoiseModel, RealValuedDspu};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+thread_local! {
+    static TL_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn local_allocs() -> usize {
+    TL_ALLOCS.with(|c| c.get())
+}
+
+/// Passes every request straight to [`System`] while counting calls
+/// made by the current thread. `try_with` keeps the allocator safe
+/// during TLS teardown, when the slot is no longer accessible.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn ring_machine(n: usize) -> RealValuedDspu {
+    let mut j = vec![0.0; n * n];
+    for i in 0..n {
+        let next = (i + 1) % n;
+        j[i * n + next] = 0.4;
+        j[next * n + i] = 0.4;
+    }
+    let coupling = Coupling::from_dense(n, &j).unwrap();
+    RealValuedDspu::new(coupling, vec![-1.0; n]).unwrap()
+}
+
+#[test]
+fn step_rk4_allocates_nothing_after_warmup() {
+    let n = 96;
+    let mut dspu = ring_machine(n);
+    let noise = NoiseModel::none();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Warm-up: first call sizes the RK4 stage buffers.
+    dspu.step_rk4(0.05, &noise, &mut rng);
+    let reuses_before = dspu.workspace().reuses();
+
+    let before = local_allocs();
+    for _ in 0..200 {
+        dspu.step_rk4(0.05, &noise, &mut rng);
+    }
+    let after = local_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "step_rk4 allocated {} times across 200 warm steps",
+        after - before
+    );
+    assert!(
+        dspu.workspace().reuses() >= reuses_before + 200,
+        "workspace reuse counter did not advance: {} -> {}",
+        reuses_before,
+        dspu.workspace().reuses()
+    );
+}
+
+#[test]
+fn euler_step_allocates_nothing_after_warmup() {
+    let n = 96;
+    let mut dspu = ring_machine(n);
+    let noise = NoiseModel::none();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    dspu.step(0.05, &noise, &mut rng);
+
+    let before = local_allocs();
+    for _ in 0..200 {
+        dspu.step(0.05, &noise, &mut rng);
+    }
+    let after = local_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "step allocated {} times across 200 warm steps",
+        after - before
+    );
+}
+
+#[test]
+fn energy_and_rate_probes_reuse_pooled_buffer() {
+    let n = 96;
+    let mut dspu = ring_machine(n);
+
+    // Warm the probe buffer once.
+    let _ = dspu.energy();
+    let before = local_allocs();
+    for _ in 0..100 {
+        let _ = dspu.energy();
+        let _ = dspu.max_free_rate();
+    }
+    let after = local_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "energy/max_free_rate allocated {} times across warm probes",
+        after - before
+    );
+}

@@ -47,6 +47,7 @@ pub mod flops;
 pub mod gcn;
 pub mod gru;
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod linear;
 pub mod loss;
@@ -58,6 +59,6 @@ pub use adam::Adam;
 pub use gcn::GraphConv;
 pub use gru::GruCell;
 pub use linear::Linear;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, ShapeError};
 pub use rnn::RnnCell;
 pub use tcn::GatedTemporal;

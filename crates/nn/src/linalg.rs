@@ -11,19 +11,27 @@ pub fn cholesky(a: &Matrix) -> Option<Matrix> {
     let (n, m) = a.shape();
     assert_eq!(n, m, "cholesky needs a square matrix");
     let mut l = Matrix::zeros(n, n);
+    // The inner reduction runs on contiguous row slices (rows i and j
+    // of L up to column j) instead of element-wise get/set — same
+    // subtraction order, so the factor is bit-identical to the
+    // historical loop, without per-element bounds asserts.
     for i in 0..n {
         for j in 0..=i {
+            let lv = l.as_slice();
+            let li = &lv[i * n..i * n + j];
+            let lj = &lv[j * n..j * n + j];
             let mut sum = a.get(i, j);
-            for k in 0..j {
-                sum -= l.get(i, k) * l.get(j, k);
+            for (&x, &y) in li.iter().zip(lj) {
+                sum -= x * y;
             }
             if i == j {
                 if sum <= 0.0 || !sum.is_finite() {
                     return None;
                 }
-                l.set(i, j, sum.sqrt());
+                l.as_mut_slice()[i * n + j] = sum.sqrt();
             } else {
-                l.set(i, j, sum / l.get(j, j));
+                let pivot = lv[j * n + j];
+                l.as_mut_slice()[i * n + j] = sum / pivot;
             }
         }
     }
@@ -39,23 +47,27 @@ pub fn cholesky(a: &Matrix) -> Option<Matrix> {
 pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let n = l.rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
-    // Forward: L y = b.
+    let lv = l.as_slice();
+    // Forward: L y = b. The reduction is a contiguous row-slice dot
+    // (same subtraction order as the historical get() loop).
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for (k, &yk) in y.iter().enumerate().take(i) {
-            sum -= l.get(i, k) * yk;
+        let lrow = &lv[i * n..i * n + i];
+        for (&lik, &yk) in lrow.iter().zip(&y) {
+            sum -= lik * yk;
         }
-        y[i] = sum / l.get(i, i);
+        y[i] = sum / lv[i * n + i];
     }
-    // Backward: Lᵀ x = y.
+    // Backward: Lᵀ x = y. Column access is inherently strided; direct
+    // indexing still avoids the per-element bounds asserts of get().
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
         for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
-            sum -= l.get(k, i) * xk;
+            sum -= lv[k * n + i] * xk;
         }
-        x[i] = sum / l.get(i, i);
+        x[i] = sum / lv[i * n + i];
     }
     x
 }

@@ -1,6 +1,34 @@
 //! Dense row-major matrices.
 
+use crate::kernels;
 use std::fmt;
+
+/// Shape mismatch reported by the `try_*` matrix products.
+///
+/// Carries the operation name and both operand shapes so callers can
+/// log a precise diagnostic instead of unwinding (the library-facing
+/// no-panic policy for invalid parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Operation that rejected the operands (`"matmul"`, …).
+    pub op: &'static str,
+    /// Shape of the left operand.
+    pub lhs: (usize, usize),
+    /// Shape of the right operand.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shape mismatch: {}x{} · {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// A dense `rows x cols` matrix of `f64` in row-major order.
 ///
@@ -125,78 +153,101 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Matrix product `self · other` through the cache-blocked kernel
+    /// layer ([`crate::kernels`]); bit-identical to the naive loop.
+    ///
+    /// Returns [`ShapeError`] when `self.cols != other.rows`.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernels::gemm_into(
+            &self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data,
+        );
+        Ok(out)
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
     ///
-    /// Panics on incompatible shapes.
+    /// Panics on incompatible shapes; [`Self::try_matmul`] is the
+    /// non-panicking entry point.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
+        self.try_matmul(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// `selfᵀ · other` through the cache-blocked kernel layer;
+    /// bit-identical to the naive loop.
+    ///
+    /// Returns [`ShapeError`] when the row counts differ.
+    pub fn try_t_matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError {
+                op: "t_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        out
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        kernels::gemm_t_into(
+            &self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data,
+        );
+        Ok(out)
     }
 
     /// `selfᵀ · other`.
     ///
     /// # Panics
     ///
-    /// Panics on incompatible shapes.
+    /// Panics on incompatible shapes; [`Self::try_t_matmul`] is the
+    /// non-panicking entry point.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[r * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[r * other.cols..(r + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.try_t_matmul(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Symmetric Gram product `selfᵀ · self` via the SYRK kernel:
+    /// computes the upper triangle only and mirrors it, halving the
+    /// cost of `self.t_matmul(&self)`. The upper triangle is
+    /// bit-identical to `t_matmul`; the result is exactly symmetric.
+    pub fn gram_t(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        kernels::syrk_t_into(&self.data, self.rows, self.cols, &mut out.data);
         out
+    }
+
+    /// `self · otherᵀ` through the cache-blocked kernel layer;
+    /// bit-identical to the naive loop.
+    ///
+    /// Returns [`ShapeError`] when the column counts differ.
+    pub fn try_matmul_t(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError {
+                op: "matmul_t",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        kernels::gemm_nt_into(
+            &self.data, self.rows, self.cols, &other.data, other.rows, &mut out.data,
+        );
+        Ok(out)
     }
 
     /// `self · otherᵀ`.
     ///
     /// # Panics
     ///
-    /// Panics on incompatible shapes.
+    /// Panics on incompatible shapes; [`Self::try_matmul_t`] is the
+    /// non-panicking entry point.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            for j in 0..other.rows {
-                let mut acc = 0.0;
-                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
-        out
+        self.try_matmul_t(other).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The transpose.
@@ -389,6 +440,30 @@ mod tests {
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_shape_panics() {
         Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn try_products_report_shapes_instead_of_panicking() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.try_matmul(&b).unwrap_err();
+        assert_eq!(err.op, "matmul");
+        assert_eq!((err.lhs, err.rhs), ((2, 3), (2, 3)));
+        assert_eq!(err.to_string(), "matmul shape mismatch: 2x3 · 2x3");
+        assert!(Matrix::zeros(2, 3).try_t_matmul(&Matrix::zeros(3, 2)).is_err());
+        assert!(Matrix::zeros(2, 3).try_matmul_t(&Matrix::zeros(3, 2)).is_err());
+        // Compatible shapes succeed through the same entry points.
+        assert!(Matrix::zeros(2, 3).try_matmul(&Matrix::zeros(3, 4)).is_ok());
+        assert!(Matrix::zeros(2, 3).try_t_matmul(&Matrix::zeros(2, 4)).is_ok());
+        assert!(Matrix::zeros(2, 3).try_matmul_t(&Matrix::zeros(5, 3)).is_ok());
+    }
+
+    #[test]
+    fn gram_t_matches_t_matmul() {
+        let a = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.25 - 1.0).collect()).unwrap();
+        let full = a.t_matmul(&a);
+        let gram = a.gram_t();
+        assert_eq!(gram, full);
     }
 
     #[test]
