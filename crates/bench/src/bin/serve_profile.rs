@@ -1,0 +1,328 @@
+//! Serve profile: synthetic closed-loop load against the
+//! [`dsgl_serve::ForecastService`].
+//!
+//! ```text
+//! serve_profile [--smoke] [--seed N] [--out DIR] [--dataset NAME]
+//! ```
+//!
+//! Trains one forecaster, then drives it with a closed loop of client
+//! threads whose traffic has a *hot head*: most requests ask for the
+//! current forecast of the moment (same window, same seed — think
+//! dashboards polling "the latest"), with the hot key rotating every
+//! [`ROTATION`] requests, while the rest are distinct cold windows. The
+//! coalesce-width sweep {1, 4, 8} measures what request coalescing buys
+//! under that load: width 1 anneals every request individually, wider
+//! batches collapse the duplicates into one anneal and fan the result
+//! out.
+//!
+//! Every response of every run is verified bit-identical to the serial
+//! one-by-one reference — the service's headline contract — and
+//! `BENCH_serve.json` is written with throughput, exact latency
+//! percentiles, anneal counts, and the final run's full
+//! [`MetricsSnapshot`].
+//!
+//! `--smoke` runs the CI-sized load and additionally asserts the
+//! documented acceptance bound: coalesce width 8 must deliver at least
+//! [`SPEEDUP_BOUND`]× the width-1 throughput.
+
+use dsgl_bench::pipeline::{self, Scale};
+use dsgl_core::guard::infer_batch_guarded_seeded_instrumented;
+use dsgl_core::{DsGlModel, GuardedAnneal, MetricsSnapshot, TelemetrySink};
+use dsgl_data::Sample;
+use dsgl_ising::fault::FaultModel;
+use dsgl_ising::AnnealConfig;
+use dsgl_serve::{ForecastService, ServeConfig, ServiceStats};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Documented acceptance bound (README "Serving"): coalesce width 8
+/// must reach ≥ 2× the width-1 throughput under the hot-head load.
+const SPEEDUP_BOUND: f64 = 2.0;
+/// Fraction of traffic hitting the current hot key, per mille.
+const HOT_PER_MILLE: u64 = 800;
+/// The hot key rotates every this many requests.
+const ROTATION: usize = 50;
+/// Closed-loop client threads.
+const CLIENTS: usize = 8;
+
+/// Deterministic request stream: request `i` → (window index, seed).
+/// Hot requests share the rotation period's (window, seed) pair; cold
+/// requests get a unique seed, so they can never coalesce.
+fn request_of(i: usize, n_windows: usize) -> (usize, u64) {
+    let h = (i as u64).wrapping_mul(2_654_435_761) % 1000;
+    if h < HOT_PER_MILLE {
+        let key = i / ROTATION;
+        (key % n_windows, 100_000 + key as u64)
+    } else {
+        (i % n_windows, 1_000_000 + i as u64)
+    }
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    coalesce: usize,
+    workers: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    /// Actual guarded anneals executed (`guard.runs`): the work that
+    /// duplicate collapsing saved shows up here.
+    anneals: u64,
+    coalesced_hits: u64,
+    mean_coalesce_width: f64,
+    /// Exact percentiles over every request's admission-to-reply
+    /// latency (client-side sort, not the bucketed estimate).
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    stats: ServiceStats,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    command: String,
+    dataset: String,
+    seed: u64,
+    smoke: bool,
+    nodes: usize,
+    history: usize,
+    total_vars: usize,
+    clients: usize,
+    requests_per_width: usize,
+    hot_fraction: f64,
+    rotation: usize,
+    sweep: Vec<SweepPoint>,
+    /// Width-8 throughput over width-1 throughput.
+    speedup_w8_vs_w1: f64,
+    /// Documented minimum for `speedup_w8_vs_w1` (asserted in smoke).
+    speedup_bound: f64,
+    /// Snapshot of the width-8 run, in the frozen schema.
+    snapshot: MetricsSnapshot,
+}
+
+/// Runs one closed-loop load at the given coalesce width and verifies
+/// every response against `reference` (distinct key → expected bits).
+fn run_width(
+    model: &DsGlModel,
+    guard: GuardedAnneal,
+    windows: &[Vec<f64>],
+    total: usize,
+    coalesce: usize,
+    reference: &HashMap<(usize, u64), Vec<f64>>,
+) -> (SweepPoint, MetricsSnapshot) {
+    let sink = TelemetrySink::enabled();
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard,
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(coalesce)
+            .queue_capacity(CLIENTS * 4)
+            .linger(Duration::from_micros(500)),
+    )
+    .expect("spawn service");
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let service = &service;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<u64> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (w, seed) = request_of(i, windows.len());
+                        let response = loop {
+                            // Closed-loop clients retry on shed load.
+                            match service.forecast(windows[w].clone(), seed) {
+                                Ok(response) => break response,
+                                Err(dsgl_serve::ServeError::Overloaded { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("request {i}: {e}"),
+                            }
+                        };
+                        let expected = &reference[&(w, seed)];
+                        assert_eq!(
+                            &response.prediction, expected,
+                            "request {i} (window {w}, seed {seed}) diverged from the \
+                             serial reference at coalesce={coalesce}"
+                        );
+                        local.push(response.latency_ns);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().unwrap());
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(latencies.len(), total);
+    latencies.sort_unstable();
+    let pct = |q: f64| latencies[((q * total as f64) as usize).min(total - 1)] as f64 / 1000.0;
+    let snapshot = sink.snapshot();
+    let stats = ServiceStats::from_snapshot(&snapshot);
+    let point = SweepPoint {
+        coalesce,
+        workers: 1,
+        requests: total,
+        wall_s: wall,
+        throughput_rps: total as f64 / wall,
+        anneals: snapshot.counter("guard.runs"),
+        coalesced_hits: stats.coalesced_hits,
+        mean_coalesce_width: stats.mean_coalesce_width,
+        p50_latency_us: pct(0.50),
+        p99_latency_us: pct(0.99),
+        stats,
+    };
+    (point, snapshot)
+}
+
+fn write_report(report: &ServeBenchReport, out: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(report).expect("serialise serve report");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut out = PathBuf::from("results");
+    let mut dataset = "covid".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            "--dataset" => {
+                i += 1;
+                dataset = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: serve_profile [--smoke] [--seed N] [--out DIR] [--dataset NAME]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale = if smoke { Scale::quick() } else { Scale::full() };
+    let total = if smoke { 240 } else { 960 };
+    let started = Instant::now();
+
+    let p = pipeline::prepare(&dataset, &scale, seed);
+    let (model, _) = pipeline::train_dense(&p, &scale, seed);
+    let guard = GuardedAnneal::new(AnnealConfig::default());
+    let windows: Vec<Vec<f64>> = p.test.iter().map(|s| s.history.clone()).collect();
+    assert!(!windows.is_empty(), "dataset produced no test windows");
+
+    // Serial one-by-one reference for every distinct key in the stream:
+    // the bits each service run must reproduce exactly.
+    let sink = TelemetrySink::noop();
+    let target_len = model.layout().target_len();
+    let mut reference: HashMap<(usize, u64), Vec<f64>> = HashMap::new();
+    for i in 0..total {
+        let (w, request_seed) = request_of(i, windows.len());
+        reference.entry((w, request_seed)).or_insert_with(|| {
+            let sample = Sample {
+                history: windows[w].clone(),
+                target: vec![0.0; target_len],
+            };
+            infer_batch_guarded_seeded_instrumented(
+                &model,
+                std::slice::from_ref(&sample),
+                &guard,
+                &[request_seed],
+                &FaultModel::none(),
+                &sink,
+            )
+            .expect("serial reference")
+            .remove(0)
+            .0
+        });
+    }
+    eprintln!(
+        "[{} requests per width over {} distinct (window, seed) keys, {} clients]",
+        total,
+        reference.len(),
+        CLIENTS
+    );
+
+    let mut sweep = Vec::new();
+    let mut final_snapshot = None;
+    for coalesce in [1usize, 4, 8] {
+        let (point, snapshot) = run_width(&model, guard, &windows, total, coalesce, &reference);
+        eprintln!(
+            "[coalesce {}: {:.0} req/s, {} anneals, {} hits, p50 {:.0} µs, p99 {:.0} µs]",
+            point.coalesce,
+            point.throughput_rps,
+            point.anneals,
+            point.coalesced_hits,
+            point.p50_latency_us,
+            point.p99_latency_us,
+        );
+        final_snapshot = Some(snapshot);
+        sweep.push(point);
+    }
+    let speedup = sweep[2].throughput_rps / sweep[0].throughput_rps;
+    let report = ServeBenchReport {
+        command: format!(
+            "serve_profile --seed {seed}{}",
+            if smoke { " --smoke" } else { "" }
+        ),
+        dataset,
+        seed,
+        smoke,
+        nodes: p.dataset.node_count(),
+        history: scale.history,
+        total_vars: model.layout().total(),
+        clients: CLIENTS,
+        requests_per_width: total,
+        hot_fraction: HOT_PER_MILLE as f64 / 1000.0,
+        rotation: ROTATION,
+        sweep,
+        speedup_w8_vs_w1: speedup,
+        speedup_bound: SPEEDUP_BOUND,
+        snapshot: final_snapshot.expect("sweep ran"),
+    };
+    let path = write_report(&report, &out).expect("write BENCH_serve.json");
+    eprintln!(
+        "[serve profile: speedup w8/w1 = {speedup:.2}x (bound {SPEEDUP_BOUND:.1}x), report at {}]",
+        path.display()
+    );
+    if smoke {
+        assert!(
+            speedup >= SPEEDUP_BOUND,
+            "coalescing speedup {speedup:.2}x below the documented {SPEEDUP_BOUND:.1}x bound"
+        );
+        // The snapshot must parse back under the frozen schema.
+        let parsed: MetricsSnapshot = serde_json::from_str(
+            &serde_json::to_string(&report.snapshot).expect("re-serialise snapshot"),
+        )
+        .expect("snapshot round-trip");
+        assert_eq!(parsed, report.snapshot);
+        eprintln!("[smoke ok: bit-identity verified for every response, speedup bound met]");
+    }
+    eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -485,6 +485,117 @@ pub fn infer_batch_guarded_instrumented(
 /// window's workspace warm-up across the rest of the chunk.
 const GUARD_POOL_CHUNK: usize = 8;
 
+/// [`infer_batch_guarded_instrumented`] with an explicit RNG seed and a
+/// shared fault model per window — the serving-layer entry point behind
+/// `dsgl-serve`'s request coalescing.
+///
+/// Window `i` anneals exactly as the single-window guarded batch
+/// `infer_batch_guarded(model, &samples[i..=i], guard, seeds[i])` would
+/// anneal its only window: its RNG is seeded from
+/// `window_seed(seeds[i], 0)`, it cold-starts, and `faults` are
+/// injected into its machine before the guard runs. Because every
+/// window is a pure function of `(model, sample, guard, faults, seed)`,
+/// grouping requests into one coalesced call can never change a single
+/// output bit relative to executing them one at a time — the contract
+/// the serving layer's determinism suite pins.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, a
+/// [`CoreError::SampleShapeMismatch`] when `seeds` and `samples`
+/// disagree in length, or the first per-window shape/parameter error in
+/// sample order.
+pub fn infer_batch_guarded_seeded_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_seeded_pooled(model, samples, guard, seeds, faults, sink, &mut None)
+}
+
+/// [`infer_batch_guarded_seeded_instrumented`] with a caller-owned
+/// scratch [`dsgl_ising::Workspace`] pool that survives the call: a
+/// long-lived serving worker passes the same pool into every coalesced
+/// batch, so only its very first window ever pays the stage-buffer
+/// allocations. Buffers carry capacity, never values, so the pooled
+/// call is bit-identical to the plain one (`&mut None` *is* the plain
+/// call).
+///
+/// Batches no larger than the internal pooling chunk run on the calling
+/// thread with the caller's pool; larger batches split across the
+/// thread pool in fixed chunks (the caller's pool then seeds the first
+/// chunk only). Either way results are bit-identical across every
+/// [`crate::Threading`] policy.
+///
+/// # Errors
+///
+/// See [`infer_batch_guarded_seeded_instrumented`].
+pub fn infer_batch_guarded_seeded_pooled(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    if seeds.len() != samples.len() {
+        return Err(CoreError::SampleShapeMismatch {
+            what: "per-window seed list",
+            expected: samples.len(),
+            actual: seeds.len(),
+        });
+    }
+    let run_window = |i: usize, pool: &mut Option<dsgl_ising::Workspace>| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
+        infer_dense_guarded_pooled(model, &samples[i], guard, faults, sink, pool, &mut rng)
+    };
+    if samples.len() <= GUARD_POOL_CHUNK {
+        let mut out = Vec::with_capacity(samples.len());
+        for i in 0..samples.len() {
+            out.push(run_window(i, pool)?);
+        }
+        return Ok(out);
+    }
+    let total = model.layout().total();
+    let work_per_window = total * total * 64;
+    let chunk = GUARD_POOL_CHUNK;
+    let n_chunks = samples.len().div_ceil(chunk);
+    let first = std::mem::take(pool);
+    let first = std::sync::Mutex::new(Some(first));
+    let chunks = crate::threading::par_map(n_chunks, chunk * work_per_window, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(samples.len());
+        // Chunk 0 adopts the caller's long-lived pool; other chunks
+        // warm up their own (capacity only — results are unchanged).
+        let mut local: Option<dsgl_ising::Workspace> = if c == 0 {
+            first.lock().unwrap_or_else(|e| e.into_inner()).take().flatten()
+        } else {
+            None
+        };
+        let mut out = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            out.push(run_window(i, &mut local));
+        }
+        if c == 0 {
+            *first.lock().unwrap_or_else(|e| e.into_inner()) = Some(local);
+        }
+        out
+    });
+    *pool = first
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .flatten();
+    chunks.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +795,126 @@ mod tests {
             );
         }
         assert!(d.state().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn seeded_batch_is_bit_identical_to_single_window_batches() {
+        let layout = VariableLayout::new(1, 4, 1);
+        let mut model = DsGlModel::new(layout);
+        model.init_persistence(0.65);
+        let windows: Vec<Sample> = (0..12)
+            .map(|i| Sample {
+                history: vec![0.04 * i as f64; 4],
+                target: vec![0.0; 4],
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..12).map(|i| 1000 + 37 * i as u64).collect();
+        let guard = GuardedAnneal::new(AnnealConfig::default());
+        let sink = TelemetrySink::noop();
+        let coalesced = infer_batch_guarded_seeded_instrumented(
+            &model,
+            &windows,
+            &guard,
+            &seeds,
+            &FaultModel::none(),
+            &sink,
+        )
+        .unwrap();
+        // The serial reference: each request executed alone, as a
+        // single-window guarded batch under its own master seed.
+        for (k, ((pred, report, health), seed)) in coalesced.iter().zip(&seeds).enumerate() {
+            let alone = infer_batch_guarded_instrumented(
+                &model,
+                &windows[k..=k],
+                &guard,
+                *seed,
+                &sink,
+            )
+            .unwrap();
+            assert_eq!(pred, &alone[0].0, "window {k} diverged from serial run");
+            assert_eq!(report, &alone[0].1);
+            assert_eq!(health, &alone[0].2);
+        }
+        // A persistent caller pool never changes bits either.
+        let mut pool = None;
+        let pooled = infer_batch_guarded_seeded_pooled(
+            &model,
+            &windows,
+            &guard,
+            &seeds,
+            &FaultModel::none(),
+            &sink,
+            &mut pool,
+        )
+        .unwrap();
+        assert!(pool.is_some(), "pool must survive the call");
+        for ((a, _, _), (b, _, _)) in coalesced.iter().zip(&pooled) {
+            assert_eq!(a, b);
+        }
+        // Shape errors: seed list must match the batch.
+        assert!(matches!(
+            infer_batch_guarded_seeded_instrumented(
+                &model,
+                &windows,
+                &guard,
+                &seeds[..3],
+                &FaultModel::none(),
+                &sink,
+            ),
+            Err(CoreError::SampleShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            infer_batch_guarded_seeded_instrumented(
+                &model,
+                &[],
+                &guard,
+                &[],
+                &FaultModel::none(),
+                &sink,
+            ),
+            Err(CoreError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn seeded_batch_injects_faults_per_window_deterministically() {
+        let layout = VariableLayout::new(1, 4, 1);
+        let mut model = DsGlModel::new(layout);
+        model.init_persistence(0.6);
+        let windows: Vec<Sample> = (0..4)
+            .map(|i| Sample {
+                history: vec![0.1 + 0.02 * i as f64; 4],
+                target: vec![0.0; 4],
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..4).map(|i| 77 + i as u64).collect();
+        let faults = FaultModel {
+            stuck_nodes: vec![StuckNode {
+                idx: model.layout().history_len(),
+                value: f64::NAN,
+            }],
+            coupler_drift: 0.02,
+            ..FaultModel::none()
+        };
+        let guard = GuardedAnneal::new(AnnealConfig::default()).with_policy(RetryPolicy {
+            max_retries: 1,
+            backoff: 1.0,
+        });
+        let sink = TelemetrySink::noop();
+        let a = infer_batch_guarded_seeded_instrumented(
+            &model, &windows, &guard, &seeds, &faults, &sink,
+        )
+        .unwrap();
+        let b = infer_batch_guarded_seeded_instrumented(
+            &model, &windows, &guard, &seeds, &faults, &sink,
+        )
+        .unwrap();
+        for (k, ((pa, _, ha), (pb, _, hb))) in a.iter().zip(&b).enumerate() {
+            assert!(pa.iter().all(|v| v.is_finite()), "window {k} not sanitised");
+            assert_eq!(pa, pb, "faulted window {k} must be seed-deterministic");
+            assert_eq!(ha, hb);
+            assert!(!ha.healthy(), "NaN stuck node must show up in health");
+        }
     }
 
     #[test]

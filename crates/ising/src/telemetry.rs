@@ -388,6 +388,35 @@ impl InstrumentSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-based quantile estimate for `q` in `[0, 1]` (e.g. `0.5`
+    /// for p50, `0.99` for p99).
+    ///
+    /// Scans the cumulative bucket counts and returns the upper bound
+    /// of the first bucket whose cumulative count reaches `q · count`,
+    /// clamped to the observed `max` so a coarse top bucket can't
+    /// over-report. Samples past the top bound (`overflow`) resolve to
+    /// `max`. For non-histogram instruments this falls back to `last`;
+    /// an empty instrument reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.buckets.is_empty() && self.overflow == 0 {
+            // Counter or gauge: no distribution to interrogate.
+            return self.last;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for bucket in &self.buckets {
+            cumulative += bucket.count;
+            if cumulative >= rank {
+                return bucket.le.min(self.max);
+            }
+        }
+        // Rank lands in the overflow region above the top bound.
+        self.max
+    }
 }
 
 /// A sorted, serde-stable export of every instrument in a registry.
@@ -596,6 +625,53 @@ mod tests {
         assert!(table.contains("anneal.runs"));
         assert!(table.contains("anneal.sim_time_ns"));
         assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn quantile_estimates_track_bucket_bounds() {
+        let sink = TelemetrySink::enabled();
+        // 90 fast samples, 10 slow ones: p50 must sit in a low bucket,
+        // p99 in a high one.
+        for _ in 0..90 {
+            sink.record("serve.latency_ns", 800.0);
+        }
+        for _ in 0..10 {
+            sink.record("serve.latency_ns", 90_000.0);
+        }
+        let snap = sink.snapshot();
+        let lat = snap.get("serve.latency_ns").unwrap();
+        let p50 = lat.quantile(0.5);
+        let p99 = lat.quantile(0.99);
+        // 800 falls in the (500, 1000] bucket; 90_000 in (50_000, 100_000].
+        assert_eq!(p50, 1000.0);
+        assert_eq!(p99, 90_000.0); // le=1e5 bucket clamped to observed max
+        assert!(p50 <= p99);
+        // Extremes.
+        assert_eq!(lat.quantile(0.0), 1000.0); // rank clamps to 1 → first bucket
+        assert_eq!(lat.quantile(1.0), 90_000.0);
+
+        // Overflow samples resolve to max.
+        sink.record("serve.latency_ns", 1e15);
+        let lat = sink.snapshot();
+        let lat = lat.get("serve.latency_ns").unwrap();
+        assert_eq!(lat.quantile(1.0), 1e15);
+
+        // Empty and non-histogram instruments degrade gracefully.
+        sink.counter_add("serve.requests", 5);
+        let snap = sink.snapshot();
+        assert_eq!(snap.get("serve.requests").unwrap().quantile(0.99), 5.0);
+        let empty = InstrumentSnapshot {
+            name: "x".into(),
+            kind: "histogram".into(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            last: 0.0,
+            buckets: Vec::new(),
+            overflow: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     #[test]

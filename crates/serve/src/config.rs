@@ -1,0 +1,153 @@
+//! Service configuration: worker pool size, coalescing, admission, SLO.
+
+use dsgl_ising::fault::FaultModel;
+use std::time::Duration;
+
+use crate::ServeError;
+
+/// Tuning knobs for a [`ForecastService`](crate::ForecastService).
+///
+/// The defaults serve correctly out of the box: one worker, batches of
+/// up to 8 coalesced requests, a 64-deep admission queue, a 200 µs
+/// batch-forming linger, no deadline (never degrade on latency), and a
+/// fault-free substrate. None of these knobs can change forecast bits —
+/// they only move latency, throughput, and shed/degrade behaviour.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads pulling batches off the queue (each owns a
+    /// pooled machine/workspace pair).
+    pub workers: usize,
+    /// Maximum requests coalesced into one batched inference call.
+    pub coalesce: usize,
+    /// Admission-queue depth; a full queue rejects new requests with
+    /// [`ServeError::Overloaded`] instead of growing a backlog.
+    pub queue_capacity: usize,
+    /// How long a worker lingers for a partial batch to fill before
+    /// running it. Grouping never changes bits, so this only trades a
+    /// bounded latency bump for wider batches.
+    pub linger: Duration,
+    /// Optional SLO deadline measured from admission. A request still
+    /// queued past its deadline is answered with the sanitised
+    /// persistence fallback (degraded, finite, instant) instead of
+    /// annealing even later. `None` disables SLO degradation.
+    pub deadline: Option<Duration>,
+    /// Fault model injected into every pooled forecaster (for chaos
+    /// drills and the degradation test battery).
+    pub faults: FaultModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            coalesce: 8,
+            queue_capacity: 64,
+            linger: Duration::from_micros(200),
+            deadline: None,
+            faults: FaultModel::none(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum coalesced batch width (≥ 1).
+    pub fn coalesce(mut self, width: usize) -> Self {
+        self.coalesce = width;
+        self
+    }
+
+    /// Sets the admission-queue capacity (≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the batch-forming linger.
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Sets the SLO deadline (measured from admission).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Injects a fault model into the pooled forecasters.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Rejects configurations the service cannot run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on a zero worker count, zero
+    /// coalesce width, or zero queue capacity.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "worker count must be at least 1".to_owned(),
+            });
+        }
+        if self.coalesce == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "coalesce width must be at least 1".to_owned(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue capacity must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_builders_chain() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.coalesce, 8);
+        assert!(cfg.deadline.is_none());
+
+        let cfg = ServeConfig::default()
+            .workers(4)
+            .coalesce(16)
+            .queue_capacity(2)
+            .linger(Duration::from_millis(1))
+            .deadline(Duration::from_millis(50));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.coalesce, 16);
+        assert_eq!(cfg.queue_capacity, 2);
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for cfg in [
+            ServeConfig::default().workers(0),
+            ServeConfig::default().coalesce(0),
+            ServeConfig::default().queue_capacity(0),
+        ] {
+            assert!(matches!(
+                cfg.validate(),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
+    }
+}

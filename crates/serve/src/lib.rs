@@ -1,0 +1,106 @@
+//! `dsgl-serve`: a long-lived, concurrent forecast service over trained
+//! DS-GL models.
+//!
+//! The paper's pipeline — train once, anneal per window — is exactly
+//! the shape a serving layer wants: the model is immutable shared
+//! state, every request is an independent anneal, and batches of
+//! requests amortise dispatch. This crate turns the one-shot facade
+//! into that layer:
+//!
+//! - **Admission** ([`queue::BoundedQueue`]): requests enter a bounded
+//!   queue; a full queue sheds load *now* ([`ServeError::Overloaded`])
+//!   instead of growing a backlog whose deadline nobody can meet.
+//! - **Coalescing** (worker loop in [`ForecastService`]): workers pull
+//!   up to [`ServeConfig::coalesce`] requests per pop (lingering
+//!   briefly for stragglers), collapse duplicate `(window, seed)`
+//!   pairs into a single anneal, and run the distinct windows through
+//!   one seeded guarded batch call with a per-worker pooled
+//!   [`dsgl_ising::Workspace`] — steady-state serving allocates
+//!   nothing per request (the PR 5 take/adopt migration).
+//! - **SLO degradation**: with a [`ServeConfig::deadline`], requests
+//!   that sat queued past it are answered instantly with the sanitised
+//!   persistence fallback (finite, degraded, honest in its
+//!   [`HealthReport`](dsgl_core::HealthReport)) rather than annealed
+//!   even later — the serving twin of the guard's strict-fallback rung
+//!   from PR 3.
+//! - **Health** ([`ForecastService::health`]): the `serve.*` instrument
+//!   family ([`instruments`]) lands in the same
+//!   [`MetricsSnapshot`](dsgl_core::MetricsSnapshot) schema dashboards
+//!   already parse, and [`ForecastService::stats`] digests it into
+//!   p50/p99 latency, coalesce width, and degradation counts.
+//!
+//! # The determinism contract
+//!
+//! A response's bits are a pure function of (model, window, seed,
+//! guard policy, fault model). Each window anneals under
+//! `StdRng::seed_from_u64(window_seed(seed, 0))` — exactly how a
+//! serial one-request-at-a-time run would anneal it — so queue order,
+//! batch grouping, linger, worker count, and duplicate collapsing are
+//! all bit-invisible. `tests/determinism.rs` pins this across coalesce
+//! widths {1, 4, 8} × worker counts {1, 2, 8}.
+//!
+//! # Example
+//!
+//! ```
+//! use dsgl_serve::{ForecastService, ServeConfig};
+//! use dsgl_core::{DsGlModel, GuardedAnneal, TelemetrySink, VariableLayout};
+//! use dsgl_ising::AnnealConfig;
+//!
+//! # fn main() -> Result<(), dsgl_serve::ServeError> {
+//! let layout = VariableLayout::new(1, 4, 1);
+//! let mut model = DsGlModel::new(layout);
+//! model.init_persistence(0.6);
+//! let mut service = ForecastService::spawn(
+//!     model,
+//!     GuardedAnneal::new(AnnealConfig::default()),
+//!     TelemetrySink::enabled(),
+//!     ServeConfig::default(),
+//! )?;
+//! let response = service.forecast(vec![0.25; 4], 7)?;
+//! assert_eq!(response.prediction.len(), 4);
+//! assert!(response.prediction.iter().all(|v| v.is_finite()));
+//! // Same window, same seed → bit-identical answer, served or not.
+//! let again = service.forecast(vec![0.25; 4], 7)?;
+//! assert_eq!(response.prediction, again.prediction);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod config;
+pub mod queue;
+pub mod service;
+
+pub use config::ServeConfig;
+pub use service::{ForecastResponse, ForecastService, ServeError, ServiceStats, Ticket};
+
+/// The `serve.*` instrument family recorded into the service's
+/// [`TelemetrySink`](dsgl_core::TelemetrySink). Names are a frozen
+/// interface (`tests/serialization.rs`), like every other family in
+/// the snapshot schema.
+pub mod instruments {
+    /// Counter: requests admitted past the queue door.
+    pub const REQUESTS: &str = "serve.requests";
+    /// Counter: requests shed by admission control (queue full).
+    pub const REJECTED: &str = "serve.rejected";
+    /// Counter: batches executed by workers.
+    pub const BATCHES: &str = "serve.batches";
+    /// Gauge: backlog depth observed at the latest push/pop.
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Histogram: requests per executed batch.
+    pub const COALESCE_WIDTH: &str = "serve.coalesce_width";
+    /// Counter: requests answered from a coalesced duplicate's anneal.
+    pub const COALESCED_HITS: &str = "serve.coalesced_hits";
+    /// Histogram: admission-to-reply wall latency, ns.
+    pub const LATENCY_NS: &str = "serve.latency_ns";
+    /// Counter: responses marked degraded (guard or SLO fallback).
+    pub const DEGRADATIONS: &str = "serve.degradations";
+    /// Counter: responses served as the SLO persistence fallback.
+    pub const SLO_FALLBACKS: &str = "serve.slo_fallbacks";
+    /// Gauge: worker threads serving.
+    pub const WORKERS: &str = "serve.workers";
+}

@@ -1,0 +1,495 @@
+//! The long-lived forecast service: worker pool, coalescing, SLO triage.
+
+use dsgl_core::guard::infer_batch_guarded_seeded_pooled;
+use dsgl_core::{CoreError, DsGlModel, GuardedAnneal, HealthReport, MetricsSnapshot, TelemetrySink};
+use dsgl_data::Sample;
+use dsgl_ising::Workspace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::instruments;
+use crate::queue::{BoundedQueue, PushError};
+use crate::ServeConfig;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The admission queue was full: the request was shed at the door.
+    /// Back off and retry; nothing was enqueued.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The submitted history window has the wrong length for the
+    /// service's model layout.
+    ShapeMismatch {
+        /// `W·N·F` history values the model expects.
+        expected: usize,
+        /// What the request supplied.
+        actual: usize,
+    },
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The worker serving this request disappeared without replying
+    /// (it panicked or the service was torn down mid-flight).
+    WorkerLost,
+    /// A configuration knob the service cannot run with.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The batched inference call itself failed; every request in the
+    /// batch receives the same underlying error.
+    Inference(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting requests)")
+            }
+            ServeError::ShapeMismatch { expected, actual } => {
+                write!(f, "history window has length {actual}, expected {expected}")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker exited without replying"),
+            ServeError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
+            ServeError::Inference(e) => write!(f, "batched inference failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+/// One answered forecast request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastResponse {
+    /// The predicted target block (always finite).
+    pub prediction: Vec<f64>,
+    /// What the guarded anneal (or the SLO fallback) did to produce it.
+    pub health: HealthReport,
+    /// Whether this response is the sanitised persistence fallback
+    /// served because the request sat queued past its SLO deadline.
+    pub slo_degraded: bool,
+    /// How many requests shared the batch this one was served in.
+    pub batch_width: usize,
+    /// Wall-clock admission-to-reply latency in nanoseconds.
+    /// Observability metadata only — never part of the determinism
+    /// contract.
+    pub latency_ns: u64,
+}
+
+/// A pending reply handle returned by
+/// [`ForecastService::submit`]; redeem it with [`wait`](Ticket::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ForecastResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the service answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the worker reported, or [`ServeError::WorkerLost`] if it
+    /// died without replying.
+    pub fn wait(self) -> Result<ForecastResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)?
+    }
+}
+
+struct Request {
+    window: Vec<f64>,
+    seed: u64,
+    admitted: Instant,
+    reply: mpsc::Sender<Result<ForecastResponse, ServeError>>,
+}
+
+struct Shared {
+    model: DsGlModel,
+    guard: GuardedAnneal,
+    sink: TelemetrySink,
+    queue: BoundedQueue<Request>,
+    config: ServeConfig,
+}
+
+/// A long-lived pool of trained forecasters behind a bounded queue.
+///
+/// Workers pull admitted requests in batches of up to
+/// [`coalesce`](ServeConfig::coalesce), collapse duplicate
+/// `(window, seed)` pairs into a single anneal, and run the rest
+/// through the seeded guarded batch kernel with a per-worker pooled
+/// [`Workspace`] (the PR 5 take/adopt migration, so steady-state
+/// serving allocates nothing per request).
+///
+/// **Determinism contract** (pinned by `tests/determinism.rs`): a
+/// request's forecast is a pure function of the model, window, seed,
+/// guard policy, and fault model. Queue order, batch grouping, linger,
+/// worker count, and duplicate collapsing can never change the bits —
+/// each window anneals under an RNG derived only from its own seed,
+/// exactly as a serial one-by-one run would.
+pub struct ForecastService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ForecastService {
+    /// Spawns the worker pool and starts serving.
+    ///
+    /// The `telemetry` sink receives the `serve.*` instrument family
+    /// (plus `guard.*`/`anneal.*` from the kernels underneath); pass
+    /// [`TelemetrySink::noop`] to serve unobserved at zero cost.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero workers/coalesce/capacity.
+    pub fn spawn(
+        model: DsGlModel,
+        guard: GuardedAnneal,
+        telemetry: TelemetrySink,
+        config: ServeConfig,
+    ) -> Result<ForecastService, ServeError> {
+        config.validate()?;
+        config
+            .faults
+            .validate(model.layout().total())
+            .map_err(|e| ServeError::InvalidConfig {
+                reason: format!("fault model: {e}"),
+            })?;
+        telemetry.gauge_set(instruments::WORKERS, config.workers as f64);
+        let shared = Arc::new(Shared {
+            model,
+            guard,
+            sink: telemetry,
+            queue: BoundedQueue::new(config.queue_capacity),
+            config,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(ForecastService { shared, workers })
+    }
+
+    /// Enqueues a forecast request: `window` is the `W·N·F` history
+    /// block (frames oldest→newest, node-major) and `seed` determines
+    /// the anneal's randomness. Equal `(window, seed)` requests are
+    /// coalesced into one anneal and receive identical responses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] for a wrong-length window,
+    /// [`ServeError::Overloaded`] when the admission queue is full,
+    /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, window: Vec<f64>, seed: u64) -> Result<Ticket, ServeError> {
+        let expected = self.shared.model.layout().history_len();
+        if window.len() != expected {
+            return Err(ServeError::ShapeMismatch {
+                expected,
+                actual: window.len(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            window,
+            seed,
+            admitted: Instant::now(),
+            reply: tx,
+        };
+        match self.shared.queue.try_push(request) {
+            Ok(depth) => {
+                self.shared.sink.counter_add(instruments::REQUESTS, 1);
+                self.shared
+                    .sink
+                    .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.sink.counter_add(instruments::REJECTED, 1);
+                Err(ServeError::Overloaded {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and waits: the blocking one-call path.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit) and [`Ticket::wait`].
+    pub fn forecast(&self, window: Vec<f64>, seed: u64) -> Result<ForecastResponse, ServeError> {
+        self.submit(window, seed)?.wait()
+    }
+
+    /// The health endpoint: a point-in-time [`MetricsSnapshot`] of every
+    /// instrument recorded so far (`serve.*`, `guard.*`, `anneal.*`).
+    /// Empty when the service was spawned with a noop sink.
+    pub fn health(&self) -> MetricsSnapshot {
+        self.shared.sink.snapshot()
+    }
+
+    /// Service-level statistics digested from [`health`](Self::health).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::from_snapshot(&self.health())
+    }
+
+    /// Stops admitting requests, drains what was already queued, and
+    /// joins the workers. Idempotent; also runs on drop. Subsequent
+    /// [`submit`](Self::submit) calls fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn shutdown(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ForecastService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for ForecastService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForecastService")
+            .field("workers", &self.shared.config.workers)
+            .field("coalesce", &self.shared.config.coalesce)
+            .field("queue_capacity", &self.shared.config.queue_capacity)
+            .field("queue_depth", &self.shared.queue.len())
+            .finish()
+    }
+}
+
+/// One worker: pop a batch, triage the SLO, collapse duplicates, anneal
+/// once per distinct `(window, seed)`, fan the results out.
+fn worker_loop(shared: &Shared) {
+    // The PR 5 pooled workspace lives across every batch this worker
+    // ever serves: buffers carry capacity between anneals, never values.
+    let mut pool: Option<Workspace> = None;
+    while let Some((batch, depth)) = shared
+        .queue
+        .pop_batch(shared.config.coalesce, shared.config.linger)
+    {
+        shared.sink.counter_add(instruments::BATCHES, 1);
+        shared
+            .sink
+            .record(instruments::COALESCE_WIDTH, batch.len() as f64);
+        shared
+            .sink
+            .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
+        serve_batch(shared, batch, &mut pool);
+    }
+}
+
+fn serve_batch(shared: &Shared, batch: Vec<Request>, pool: &mut Option<Workspace>) {
+    let width = batch.len();
+    // SLO triage: requests already past their deadline get the
+    // sanitised persistence fallback immediately — annealing them even
+    // later helps nobody and starves the live ones further.
+    let (expired, live): (Vec<Request>, Vec<Request>) = match shared.config.deadline {
+        Some(deadline) => batch
+            .into_iter()
+            .partition(|r| r.admitted.elapsed() >= deadline),
+        None => (Vec::new(), batch),
+    };
+    for request in expired {
+        let (prediction, health) = persistence_fallback(&shared.model, &request.window);
+        shared.sink.counter_add(instruments::SLO_FALLBACKS, 1);
+        shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+        respond(shared, request, prediction, health, true, width);
+    }
+    if live.is_empty() {
+        return;
+    }
+    // Coalesce duplicates: identical (seed, window bits) anneal once.
+    // f64 bit patterns make the key exact — if the bits match, the
+    // anneal provably matches, so fan-out is lossless.
+    let mut index_of: HashMap<(u64, Vec<u64>), usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::with_capacity(live.len());
+    let mut assignment: Vec<usize> = Vec::with_capacity(live.len());
+    for (i, request) in live.iter().enumerate() {
+        let key = (
+            request.seed,
+            request.window.iter().map(|v| v.to_bits()).collect(),
+        );
+        let slot = *index_of.entry(key).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+        assignment.push(slot);
+    }
+    let hits = (live.len() - unique.len()) as u64;
+    if hits > 0 {
+        shared.sink.counter_add(instruments::COALESCED_HITS, hits);
+    }
+    let target_len = shared.model.layout().target_len();
+    let samples: Vec<Sample> = unique
+        .iter()
+        .map(|&i| Sample {
+            history: live[i].window.clone(),
+            target: vec![0.0; target_len],
+        })
+        .collect();
+    let seeds: Vec<u64> = unique.iter().map(|&i| live[i].seed).collect();
+    let results = infer_batch_guarded_seeded_pooled(
+        &shared.model,
+        &samples,
+        &shared.guard,
+        &seeds,
+        &shared.config.faults,
+        &shared.sink,
+        pool,
+    );
+    match results {
+        Ok(results) => {
+            for (request, &slot) in live.into_iter().zip(&assignment) {
+                let (prediction, _, health) = &results[slot];
+                // Count before replying: a caller that snapshots the
+                // instruments right after its response must already see
+                // its own degradation reflected.
+                if health.degraded {
+                    shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+                }
+                respond(
+                    shared,
+                    request,
+                    prediction.clone(),
+                    health.clone(),
+                    false,
+                    width,
+                );
+            }
+        }
+        Err(e) => {
+            for request in live {
+                let _ = request.reply.send(Err(ServeError::Inference(e.clone())));
+            }
+        }
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    request: Request,
+    prediction: Vec<f64>,
+    health: HealthReport,
+    slo_degraded: bool,
+    batch_width: usize,
+) {
+    let latency_ns = request.admitted.elapsed().as_nanos() as u64;
+    shared
+        .sink
+        .record(instruments::LATENCY_NS, latency_ns as f64);
+    // A dropped Ticket just means the caller stopped waiting.
+    let _ = request.reply.send(Ok(ForecastResponse {
+        prediction,
+        health,
+        slo_degraded,
+        batch_width,
+        latency_ns,
+    }));
+}
+
+/// The SLO fallback: tile the newest history frame across the horizon
+/// (persistence forecast), sanitising non-finite inputs to 0.0. Instant,
+/// allocation-light, always finite — the serving twin of the guard's
+/// strict-fallback rung.
+fn persistence_fallback(model: &DsGlModel, window: &[f64]) -> (Vec<f64>, HealthReport) {
+    let layout = model.layout();
+    let frame = layout.frame_len();
+    let last = &window[window.len() - frame..];
+    let mut health = HealthReport {
+        degraded: true,
+        ..HealthReport::default()
+    };
+    let mut prediction = Vec::with_capacity(layout.target_len());
+    for _ in 0..layout.horizon() {
+        for &v in last {
+            if v.is_finite() {
+                prediction.push(v);
+            } else {
+                prediction.push(0.0);
+                health.sanitized_nodes += 1;
+            }
+        }
+    }
+    (prediction, health)
+}
+
+/// Digested service statistics, derived from the `serve.*` instruments
+/// of a [`MetricsSnapshot`]. Serde field names are part of the frozen
+/// snapshot interface (`tests/serialization.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Requests admitted.
+    pub requests: u64,
+    /// Requests shed at the door by admission control.
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests answered from a coalesced duplicate's anneal.
+    pub coalesced_hits: u64,
+    /// Responses marked degraded (guard fallback or SLO fallback).
+    pub degradations: u64,
+    /// Responses served as the SLO persistence fallback.
+    pub slo_fallbacks: u64,
+    /// Mean requests per executed batch.
+    pub mean_coalesce_width: f64,
+    /// Median admission-to-reply latency (bucket estimate), ns.
+    pub p50_latency_ns: f64,
+    /// 99th-percentile admission-to-reply latency (bucket estimate), ns.
+    pub p99_latency_ns: f64,
+    /// Worker threads serving.
+    pub workers: u64,
+}
+
+impl ServiceStats {
+    /// Digests a snapshot's `serve.*` instruments (zeros when absent,
+    /// e.g. from a noop sink).
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> ServiceStats {
+        let latency = snapshot.get(instruments::LATENCY_NS);
+        ServiceStats {
+            requests: snapshot.counter(instruments::REQUESTS),
+            rejected: snapshot.counter(instruments::REJECTED),
+            batches: snapshot.counter(instruments::BATCHES),
+            coalesced_hits: snapshot.counter(instruments::COALESCED_HITS),
+            degradations: snapshot.counter(instruments::DEGRADATIONS),
+            slo_fallbacks: snapshot.counter(instruments::SLO_FALLBACKS),
+            mean_coalesce_width: snapshot
+                .get(instruments::COALESCE_WIDTH)
+                .map_or(0.0, |i| i.mean()),
+            p50_latency_ns: latency.map_or(0.0, |i| i.quantile(0.5)),
+            p99_latency_ns: latency.map_or(0.0, |i| i.quantile(0.99)),
+            workers: snapshot
+                .get(instruments::WORKERS)
+                .map_or(0, |i| i.last as u64),
+        }
+    }
+}

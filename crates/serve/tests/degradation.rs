@@ -1,0 +1,223 @@
+//! Degradation-path battery: PR 3 fault models injected into the pooled
+//! forecasters, plus SLO deadline triage. The service must never panic,
+//! never emit a non-finite value, and its `serve.degradations` /
+//! per-response [`HealthReport`]s must match the per-request ground
+//! truth computed outside the service.
+
+use dsgl_core::guard::infer_batch_guarded_seeded_instrumented;
+use dsgl_core::{
+    DsGlModel, GuardedAnneal, HealthReport, RetryPolicy, TelemetrySink, VariableLayout,
+};
+use dsgl_data::Sample;
+use dsgl_ising::fault::{FaultModel, StuckNode};
+use dsgl_ising::AnnealConfig;
+use dsgl_serve::{instruments, ForecastService, ServeConfig};
+use std::time::Duration;
+
+const NODES: usize = 5;
+const HISTORY: usize = 2;
+
+fn model() -> DsGlModel {
+    let mut model = DsGlModel::new(VariableLayout::new(HISTORY, NODES, 1));
+    model.init_persistence(0.6);
+    model
+}
+
+fn window(i: usize) -> Vec<f64> {
+    (0..HISTORY * NODES)
+        .map(|k| 0.1 + 0.02 * i as f64 + 0.003 * k as f64)
+        .collect()
+}
+
+/// Per-request ground truth: the same seeded guarded single-window call
+/// the service's batches decompose into.
+fn ground_truth(
+    model: &DsGlModel,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    reqs: &[(Vec<f64>, u64)],
+) -> Vec<(Vec<f64>, HealthReport)> {
+    let sink = TelemetrySink::noop();
+    let target_len = model.layout().target_len();
+    reqs.iter()
+        .map(|(window, seed)| {
+            let sample = Sample {
+                history: window.clone(),
+                target: vec![0.0; target_len],
+            };
+            let mut out = infer_batch_guarded_seeded_instrumented(
+                model,
+                std::slice::from_ref(&sample),
+                guard,
+                &[*seed],
+                faults,
+                &sink,
+            )
+            .unwrap();
+            let (pred, _, health) = out.remove(0);
+            (pred, health)
+        })
+        .collect()
+}
+
+#[test]
+fn nan_stuck_node_degrades_sanitised_and_counted() {
+    let model = model();
+    // Pin a *target* node's readout to garbage and allow no retries:
+    // the first anneal comes back non-finite, the ladder is already
+    // exhausted, and the sanitised degraded path must still produce a
+    // finite, honest answer. (With retries allowed, the guard's
+    // restore-and-sanitise rung rescues a stuck-NaN node — that
+    // recovered path is covered by the guard's own suite.)
+    let faults = FaultModel {
+        stuck_nodes: vec![StuckNode {
+            idx: model.layout().history_len(),
+            value: f64::NAN,
+        }],
+        ..FaultModel::none()
+    };
+    let guard = GuardedAnneal::new(AnnealConfig::default()).with_policy(RetryPolicy {
+        max_retries: 0,
+        backoff: 1.0,
+    });
+    let reqs: Vec<(Vec<f64>, u64)> = (0..10).map(|i| (window(i), 900 + i as u64)).collect();
+    let truth = ground_truth(&model, &guard, &faults, &reqs);
+    let truth_degraded = truth.iter().filter(|(_, h)| h.degraded).count() as u64;
+    assert!(truth_degraded > 0, "fixture must actually degrade");
+
+    let sink = TelemetrySink::enabled();
+    let service = ForecastService::spawn(
+        model,
+        guard,
+        sink.clone(),
+        ServeConfig::default()
+            .workers(2)
+            .coalesce(4)
+            .queue_capacity(32)
+            .faults(faults),
+    )
+    .unwrap();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(w, s)| service.submit(w.clone(), *s).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().unwrap();
+        assert!(
+            response.prediction.iter().all(|v| v.is_finite()),
+            "request {i} leaked a non-finite value"
+        );
+        assert!(!response.slo_degraded, "no deadline configured");
+        assert_eq!(response.prediction, truth[i].0, "request {i} bits");
+        assert_eq!(response.health, truth[i].1, "request {i} health");
+    }
+    let snapshot = sink.snapshot();
+    assert_eq!(
+        snapshot.counter(instruments::DEGRADATIONS),
+        truth_degraded,
+        "serve.degradations must match the per-request ground truth"
+    );
+    assert_eq!(snapshot.counter(instruments::REQUESTS), reqs.len() as u64);
+    assert_eq!(snapshot.counter(instruments::SLO_FALLBACKS), 0);
+}
+
+#[test]
+fn dead_couplers_and_drift_stay_deterministic_under_coalescing() {
+    let model = model();
+    let faults = FaultModel {
+        dead_couplers: vec![(0, NODES), (1, NODES + 1)],
+        coupler_drift: 0.05,
+        ..FaultModel::none()
+    };
+    let guard = GuardedAnneal::new(AnnealConfig::default());
+    let reqs: Vec<(Vec<f64>, u64)> = (0..8).map(|i| (window(i), 5_000 + i as u64)).collect();
+    let truth = ground_truth(&model, &guard, &faults, &reqs);
+    let truth_degraded = truth.iter().filter(|(_, h)| h.degraded).count() as u64;
+
+    let sink = TelemetrySink::enabled();
+    let service = ForecastService::spawn(
+        model,
+        guard,
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(8)
+            .queue_capacity(16)
+            .linger(Duration::from_millis(100))
+            .faults(faults),
+    )
+    .unwrap();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(w, s)| service.submit(w.clone(), *s).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let response = ticket.wait().unwrap();
+        assert!(response.prediction.iter().all(|v| v.is_finite()));
+        assert_eq!(response.prediction, truth[i].0, "request {i} bits");
+        assert_eq!(response.health, truth[i].1, "request {i} health");
+    }
+    assert_eq!(
+        sink.snapshot().counter(instruments::DEGRADATIONS),
+        truth_degraded
+    );
+}
+
+#[test]
+fn expired_deadline_serves_the_sanitised_persistence_fallback() {
+    let model = model();
+    let frame = model.layout().frame_len();
+    let horizon = model.layout().horizon();
+    // A zero deadline expires every request at triage time —
+    // deterministic, no sleeps. Poison one input so sanitisation has
+    // real work to do.
+    let mut poisoned = window(3);
+    let poison_idx = poisoned.len() - 2; // inside the newest frame
+    poisoned[poison_idx] = f64::NAN;
+    let reqs: Vec<(Vec<f64>, u64)> = vec![
+        (window(0), 1),
+        (window(1), 2),
+        (poisoned.clone(), 3),
+        (window(0), 1), // duplicate: also expired, also served
+    ];
+
+    let sink = TelemetrySink::enabled();
+    let service = ForecastService::spawn(
+        model,
+        GuardedAnneal::new(AnnealConfig::default()),
+        sink.clone(),
+        ServeConfig::default().deadline(Duration::ZERO),
+    )
+    .unwrap();
+    for (i, (w, s)) in reqs.iter().enumerate() {
+        let response = service.forecast(w.clone(), *s).unwrap();
+        assert!(response.slo_degraded, "request {i} must be SLO-degraded");
+        assert!(response.health.degraded);
+        assert!(response.prediction.iter().all(|v| v.is_finite()));
+        // Persistence: the newest frame tiled across the horizon, with
+        // non-finite inputs sanitised to 0.0.
+        let last = &w[w.len() - frame..];
+        let mut expected = Vec::new();
+        for _ in 0..horizon {
+            expected.extend(last.iter().map(|v| if v.is_finite() { *v } else { 0.0 }));
+        }
+        assert_eq!(response.prediction, expected, "request {i}");
+        let nan_count = last.iter().filter(|v| !v.is_finite()).count();
+        assert_eq!(
+            response.health.sanitized_nodes,
+            nan_count * horizon,
+            "request {i} sanitisation count"
+        );
+    }
+    let snapshot = sink.snapshot();
+    assert_eq!(
+        snapshot.counter(instruments::SLO_FALLBACKS),
+        reqs.len() as u64
+    );
+    assert_eq!(
+        snapshot.counter(instruments::DEGRADATIONS),
+        reqs.len() as u64
+    );
+    // The fallback never touches the anneal kernels.
+    assert_eq!(snapshot.counter("guard.runs"), 0);
+}

@@ -1,0 +1,207 @@
+//! Service-behaviour tests: admission control, shutdown semantics,
+//! shape validation, and the health/stats endpoints.
+
+use dsgl_core::{DsGlModel, GuardedAnneal, TelemetrySink, VariableLayout};
+use dsgl_ising::AnnealConfig;
+use dsgl_serve::{instruments, ForecastService, ServeConfig, ServeError, ServiceStats};
+use std::time::Duration;
+
+fn model_of(history: usize, nodes: usize) -> DsGlModel {
+    let mut model = DsGlModel::new(VariableLayout::new(history, nodes, 1));
+    model.init_persistence(0.6);
+    model
+}
+
+fn guard() -> GuardedAnneal {
+    GuardedAnneal::new(AnnealConfig::default())
+}
+
+#[test]
+fn overload_sheds_requests_instead_of_queuing_forever() {
+    // A capacity-1 queue behind a single worker on a non-trivial model:
+    // a tight submission loop outruns the anneal rate, so admission
+    // control must reject at least once — and everything admitted must
+    // still be answered correctly.
+    let service = ForecastService::spawn(
+        model_of(3, 16),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(1)
+            .queue_capacity(1)
+            .linger(Duration::ZERO),
+    )
+    .unwrap();
+    let window: Vec<f64> = (0..3 * 16).map(|k| 0.1 + 0.001 * k as f64).collect();
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..50u64 {
+        match service.submit(window.clone(), i) {
+            Ok(ticket) => tickets.push((i, ticket)),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 1);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    assert!(rejected > 0, "50 rapid submits must trip a capacity-1 queue");
+    assert!(!tickets.is_empty(), "some requests must be admitted");
+    let mut answers = Vec::new();
+    for (seed, ticket) in tickets {
+        let response = ticket.wait().unwrap();
+        assert!(response.prediction.iter().all(|v| v.is_finite()));
+        answers.push((seed, response.prediction));
+    }
+    // Shed load is visible in the stats, and determinism still holds
+    // for whatever was admitted: same seed → same bits.
+    let stats = service.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.requests, answers.len() as u64);
+    for (seed, prediction) in &answers {
+        let again = service.forecast(window.clone(), *seed).unwrap();
+        assert_eq!(&again.prediction, prediction);
+    }
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_then_rejects_new_ones() {
+    let mut service = ForecastService::spawn(
+        model_of(2, 4),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default().workers(1).queue_capacity(16),
+    )
+    .unwrap();
+    let window = vec![0.2; 8];
+    let tickets: Vec<_> = (0..4)
+        .map(|i| service.submit(window.clone(), i).unwrap())
+        .collect();
+    service.shutdown();
+    // Everything admitted before shutdown is still answered.
+    for ticket in tickets {
+        let response = ticket.wait().expect("drained on shutdown");
+        assert!(response.prediction.iter().all(|v| v.is_finite()));
+    }
+    // New work is refused, idempotently.
+    assert!(matches!(
+        service.submit(window.clone(), 99),
+        Err(ServeError::ShuttingDown)
+    ));
+    service.shutdown();
+    assert!(matches!(
+        service.forecast(window, 100),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+#[test]
+fn wrong_window_shape_is_rejected_at_the_door() {
+    let service = ForecastService::spawn(
+        model_of(2, 4),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    match service.submit(vec![0.1; 5], 1) {
+        Err(ServeError::ShapeMismatch { expected, actual }) => {
+            assert_eq!(expected, 8);
+            assert_eq!(actual, 5);
+        }
+        other => panic!("expected shape mismatch, got {other:?}"),
+    }
+    // A shape error is the caller's bug, not service load: nothing was
+    // admitted, nothing rejected-as-overload.
+    let stats = service.stats();
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn invalid_configs_fail_spawn() {
+    for config in [
+        ServeConfig::default().workers(0),
+        ServeConfig::default().coalesce(0),
+        ServeConfig::default().queue_capacity(0),
+    ] {
+        assert!(matches!(
+            ForecastService::spawn(model_of(2, 4), guard(), TelemetrySink::noop(), config),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+    // An out-of-range fault declaration is caught at spawn, not at the
+    // first unlucky request.
+    let faults = dsgl_ising::fault::FaultModel {
+        stuck_nodes: vec![dsgl_ising::fault::StuckNode {
+            idx: 10_000,
+            value: 0.0,
+        }],
+        ..dsgl_ising::fault::FaultModel::none()
+    };
+    assert!(matches!(
+        ForecastService::spawn(
+            model_of(2, 4),
+            guard(),
+            TelemetrySink::noop(),
+            ServeConfig::default().faults(faults),
+        ),
+        Err(ServeError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn health_endpoint_exposes_the_serve_instrument_family() {
+    let sink = TelemetrySink::enabled();
+    let service = ForecastService::spawn(
+        model_of(2, 4),
+        guard(),
+        sink.clone(),
+        ServeConfig::default().workers(2).queue_capacity(16),
+    )
+    .unwrap();
+    let window = vec![0.3; 8];
+    for i in 0..6 {
+        let response = service.forecast(window.clone(), i).unwrap();
+        assert!(response.latency_ns > 0);
+    }
+    let snapshot = service.health();
+    assert!(snapshot.families().contains(&"serve".to_owned()));
+    assert_eq!(snapshot.counter(instruments::REQUESTS), 6);
+    assert!(snapshot.counter(instruments::BATCHES) >= 1);
+    assert_eq!(
+        snapshot.get(instruments::WORKERS).unwrap().last,
+        2.0,
+        "workers gauge"
+    );
+    assert!(snapshot.get(instruments::LATENCY_NS).unwrap().count == 6);
+    // The anneal kernels under the service report into the same sink.
+    assert!(snapshot.counter("guard.runs") >= 1);
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.workers, 2);
+    assert!(stats.batches >= 1);
+    assert!(stats.mean_coalesce_width >= 1.0);
+    assert!(stats.p50_latency_ns > 0.0);
+    assert!(stats.p99_latency_ns >= stats.p50_latency_ns);
+
+    // Stats digested from the same snapshot are identical whether read
+    // through the service or recomputed by a dashboard.
+    assert_eq!(stats.requests, ServiceStats::from_snapshot(&snapshot).requests);
+
+    // A noop-sink service serves identically but reports nothing.
+    let dark = ForecastService::spawn(
+        model_of(2, 4),
+        guard(),
+        TelemetrySink::noop(),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let lit = service.forecast(window.clone(), 42).unwrap();
+    let unlit = dark.forecast(window, 42).unwrap();
+    assert_eq!(lit.prediction, unlit.prediction, "telemetry must be bit-invisible");
+    assert!(dark.health().instruments.is_empty());
+    assert_eq!(dark.stats().requests, 0);
+}

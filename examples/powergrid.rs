@@ -10,7 +10,7 @@
 //! cargo run --release --example powergrid
 //! ```
 
-use dsgl::core::PatternKind;
+use dsgl::core::{PatternKind, RetryPolicy, TelemetrySink};
 use dsgl::facade::Forecaster;
 use dsgl::data::{powergrid, WindowConfig};
 use rand::SeedableRng;
@@ -25,22 +25,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.time_steps()
     );
 
+    // Production idiom: an enabled telemetry sink (training and every
+    // inference record into one registry) and an explicit guard policy
+    // for the health-reporting paths. Neither changes forecast bits.
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let forecaster = Forecaster::builder()
         .history(4)
         .gaussian_outputs(true) // telemetry dropout = imputation
+        .guard(RetryPolicy {
+            max_retries: 3,
+            backoff: 2.0,
+        })
+        .telemetry(TelemetrySink::enabled())
         .fit(&dataset, &mut rng)?;
 
-    // (a) Forecast the next interval from the last four.
+    // (a) Forecast the next interval from the last four, with a health
+    // report saying how the anneal went.
     let t0 = dataset.time_steps() - 5;
     let mut window = Vec::new();
     for t in t0..t0 + 4 {
         window.extend_from_slice(dataset.series.frame(t));
     }
     let truth = dataset.series.frame(t0 + 4);
-    let forecast = forecaster.forecast(&window, &mut rng)?;
+    let (forecast, health) = forecaster.forecast_with_health(&window, &mut rng)?;
     let rmse = dsgl::core::metrics::rmse(&forecast, truth);
-    println!("next-interval load forecast RMSE: {rmse:.4}");
+    println!(
+        "next-interval load forecast RMSE: {rmse:.4} ({})",
+        if health.healthy() {
+            "healthy anneal"
+        } else {
+            "guard intervened"
+        }
+    );
 
     // (b) A third of the buses lose telemetry; infer them from the rest.
     let observed: Vec<(usize, f64)> = (0..n)
@@ -68,5 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         latency_ns / 1000.0
     );
     assert!(imput_rmse < rmse * 1.2, "imputation should use the live buses");
+
+    // (d) Everything above recorded into the attached sink.
+    println!("\n{}", forecaster.telemetry_snapshot().summary_table());
     Ok(())
 }

@@ -1,19 +1,63 @@
-//! High-level facade: train, forecast, impute, and deploy a DS-GL
-//! system without orchestrating the individual crates.
+//! High-level facade: train, forecast, impute, deploy, and serve a
+//! DS-GL system without orchestrating the individual crates.
+//!
+//! The builder idioms from the guarded-inference and telemetry PRs are
+//! the recommended defaults: attach an enabled
+//! [`TelemetrySink`](dsgl_core::TelemetrySink) so training and every
+//! inference record into one registry, and set a
+//! [`RetryPolicy`](dsgl_core::RetryPolicy) so the health-reporting
+//! paths say how hard the guard may fight a bad anneal. Neither knob
+//! can change forecast bits.
 //!
 //! ```
+//! use dsgl::core::{RetryPolicy, TelemetrySink};
 //! use dsgl::facade::Forecaster;
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), dsgl::core::CoreError> {
 //! let dataset = dsgl::data::covid::generate(7).truncate(16, 160);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let forecaster = Forecaster::builder().history(3).fit(&dataset, &mut rng)?;
+//! let forecaster = Forecaster::builder()
+//!     .history(3)
+//!     .guard(RetryPolicy { max_retries: 3, backoff: 2.0 })
+//!     .telemetry(TelemetrySink::enabled())
+//!     .fit(&dataset, &mut rng)?;
 //! let window = dataset.series.frame(0).to_vec(); // toy: any W frames
 //! # let mut window = Vec::new();
 //! # for t in 0..3 { window.extend_from_slice(dataset.series.frame(t)); }
-//! let forecast = forecaster.forecast(&window, &mut rng)?;
+//! let (forecast, health) = forecaster.forecast_with_health(&window, &mut rng)?;
 //! assert_eq!(forecast.len(), dataset.node_count());
+//! assert!(health.healthy());
+//! // Everything recorded so far: train.*, anneal.*, guard.*.
+//! let snapshot = forecaster.telemetry_snapshot();
+//! assert!(snapshot.counter("guard.runs") >= 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For long-lived serving — a pool of workers coalescing concurrent
+//! requests over the trained model — hand the forecaster to
+//! [`Forecaster::serve`]:
+//!
+//! ```
+//! use dsgl::core::TelemetrySink;
+//! use dsgl::facade::Forecaster;
+//! use dsgl::serve::ServeConfig;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = dsgl::data::covid::generate(7).truncate(16, 160);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let forecaster = Forecaster::builder()
+//!     .history(3)
+//!     .telemetry(TelemetrySink::enabled())
+//!     .fit(&dataset, &mut rng)?;
+//! let mut service = forecaster.serve(ServeConfig::default().workers(2))?;
+//! let mut window = Vec::new();
+//! for t in 0..3 { window.extend_from_slice(dataset.series.frame(t)); }
+//! let response = service.forecast(window, 7)?;
+//! assert_eq!(response.prediction.len(), dataset.node_count());
+//! service.shutdown();
 //! # Ok(())
 //! # }
 //! ```
@@ -387,6 +431,31 @@ impl Forecaster {
         let machine = self.joint.as_ref().unwrap_or(&self.model);
         let (pred, _) = infer_dense_imputation(machine, &sample, &indices, &self.anneal, rng)?;
         Ok(pred)
+    }
+
+    /// Spawns a long-lived [`ForecastService`](dsgl_serve::ForecastService)
+    /// over this forecaster's model: a pool of workers pulling
+    /// concurrent requests off a bounded queue, coalescing compatible
+    /// windows into single batched anneals with pooled workspaces, and
+    /// answering with the same bits a serial one-by-one run would
+    /// produce. The service inherits this forecaster's guard policy and
+    /// telemetry sink, so `serve.*` instruments land in the registry
+    /// [`telemetry_snapshot`](Self::telemetry_snapshot) reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dsgl_serve::ServeError::InvalidConfig`] for an
+    /// unrunnable configuration.
+    pub fn serve(
+        &self,
+        config: dsgl_serve::ServeConfig,
+    ) -> Result<dsgl_serve::ForecastService, dsgl_serve::ServeError> {
+        dsgl_serve::ForecastService::spawn(
+            self.model.clone(),
+            self.guard,
+            self.telemetry.clone(),
+            config,
+        )
     }
 
     /// Decomposes the system onto a PE mesh and returns a
@@ -787,6 +856,51 @@ mod tests {
             dead_cu_lanes: vec![],
         });
         assert!(bad.forecast_with_health(&hist, &mut rng_c).is_err());
+    }
+
+    #[test]
+    fn served_forecasts_match_the_serial_facade_reference() {
+        let dataset = dsgl_data::covid::generate(9).truncate(16, 160);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Forecaster::builder()
+            .history(3)
+            .telemetry(dsgl_core::TelemetrySink::enabled())
+            .fit(&dataset, &mut rng)
+            .unwrap();
+        let windows: Vec<Vec<f64>> = (100..106).map(|t| history_of(&dataset, t, 3)).collect();
+        let seeds: Vec<u64> = (0..windows.len() as u64).map(|i| 50 + i).collect();
+        // Serial reference: each request alone through the facade's
+        // guarded batch under its own master seed.
+        let reference: Vec<(Vec<f64>, HealthReport)> = windows
+            .iter()
+            .zip(&seeds)
+            .map(|(w, &seed)| {
+                f.forecast_batch_with_health(std::slice::from_ref(w), seed)
+                    .unwrap()
+                    .remove(0)
+            })
+            .collect();
+        let mut service = f
+            .serve(dsgl_serve::ServeConfig::default().workers(2).coalesce(4))
+            .unwrap();
+        let tickets: Vec<_> = windows
+            .iter()
+            .zip(&seeds)
+            .map(|(w, &seed)| service.submit(w.clone(), seed).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().unwrap();
+            assert_eq!(response.prediction, reference[i].0, "window {i}");
+            assert_eq!(response.health, reference[i].1, "window {i}");
+        }
+        service.shutdown();
+        // The service records into the forecaster's registry.
+        let snapshot = f.telemetry_snapshot();
+        assert!(snapshot.families().contains(&"serve".to_owned()));
+        assert_eq!(
+            snapshot.counter(dsgl_serve::instruments::REQUESTS),
+            windows.len() as u64
+        );
     }
 
     #[test]

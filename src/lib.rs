@@ -8,6 +8,7 @@
 //! - [`data`] — the synthetic spatio-temporal evaluation datasets;
 //! - [`core`] — the DS-GL model, training, sparsification, inference;
 //! - [`hw`] — the Scalable DSPU architecture, co-annealing, cost models;
+//! - [`serve`] — the long-lived concurrent forecast service;
 //! - [`nn`] — the minimal neural-network substrate;
 //! - [`baselines`] — the GWN / MTGNN / DDGCRN baseline analogues.
 
@@ -24,3 +25,4 @@ pub use dsgl_graph as graph;
 pub use dsgl_hw as hw;
 pub use dsgl_ising as ising;
 pub use dsgl_nn as nn;
+pub use dsgl_serve as serve;

@@ -158,6 +158,74 @@ fn health_report_roundtrips() {
 }
 
 #[test]
+fn serve_instruments_and_stats_schema_is_frozen() {
+    use serde::Serialize as _;
+
+    // The serve.* instrument names are a frozen interface, like every
+    // family in the snapshot schema: dashboards key on them.
+    assert_eq!(dsgl::serve::instruments::REQUESTS, "serve.requests");
+    assert_eq!(dsgl::serve::instruments::REJECTED, "serve.rejected");
+    assert_eq!(dsgl::serve::instruments::BATCHES, "serve.batches");
+    assert_eq!(dsgl::serve::instruments::QUEUE_DEPTH, "serve.queue_depth");
+    assert_eq!(
+        dsgl::serve::instruments::COALESCE_WIDTH,
+        "serve.coalesce_width"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::COALESCED_HITS,
+        "serve.coalesced_hits"
+    );
+    assert_eq!(dsgl::serve::instruments::LATENCY_NS, "serve.latency_ns");
+    assert_eq!(dsgl::serve::instruments::DEGRADATIONS, "serve.degradations");
+    assert_eq!(
+        dsgl::serve::instruments::SLO_FALLBACKS,
+        "serve.slo_fallbacks"
+    );
+    assert_eq!(dsgl::serve::instruments::WORKERS, "serve.workers");
+
+    // A served run exports serve.* through the ordinary schema-v1
+    // snapshot — same top-level shape, instruments sorted by name.
+    let sink = dsgl::core::TelemetrySink::enabled();
+    sink.counter_add(dsgl::serve::instruments::REQUESTS, 6);
+    sink.counter_add(dsgl::serve::instruments::BATCHES, 2);
+    sink.gauge_set(dsgl::serve::instruments::WORKERS, 2.0);
+    sink.record(dsgl::serve::instruments::COALESCE_WIDTH, 3.0);
+    sink.record(dsgl::serve::instruments::LATENCY_NS, 1500.0);
+    let snapshot = sink.snapshot();
+    assert!(snapshot.families().contains(&"serve".to_owned()));
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: dsgl::core::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snapshot, back);
+    assert_eq!(map_keys(&snapshot.to_value()), ["schema_version", "instruments"]);
+
+    // ServiceStats: the digested health endpoint, field names frozen.
+    let stats = dsgl::serve::ServiceStats::from_snapshot(&snapshot);
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.mean_coalesce_width, 3.0);
+    assert!(stats.p50_latency_ns > 0.0);
+    assert_eq!(
+        map_keys(&stats.to_value()),
+        [
+            "requests",
+            "rejected",
+            "batches",
+            "coalesced_hits",
+            "degradations",
+            "slo_fallbacks",
+            "mean_coalesce_width",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "workers"
+        ]
+    );
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: dsgl::serve::ServiceStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+}
+
+#[test]
 fn metrics_snapshot_roundtrips() {
     use serde::Serialize as _;
 
