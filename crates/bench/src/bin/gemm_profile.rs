@@ -1,4 +1,4 @@
-//! Dense-kernel profile: naive vs cache-blocked GEMM family.
+//! Dense-kernel profile: naive vs cache-blocked vs SIMD GEMM family.
 //!
 //! ```text
 //! gemm_profile [--smoke] [--seed N] [--out DIR]
@@ -8,16 +8,30 @@
 //! across three shape classes (small: below the blocked-dispatch
 //! threshold; medium and large: panel-packed paths) and writes
 //! `BENCH_gemm.json` under the output directory (default `results/`)
-//! with per-entry wall times, speedups, and a bit-parity flag.
+//! with per-entry wall times, speedups, and a bit-parity flag. Each
+//! blocked kernel is timed twice in the same process — once with the
+//! explicit-SIMD micro-kernels switched off (the scalar blocked path)
+//! and once with them on — so the `simd_speedup` column isolates the
+//! vectorisation win from the cache-blocking win. In builds without the
+//! `simd` feature both runs take the scalar path and the column sits
+//! near 1.0.
+//!
+//! Every entry also carries an FNV-1a checksum over the output bits.
+//! The kernels' bit-exactness contract (naive == blocked == SIMD for
+//! all inputs) means the checksums are build-invariant: CI runs this
+//! profile under `--no-default-features --features parallel` and under
+//! the default features and asserts the `output_checksum` fields match.
 //!
 //! `--smoke` runs the CI-sized workload and additionally asserts the
 //! acceptance conditions: every entry is bit-identical to its naive
-//! reference, and the large-shape GEMM class (all five kernels at the
+//! reference, the large-shape GEMM class (all five kernels at the
 //! large shape, wall-time aggregated) shows at least
-//! [`LARGE_CLASS_SPEEDUP_FLOOR`]× wall-time reduction. The large shape
-//! is sized so the packed operand exceeds L2 — the regime the blocked
-//! kernels exist for; at cache-resident shapes the naive loops are
-//! already near machine balance and the JSON records that honestly.
+//! [`LARGE_CLASS_SPEEDUP_FLOOR`]× wall-time reduction over naive, and —
+//! when the SIMD path is live — at least [`SIMD_SPEEDUP_FLOOR`]× over
+//! the scalar blocked kernels. The large shape is sized so the packed
+//! operand exceeds L2 — the regime the blocked kernels exist for; at
+//! cache-resident shapes the naive loops are already near machine
+//! balance and the JSON records that honestly.
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -26,8 +40,14 @@ use std::time::Instant;
 use dsgl_nn::kernels;
 
 /// Acceptance floor for the large-shape GEMM class (aggregate naive
-/// wall over aggregate blocked wall) under `--smoke`.
+/// wall over aggregate scalar-blocked wall) under `--smoke`.
 const LARGE_CLASS_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Acceptance floor for the SIMD micro-kernels on the large shape class
+/// (aggregate scalar-blocked wall over aggregate SIMD wall) under
+/// `--smoke`, checked only when [`kernels::simd_active`] reports the
+/// vector path is live.
+const SIMD_SPEEDUP_FLOOR: f64 = 1.5;
 
 #[derive(Serialize)]
 struct KernelEntry {
@@ -38,11 +58,21 @@ struct KernelEntry {
     n: usize,
     reps: usize,
     naive_s: f64,
+    /// Blocked kernel with the SIMD micro-kernels switched off.
     blocked_s: f64,
+    /// Blocked kernel with the SIMD micro-kernels on (equals the scalar
+    /// path in builds without the `simd` feature).
+    simd_s: f64,
     /// `naive_s / blocked_s` — above 1.0 means the blocked path wins.
     speedup: f64,
-    /// Blocked output bit-identical (`f64::to_bits`) to the naive one.
+    /// `blocked_s / simd_s` — the vectorisation win in isolation.
+    simd_speedup: f64,
+    /// Blocked and SIMD outputs bit-identical (`f64::to_bits`) to the
+    /// naive one.
     bit_identical: bool,
+    /// FNV-1a over the blocked output bits — build-invariant by the
+    /// bit-exactness contract.
+    checksum: String,
 }
 
 #[derive(Serialize)]
@@ -50,12 +80,23 @@ struct GemmBenchReport {
     command: String,
     seed: u64,
     smoke: bool,
+    /// Whether the explicit-SIMD micro-kernels were live for the
+    /// `simd_s` timings (feature compiled in + AVX detected).
+    simd_active: bool,
     /// Aggregate speedup of the large shape class: total naive wall
-    /// time over total blocked wall time across all five kernels (the
-    /// headline number).
+    /// time over total scalar-blocked wall time across all five kernels
+    /// (the cache-blocking headline number).
     large_class_speedup: f64,
-    /// Speedup of the plain large-shape `gemm` entry alone.
+    /// Aggregate SIMD speedup of the large shape class: total
+    /// scalar-blocked wall over total SIMD wall (the vectorisation
+    /// headline number).
+    large_class_simd_speedup: f64,
+    /// Speedup of the plain large-shape `gemm` entry alone (naive over
+    /// scalar-blocked).
     large_gemm_speedup: f64,
+    /// FNV-1a over every entry checksum in order — one value CI can
+    /// compare across scalar and SIMD builds.
+    output_checksum: String,
     entries: Vec<KernelEntry>,
 }
 
@@ -81,6 +122,28 @@ fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// FNV-1a (64-bit) over the little-endian bit patterns of `values`.
+fn fnv1a_bits(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a (64-bit) over a byte string.
+fn fnv1a_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Times `reps` calls of `f` (each into a re-zeroed `out`), returning
 /// (wall seconds, final output). One untimed warm-up call first.
 fn time_reps(reps: usize, out_len: usize, mut f: impl FnMut(&mut [f64])) -> (f64, Vec<f64>) {
@@ -94,7 +157,42 @@ fn time_reps(reps: usize, out_len: usize, mut f: impl FnMut(&mut [f64])) -> (f64
     (t0.elapsed().as_secs_f64(), out)
 }
 
+/// Profiles one kernel: naive reference, blocked with SIMD off, blocked
+/// with SIMD on — all in one process so the three timings share cache
+/// and frequency state. Leaves the SIMD toggle on.
 #[allow(clippy::too_many_arguments)]
+fn profile_kernel(
+    class: &str,
+    op: &str,
+    (m, k, n): (usize, usize, usize),
+    reps: usize,
+    out_len: usize,
+    mut naive: impl FnMut(&mut [f64]),
+    mut blocked: impl FnMut(&mut [f64]),
+    entries: &mut Vec<KernelEntry>,
+) {
+    let (naive_s, naive_out) = time_reps(reps, out_len, &mut naive);
+    kernels::set_simd_enabled(false);
+    let (blocked_s, blocked_out) = time_reps(reps, out_len, &mut blocked);
+    kernels::set_simd_enabled(true);
+    let (simd_s, simd_out) = time_reps(reps, out_len, &mut blocked);
+    entries.push(KernelEntry {
+        class: class.into(),
+        op: op.into(),
+        m,
+        k,
+        n,
+        reps,
+        naive_s,
+        blocked_s,
+        simd_s,
+        speedup: naive_s / blocked_s,
+        simd_speedup: blocked_s / simd_s,
+        bit_identical: bits_eq(&naive_out, &blocked_out) && bits_eq(&naive_out, &simd_out),
+        checksum: format!("{:016x}", fnv1a_bits(&blocked_out)),
+    });
+}
+
 fn profile_class(
     class: &str,
     m: usize,
@@ -110,87 +208,65 @@ fn profile_class(
     let xv = fill(k, seed.rotate_left(41) ^ 0x55AA);
 
     // out = A·B
-    let (naive_s, naive_out) = time_reps(reps, m * n, |o| kernels::naive_gemm_into(&a, m, k, &b, n, o));
-    let (blocked_s, blocked_out) = time_reps(reps, m * n, |o| kernels::gemm_into(&a, m, k, &b, n, o));
-    entries.push(KernelEntry {
-        class: class.into(),
-        op: "gemm".into(),
-        m,
-        k,
-        n,
+    profile_kernel(
+        class,
+        "gemm",
+        (m, k, n),
         reps,
-        naive_s,
-        blocked_s,
-        speedup: naive_s / blocked_s,
-        bit_identical: bits_eq(&naive_out, &blocked_out),
-    });
+        m * n,
+        |o| kernels::naive_gemm_into(&a, m, k, &b, n, o),
+        |o| kernels::gemm_into(&a, m, k, &b, n, o),
+        entries,
+    );
 
-    // out = AᵀB with the shared row dim `m`: A is m×k, B here is the
-    // m×n slice of `b` (reuse the front of the buffer when it fits).
+    // out = AᵀB with the shared row dim `m`: A is m×k, B here is m×n.
     let b2 = fill(m * n, seed.rotate_left(5) ^ 0x1B2C_3D4E);
-    let (naive_s, naive_out) = time_reps(reps, k * n, |o| kernels::naive_gemm_t_into(&a, m, k, &b2, n, o));
-    let (blocked_s, blocked_out) = time_reps(reps, k * n, |o| kernels::gemm_t_into(&a, m, k, &b2, n, o));
-    entries.push(KernelEntry {
-        class: class.into(),
-        op: "gemm_t".into(),
-        m,
-        k,
-        n,
+    profile_kernel(
+        class,
+        "gemm_t",
+        (m, k, n),
         reps,
-        naive_s,
-        blocked_s,
-        speedup: naive_s / blocked_s,
-        bit_identical: bits_eq(&naive_out, &blocked_out),
-    });
+        k * n,
+        |o| kernels::naive_gemm_t_into(&a, m, k, &b2, n, o),
+        |o| kernels::gemm_t_into(&a, m, k, &b2, n, o),
+        entries,
+    );
 
     // Gram: SYRK upper-triangle + mirror vs full naive AᵀA.
-    let (naive_s, naive_out) = time_reps(reps, k * k, |o| kernels::naive_gemm_t_into(&a, m, k, &a, k, o));
-    let (blocked_s, blocked_out) = time_reps(reps, k * k, |o| kernels::syrk_t_into(&a, m, k, o));
-    entries.push(KernelEntry {
-        class: class.into(),
-        op: "syrk".into(),
-        m,
-        k,
-        n: k,
+    profile_kernel(
+        class,
+        "syrk",
+        (m, k, k),
         reps,
-        naive_s,
-        blocked_s,
-        speedup: naive_s / blocked_s,
-        bit_identical: bits_eq(&naive_out, &blocked_out),
-    });
+        k * k,
+        |o| kernels::naive_gemm_t_into(&a, m, k, &a, k, o),
+        |o| kernels::syrk_t_into(&a, m, k, o),
+        entries,
+    );
 
     // out = A·Bᵀ with B: n×k.
-    let (naive_s, naive_out) = time_reps(reps, m * n, |o| kernels::naive_gemm_nt_into(&a, m, k, &bt, n, o));
-    let (blocked_s, blocked_out) = time_reps(reps, m * n, |o| kernels::gemm_nt_into(&a, m, k, &bt, n, o));
-    entries.push(KernelEntry {
-        class: class.into(),
-        op: "gemm_nt".into(),
-        m,
-        k,
-        n,
+    profile_kernel(
+        class,
+        "gemm_nt",
+        (m, k, n),
         reps,
-        naive_s,
-        blocked_s,
-        speedup: naive_s / blocked_s,
-        bit_identical: bits_eq(&naive_out, &blocked_out),
-    });
+        m * n,
+        |o| kernels::naive_gemm_nt_into(&a, m, k, &bt, n, o),
+        |o| kernels::gemm_nt_into(&a, m, k, &bt, n, o),
+        entries,
+    );
 
     // Mat-vec: 4-row blocked stream vs naive per-row dot.
-    let mv_reps = reps * 32;
-    let (naive_s, naive_out) = time_reps(mv_reps, m, |o| kernels::naive_matvec_into(&a, k, &xv, o));
-    let (blocked_s, blocked_out) = time_reps(mv_reps, m, |o| kernels::matvec_rows_into(&a, k, &xv, o));
-    entries.push(KernelEntry {
-        class: class.into(),
-        op: "matvec".into(),
+    profile_kernel(
+        class,
+        "matvec",
+        (m, k, 1),
+        reps * 32,
         m,
-        k,
-        n: 1,
-        reps: mv_reps,
-        naive_s,
-        blocked_s,
-        speedup: naive_s / blocked_s,
-        bit_identical: bits_eq(&naive_out, &blocked_out),
-    });
+        |o| kernels::naive_matvec_into(&a, k, &xv, o),
+        |o| kernels::matvec_rows_into(&a, k, &xv, o),
+        entries,
+    );
 }
 
 fn write_report(report: &GemmBenchReport, out: &Path) -> std::io::Result<PathBuf> {
@@ -243,11 +319,16 @@ fn main() {
         .find(|e| e.class == "large" && e.op == "gemm")
         .map(|e| e.speedup)
         .unwrap_or(0.0);
-    let (lnaive, lblocked) = entries
+    let (lnaive, lblocked, lsimd) = entries
         .iter()
         .filter(|e| e.class == "large")
-        .fold((0.0, 0.0), |(ns, bs), e| (ns + e.naive_s, bs + e.blocked_s));
+        .fold((0.0, 0.0, 0.0), |(ns, bs, ss), e| {
+            (ns + e.naive_s, bs + e.blocked_s, ss + e.simd_s)
+        });
     let large_class_speedup = lnaive / lblocked;
+    let large_class_simd_speedup = lblocked / lsimd;
+    let simd_active = kernels::simd_active();
+    let checksum_stream: String = entries.iter().map(|e| e.checksum.as_str()).collect();
     let report = GemmBenchReport {
         command: format!(
             "gemm_profile --seed {seed}{}",
@@ -255,14 +336,17 @@ fn main() {
         ),
         seed,
         smoke,
+        simd_active,
         large_class_speedup,
+        large_class_simd_speedup,
         large_gemm_speedup,
+        output_checksum: format!("{:016x}", fnv1a_str(&checksum_stream)),
         entries,
     };
     let path = write_report(&report, &out).expect("write BENCH_gemm.json");
     for e in &report.entries {
         eprintln!(
-            "[{:<6} {:<7} {:>4}x{:<4}x{:<4} naive {:>8.4}s blocked {:>8.4}s  {:>5.2}x  bits {}]",
+            "[{:<6} {:<7} {:>4}x{:<4}x{:<4} naive {:>8.4}s blocked {:>8.4}s simd {:>8.4}s  {:>5.2}x/{:>4.2}x  bits {}]",
             e.class,
             e.op,
             e.m,
@@ -270,20 +354,24 @@ fn main() {
             e.n,
             e.naive_s,
             e.blocked_s,
+            e.simd_s,
             e.speedup,
+            e.simd_speedup,
             if e.bit_identical { "ok" } else { "MISMATCH" }
         );
     }
     eprintln!(
-        "[gemm profile: large class speedup {:.2}x (plain gemm {:.2}x), report at {}]",
+        "[gemm profile: large class {:.2}x blocked, {:.2}x simd-over-blocked (simd {}), checksum {}, report at {}]",
         large_class_speedup,
-        large_gemm_speedup,
+        large_class_simd_speedup,
+        if simd_active { "on" } else { "off" },
+        report.output_checksum,
         path.display()
     );
 
     assert!(
         report.entries.iter().all(|e| e.bit_identical),
-        "blocked kernel diverged from naive reference bits"
+        "blocked/SIMD kernel diverged from naive reference bits"
     );
     if smoke {
         assert!(
@@ -291,5 +379,12 @@ fn main() {
             "large-shape GEMM class speedup {large_class_speedup:.2}x below the \
              {LARGE_CLASS_SPEEDUP_FLOOR:.1}x acceptance floor"
         );
+        if simd_active {
+            assert!(
+                large_class_simd_speedup >= SIMD_SPEEDUP_FLOOR,
+                "large-shape SIMD speedup {large_class_simd_speedup:.2}x below the \
+                 {SIMD_SPEEDUP_FLOOR:.1}x acceptance floor"
+            );
+        }
     }
 }

@@ -552,6 +552,22 @@ pub fn infer_batch_guarded_seeded_pooled(
             actual: seeds.len(),
         });
     }
+    // Lockstep fast path: when the whole coalesced batch is eligible,
+    // fuse every window's mat-vecs into one GEMM per integrator stage.
+    // Faults that alter the coupling (dead couplers, drift) make the
+    // per-window matrices diverge, so only coupling-preserving fault
+    // models qualify; `run_lockstep` re-checks everything else.
+    if samples.len() >= 2
+        && faults.dead_couplers.is_empty()
+        && faults.coupler_drift == 0.0
+        && crate::inference::lockstep_precheck(model, &guard.anneal)
+    {
+        if let Some(out) =
+            lockstep_guarded_batch(model, samples, guard, seeds, faults, sink, pool)?
+        {
+            return Ok(out);
+        }
+    }
     let run_window = |i: usize, pool: &mut Option<dsgl_ising::Workspace>| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
@@ -594,6 +610,84 @@ pub fn infer_batch_guarded_seeded_pooled(
         .unwrap_or_else(|e| e.into_inner())
         .flatten();
     chunks.into_iter().flatten().collect()
+}
+
+/// One guarded window's outcome: prediction, annealing report, health.
+type GuardedWindow = (Vec<f64>, AnnealReport, HealthReport);
+
+/// Lockstep fast path of [`infer_batch_guarded_seeded_pooled`]: builds
+/// every window's machine with exactly the per-window RNG draws of the
+/// serial path, advances all of them in one batched integration (see
+/// `dsgl_ising::lockstep`), and accepts each window whose diagnosis is
+/// clean — accounting for it precisely as a clean serial `guard.run`
+/// first attempt would (same [`AnnealReport`], same healthy
+/// [`HealthReport`], same `anneal.*` / `guard.*` telemetry).
+///
+/// `Ok(None)` means the batch turned out lockstep-ineligible (sparse
+/// coupling, differing couplings, …): the probe machines are discarded
+/// — they recorded no telemetry — and the caller runs the serial path,
+/// which rebuilds them under the same seeds and therefore counts
+/// everything exactly once.
+///
+/// Windows the guard rejects fall back individually: the machine is
+/// rebuilt from scratch under the same seed and the full retry ladder
+/// runs serially. A strict noiseless attempt consumes no RNG, so the
+/// rebuilt machine's first attempt replays the lockstep integration
+/// bit-for-bit and the ladder proceeds exactly as an all-serial window.
+fn lockstep_guarded_batch(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+) -> Result<Option<Vec<GuardedWindow>>, CoreError> {
+    use rand::SeedableRng;
+    let mut machines = Vec::with_capacity(samples.len());
+    for (i, sample) in samples.iter().enumerate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
+        let mut dspu = crate::inference::machine_for_sample(model, sample, &mut rng)?;
+        dspu.set_telemetry(sink.clone());
+        dspu.inject_faults(faults, &mut rng)?;
+        machines.push(dspu);
+    }
+    let mut ws = pool.take().unwrap_or_default();
+    let reports = dsgl_ising::run_lockstep(&mut machines, &guard.anneal, &mut ws);
+    *pool = Some(ws);
+    let Some(reports) = reports else {
+        return Ok(None);
+    };
+    if sink.is_enabled() {
+        sink.counter_add("anneal.lockstep_batches", 1);
+        sink.counter_add("anneal.lockstep_windows", machines.len() as u64);
+    }
+    let layout = model.layout();
+    let mut out = Vec::with_capacity(machines.len());
+    for (i, (mut dspu, report)) in machines.into_iter().zip(reports).enumerate() {
+        if guard.diagnose(&mut dspu, &report).is_none() {
+            dspu.record_anneal(&report);
+            let health = HealthReport {
+                anneal_steps: report.steps,
+                anneal_sim_time_ns: report.sim_time_ns,
+                ..HealthReport::default()
+            };
+            record_guard_metrics(dspu.telemetry(), &health);
+            out.push((dspu.state()[layout.target_range()].to_vec(), report, health));
+        } else {
+            if sink.is_enabled() {
+                sink.counter_add("anneal.lockstep_retries", 1);
+            }
+            drop(dspu);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
+            let mut fresh = crate::inference::machine_for_sample(model, &samples[i], &mut rng)?;
+            fresh.set_telemetry(sink.clone());
+            fresh.inject_faults(faults, &mut rng)?;
+            let (retried, health) = guard.run(&mut fresh, &mut rng);
+            out.push((fresh.state()[layout.target_range()].to_vec(), retried, health));
+        }
+    }
+    Ok(Some(out))
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@ use crate::model::DsGlModel;
 use crate::telemetry::TelemetrySink;
 use crate::windows::observed_state;
 use dsgl_data::Sample;
-use dsgl_ising::{AnnealConfig, AnnealReport, RealValuedDspu};
+use dsgl_ising::{AnnealConfig, AnnealReport, EngineMode, RealValuedDspu};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Builds a [`RealValuedDspu`] programmed with the model's parameters,
 /// history variables clamped to the sample's observations and target
@@ -195,6 +196,103 @@ pub(crate) fn window_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Lockstep kill switch, flipped by [`set_lockstep_enabled`]. Stored
+/// inverted so the zero-initialised static means "enabled" (the
+/// default). `Relaxed` suffices: both paths are bit-identical, so a
+/// racing toggle can only choose between two equally-correct codepaths.
+static LOCKSTEP_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables lockstep batched annealing (default:
+/// enabled). Lockstep fuses the per-window `J·σ` mat-vecs of a batch
+/// into one GEMM per integrator stage (see `dsgl_ising::lockstep`);
+/// because it is bit-identical to the serial path, this switch changes
+/// performance only — it exists for A/B benchmarking and as an
+/// operational escape hatch.
+pub fn set_lockstep_enabled(on: bool) {
+    LOCKSTEP_DISABLED.store(!on, Ordering::Relaxed);
+}
+
+/// Whether lockstep batched annealing is currently enabled (see
+/// [`set_lockstep_enabled`]).
+pub fn lockstep_enabled() -> bool {
+    !LOCKSTEP_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Windows fused per lockstep GEMM batch in [`infer_batch`]: wide
+/// enough that a loaded row of `J` amortises across many columns, small
+/// enough that groups still spread across the thread pool.
+const LOCKSTEP_GROUP: usize = 32;
+
+/// Cheap eligibility probe shared by the batch entry points, run before
+/// building any machine: lockstep handles strict noiseless configs on
+/// reasonably dense models (the same ≥ 12.5 % stored-entry gate as
+/// `dsgl_ising::lockstep`, measured on the dense model coupling the
+/// per-window CSR is built from). `run_lockstep` remains the final
+/// authority — a `true` here only makes the attempt worth its probe.
+pub(crate) fn lockstep_precheck(model: &DsGlModel, config: &AnnealConfig) -> bool {
+    if !lockstep_enabled() || !matches!(config.mode, EngineMode::Strict) || !config.noise.is_none()
+    {
+        return false;
+    }
+    let n = model.layout().total();
+    if n == 0 {
+        return false;
+    }
+    let mut stored = 0usize;
+    for v in 0..n {
+        stored += model.coupling().row(v).iter().filter(|&&x| x != 0.0).count();
+    }
+    stored * 8 >= n * n
+}
+
+/// One lockstep group of [`infer_batch_instrumented`]: windows
+/// `base..base + samples.len()` of the batch. Machines are built with
+/// exactly the per-window RNG draws of the serial path; if the group
+/// turns out ineligible the probe machines are discarded (they recorded
+/// no telemetry) and the group replays serially under fresh copies of
+/// the same per-window RNGs — bit-identical by construction, because a
+/// strict noiseless run consumes no RNG at all.
+fn lockstep_group(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    base: u64,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    use rand::SeedableRng;
+    let layout = model.layout();
+    let mut machines = Vec::with_capacity(samples.len());
+    for (k, sample) in samples.iter().enumerate() {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, base + k as u64));
+        let mut dspu = machine_for_sample(model, sample, &mut rng)?;
+        dspu.set_telemetry(sink.clone());
+        machines.push(dspu);
+    }
+    let mut ws = dsgl_ising::Workspace::new();
+    if let Some(reports) = dsgl_ising::run_lockstep(&mut machines, config, &mut ws) {
+        if sink.is_enabled() {
+            sink.counter_add("anneal.lockstep_batches", 1);
+            sink.counter_add("anneal.lockstep_windows", machines.len() as u64);
+        }
+        let mut out = Vec::with_capacity(machines.len());
+        for (mut dspu, report) in machines.into_iter().zip(reports) {
+            dspu.record_anneal(&report);
+            out.push((dspu.state()[layout.target_range()].to_vec(), report));
+        }
+        return Ok(out);
+    }
+    drop(machines);
+    let mut out = Vec::with_capacity(samples.len());
+    for (k, sample) in samples.iter().enumerate() {
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, base + k as u64));
+        out.push(infer_dense_instrumented(model, sample, config, sink, &mut rng)?);
+    }
+    Ok(out)
+}
+
 /// Anneals many test windows concurrently, one machine per window.
 ///
 /// Each window gets its own [`rand::rngs::StdRng`] seeded from
@@ -279,6 +377,25 @@ pub fn infer_batch_instrumented(
     let total = layout.total();
     // Rough per-window flop count: one matvec per integration step.
     let work_per_window = total * total * 64;
+    if samples.len() >= 2 && lockstep_precheck(model, config) {
+        // Lockstep fast path: fuse each group's per-window mat-vecs
+        // into one GEMM per integrator stage. Groups are independent
+        // and every window stays a pure function of
+        // `(model, sample, config, window_seed)`, so the grouping can
+        // never change a single output bit.
+        let n_groups = samples.len().div_ceil(LOCKSTEP_GROUP);
+        let groups =
+            crate::threading::par_map(n_groups, LOCKSTEP_GROUP * work_per_window, |g| {
+                let lo = g * LOCKSTEP_GROUP;
+                let hi = (lo + LOCKSTEP_GROUP).min(samples.len());
+                lockstep_group(model, &samples[lo..hi], config, master_seed, lo as u64, sink)
+            });
+        let mut out = Vec::with_capacity(samples.len());
+        for group in groups {
+            out.extend(group?);
+        }
+        return Ok(out);
+    }
     let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));

@@ -61,7 +61,7 @@ pub mod windows;
 
 pub use error::CoreError;
 pub use guard::{GuardedAnneal, HealthReport, RetryPolicy};
-pub use inference::WarmStart;
+pub use inference::{lockstep_enabled, set_lockstep_enabled, WarmStart};
 pub use model::{DsGlModel, VariableLayout};
 pub use patterns::PatternKind;
 pub use sparsify::{decompose, DecomposeConfig, DecomposedModel};

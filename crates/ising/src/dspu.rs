@@ -608,6 +608,17 @@ impl RealValuedDspu {
         report
     }
 
+    /// Reports an externally-integrated annealing run to the attached
+    /// telemetry sink, exactly as an in-machine [`run`](Self::run)
+    /// would have. Used by the lockstep batch driver
+    /// ([`crate::lockstep::run_lockstep`]), which integrates many
+    /// machines at once and therefore records per-window metrics from
+    /// the outside; calling it for a run the machine already recorded
+    /// would double-count.
+    pub fn record_anneal(&mut self, report: &AnnealReport) {
+        self.record_anneal_metrics(report);
+    }
+
     /// Reports one finished annealing run to the attached telemetry
     /// sink. Every value is run-level (simulated time, not wall time);
     /// the rail-saturation scan only runs when the sink is enabled, so

@@ -57,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod hamiltonian;
+pub mod lockstep;
 pub mod noise;
 pub(crate) mod par;
 pub mod sparse;
@@ -77,6 +78,7 @@ pub use dspu::RealValuedDspu;
 pub use engine::{AdaptiveConfig, EngineMode};
 pub use error::IsingError;
 pub use fault::{FaultModel, StuckNode};
+pub use lockstep::run_lockstep;
 pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};

@@ -1,0 +1,334 @@
+//! Lockstep batched annealing: advance many windows as one GEMM.
+//!
+//! Batch inference integrates W independent machines that share one
+//! coupling matrix `J` (every window of a forecast batch is built from
+//! the same trained model; only the clamped history values and the
+//! free-node seeds differ). Integrating them serially costs W sparse
+//! mat-vecs per step — each a memory-bound pass over `J`. This module
+//! packs the W states into one `n × W` matrix `S` (window-minor, so
+//! window `w`'s state lives in column `w`) and fuses the per-window
+//! `J·σ` products into a single `J · S` GEMM per integrator stage,
+//! which re-uses each loaded row of `J` across all W columns and rides
+//! the cache-blocked (and, when enabled, SIMD) kernels of `dsgl-nn`.
+//!
+//! ## Bit-exactness contract
+//!
+//! Lockstep output is **bit-identical** to running each machine
+//! serially, by construction:
+//!
+//! - Column independence: `(J·S)[i][w]` depends only on row `i` of `J`
+//!   and column `w` of `S`, and every per-element update below touches
+//!   only its own column — windows cannot contaminate each other, even
+//!   when one column holds non-finite (fault-stuck) values.
+//! - Term order: the naive GEMM reference sums `J[i][k]·S[k][w]` over
+//!   ascending `k`, skipping `J[i][k] == 0.0` — exactly the stored-entry
+//!   order of the CSR row accumulation in the serial mat-vec, provided
+//!   `J` has no *stored* zeros (the CSR would add them, the GEMM skip
+//!   drops them; [`run_lockstep`] refuses such matrices). The blocked
+//!   and SIMD kernels replicate the naive reference bit-for-bit for all
+//!   inputs (see `dsgl_nn::kernels`), closing the chain.
+//! - Identical per-element arithmetic: the Euler and RK4 updates below
+//!   are copied operation-for-operation from the serial integrator, and
+//!   convergence uses the same `max`-fold as
+//!   [`crate::convergence::max_rate`], per window.
+//! - RNG silence: strict noiseless integration consumes no randomness,
+//!   so per-window RNG streams (seeding, fault injection) are untouched
+//!   and a serial re-run of any window replays identically.
+//!
+//! Windows converge independently: a converged column is frozen (no
+//! further writes) while the rest keep stepping on the shared time
+//! grid, which is the same `t` sequence each serial run would see.
+//!
+//! [`run_lockstep`] records **no telemetry** — callers report each
+//! window via [`crate::RealValuedDspu::record_anneal`] so accepted
+//! lockstep windows and serial fallbacks count identically.
+
+use crate::anneal::{AnnealConfig, AnnealReport, Integrator};
+use crate::dspu::RealValuedDspu;
+use crate::engine::EngineMode;
+use crate::workspace::Workspace;
+use dsgl_nn::kernels::gemm_into_scratch;
+
+/// Minimum stored-entry density (fraction of `n²`) below which the
+/// densified GEMM loses to W sparse mat-vecs and lockstep declines.
+/// Stored entries are `2·nnz()` (unordered pairs, symmetric storage);
+/// the gate is `2·nnz·8 ≥ n²`, i.e. ≥ 12.5 % dense.
+const DENSITY_GATE_INV: usize = 8;
+
+/// Advances every machine to completion in lockstep, fusing the
+/// per-window `J·σ` products into one `J·S` GEMM per integrator stage.
+///
+/// Returns `None` — with every machine untouched — when the batch is
+/// ineligible: fewer than two windows, a non-[`EngineMode::Strict`]
+/// config, dynamic noise (whose RNG draws are inherently per-machine),
+/// couplings that differ across windows, a coupling with non-finite or
+/// explicitly stored zero values, or one too sparse for a densified
+/// GEMM to win. Callers fall back to the serial path; because strict
+/// noiseless runs consume no RNG, the fallback replays bit-identically.
+///
+/// On success the returned reports match what each machine's own
+/// [`run`](RealValuedDspu::run) would have produced, bit for bit, and
+/// each machine's state is the corresponding serial final state. No
+/// telemetry is recorded; see the module docs.
+pub fn run_lockstep(
+    machines: &mut [RealValuedDspu],
+    config: &AnnealConfig,
+    ws: &mut Workspace,
+) -> Option<Vec<AnnealReport>> {
+    let wn = machines.len();
+    if wn < 2 || !matches!(config.mode, EngineMode::Strict) || !config.noise.is_none() {
+        return None;
+    }
+    let n = machines[0].coupling.n();
+    if n == 0 {
+        return None;
+    }
+    if machines[1..].iter().any(|m| m.coupling != machines[0].coupling) {
+        return None;
+    }
+    if machines[0].coupling.nnz() * 2 * DENSITY_GATE_INV < n * n {
+        return None;
+    }
+    // Densify J, rejecting values the GEMM zero-skip would treat
+    // differently from the CSR accumulation (stored ±0.0) and
+    // non-finite couplings (kept on the sparse reference path).
+    let rk4 = config.integrator == Integrator::Rk4;
+    ws.ensure_batch(n, wn, rk4);
+    for i in 0..n {
+        let row = &mut ws.batch_j[i * n..(i + 1) * n];
+        for (j, v) in machines[0].coupling.row(i) {
+            if v == 0.0 || !v.is_finite() {
+                return None;
+            }
+            row[j] = v;
+        }
+    }
+
+    // Pack states window-minor: column w of `S` is machine w's state.
+    for (i, row) in ws.batch_states.chunks_exact_mut(wn).enumerate() {
+        for (w, machine) in machines.iter().enumerate() {
+            row[w] = machine.state[i];
+        }
+    }
+    ws.batch_prev.copy_from_slice(&ws.batch_states);
+
+    let mut active = vec![true; wn];
+    let mut n_active = wn;
+    let mut converged = vec![false; wn];
+    let mut steps_rec = vec![0usize; wn];
+    let mut time_rec = vec![0.0f64; wn];
+    let mut rate_rec = vec![f64::INFINITY; wn];
+    let mut t = 0.0;
+    let mut steps = 0usize;
+
+    while t < config.max_time_ns && n_active > 0 {
+        if rk4 {
+            step_rk4_batch(machines, config.dt_ns, n, wn, ws, &active);
+        } else {
+            step_euler_batch(machines, config.dt_ns, n, wn, ws, &active);
+        }
+        t += config.dt_ns;
+        steps += 1;
+        if steps.is_multiple_of(config.check_every) {
+            let dtc = config.dt_ns * config.check_every as f64;
+            for (w, machine) in machines.iter().enumerate() {
+                if !active[w] {
+                    continue;
+                }
+                // Same fold as `convergence::max_rate`, over column w.
+                let mut rate = 0.0f64;
+                let states = &ws.batch_states;
+                let prev = &mut ws.batch_prev;
+                for i in 0..n {
+                    if machine.free[i] {
+                        let idx = i * wn + w;
+                        rate = f64::max(rate, (states[idx] - prev[idx]).abs() / dtc);
+                    }
+                }
+                for i in 0..n {
+                    prev[i * wn + w] = states[i * wn + w];
+                }
+                rate_rec[w] = rate;
+                if rate < config.tolerance {
+                    converged[w] = true;
+                    steps_rec[w] = steps;
+                    time_rec[w] = t;
+                    active[w] = false;
+                    n_active -= 1;
+                }
+            }
+        }
+    }
+
+    let mut reports = Vec::with_capacity(wn);
+    for (w, machine) in machines.iter_mut().enumerate() {
+        for i in 0..n {
+            machine.state[i] = ws.batch_states[i * wn + w];
+        }
+        if !converged[w] {
+            steps_rec[w] = steps;
+            time_rec[w] = t;
+        }
+        reports.push(AnnealReport {
+            converged: converged[w],
+            steps: steps_rec[w],
+            sim_time_ns: time_rec[w],
+            final_rate: rate_rec[w],
+            energy: machine.energy(),
+            sparse_steps: 0,
+            mean_active_fraction: 1.0,
+        });
+    }
+    Some(reports)
+}
+
+/// One forward-Euler step over the whole batch: `J·S` once, then the
+/// serial per-element update per active column.
+fn step_euler_batch(
+    machines: &[RealValuedDspu],
+    dt_ns: f64,
+    n: usize,
+    wn: usize,
+    ws: &mut Workspace,
+    active: &[bool],
+) {
+    ws.batch_js.fill(0.0);
+    gemm_into_scratch(
+        &ws.batch_j,
+        n,
+        n,
+        &ws.batch_states,
+        wn,
+        &mut ws.batch_js,
+        &mut ws.batch_panel,
+    );
+    for i in 0..n {
+        let row = i * wn;
+        for (w, machine) in machines.iter().enumerate() {
+            if !active[w] || !machine.free[i] {
+                continue;
+            }
+            let s = ws.batch_states[row + w];
+            let dv = (ws.batch_js[row + w] + machine.h[i] * s) / machine.capacitance;
+            let next = s + dv * dt_ns;
+            ws.batch_states[row + w] = next.clamp(-machine.rail, machine.rail);
+        }
+    }
+}
+
+/// The RK4 stage derivative over the whole batch: `out = J·src`, then
+/// the serial per-element transform for every column (frozen columns
+/// included — their results are simply never written back).
+fn batch_deriv(
+    machines: &[RealValuedDspu],
+    n: usize,
+    wn: usize,
+    j: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+    panel: &mut Vec<f64>,
+) {
+    out.fill(0.0);
+    gemm_into_scratch(j, n, n, src, wn, out, panel);
+    for i in 0..n {
+        let row = i * wn;
+        for (w, machine) in machines.iter().enumerate() {
+            let o = &mut out[row + w];
+            *o = if machine.free[i] {
+                (*o + machine.h[i] * src[row + w]) / machine.capacitance
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// One classical RK4 step over the whole batch: four `J·S` GEMMs, with
+/// stage states formed for every element exactly as the serial
+/// integrator does, and the combined update applied per active column.
+fn step_rk4_batch(
+    machines: &[RealValuedDspu],
+    dt_ns: f64,
+    n: usize,
+    wn: usize,
+    ws: &mut Workspace,
+    active: &[bool],
+) {
+    let half = 0.5 * dt_ns;
+    batch_deriv(
+        machines,
+        n,
+        wn,
+        &ws.batch_j,
+        &ws.batch_states,
+        &mut ws.batch_k1,
+        &mut ws.batch_panel,
+    );
+    for ((stage, s), k) in ws
+        .batch_stage
+        .iter_mut()
+        .zip(&ws.batch_states)
+        .zip(&ws.batch_k1)
+    {
+        *stage = *s + half * *k;
+    }
+    batch_deriv(
+        machines,
+        n,
+        wn,
+        &ws.batch_j,
+        &ws.batch_stage,
+        &mut ws.batch_k2,
+        &mut ws.batch_panel,
+    );
+    for ((stage, s), k) in ws
+        .batch_stage
+        .iter_mut()
+        .zip(&ws.batch_states)
+        .zip(&ws.batch_k2)
+    {
+        *stage = *s + half * *k;
+    }
+    batch_deriv(
+        machines,
+        n,
+        wn,
+        &ws.batch_j,
+        &ws.batch_stage,
+        &mut ws.batch_k3,
+        &mut ws.batch_panel,
+    );
+    for ((stage, s), k) in ws
+        .batch_stage
+        .iter_mut()
+        .zip(&ws.batch_states)
+        .zip(&ws.batch_k3)
+    {
+        *stage = *s + dt_ns * *k;
+    }
+    batch_deriv(
+        machines,
+        n,
+        wn,
+        &ws.batch_j,
+        &ws.batch_stage,
+        &mut ws.batch_k4,
+        &mut ws.batch_panel,
+    );
+    for i in 0..n {
+        let row = i * wn;
+        for (w, machine) in machines.iter().enumerate() {
+            if !active[w] || !machine.free[i] {
+                continue;
+            }
+            let idx = row + w;
+            let dv = (ws.batch_k1[idx]
+                + 2.0 * ws.batch_k2[idx]
+                + 2.0 * ws.batch_k3[idx]
+                + ws.batch_k4[idx])
+                / 6.0;
+            let next = ws.batch_states[idx] + dv * dt_ns;
+            ws.batch_states[idx] = next.clamp(-machine.rail, machine.rail);
+        }
+    }
+}

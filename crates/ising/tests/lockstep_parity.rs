@@ -1,0 +1,259 @@
+//! Lockstep batched annealing must be bit-identical to serial runs.
+//!
+//! `run_lockstep` advances W machines as one `n × W` GEMM per
+//! integrator stage; its contract is that every window's final state
+//! and report match a serial `run` of the same machine **bit for bit**
+//! (see `dsgl_ising::lockstep`). These tests build realistic window
+//! batches — differing clamps, seeds, free masks, even NaN-stuck fault
+//! nodes — and compare against the serial integrator exactly.
+
+use dsgl_ising::fault::{FaultModel, StuckNode};
+use dsgl_ising::{
+    anneal::Integrator, AnnealConfig, Coupling, EngineMode, NoiseModel, RealValuedDspu, Workspace,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 14;
+
+/// A dense symmetric coupling (well above the lockstep density gate)
+/// with deterministic pseudo-random weights, none of them zero.
+fn dense_coupling() -> Coupling {
+    let mut j = Coupling::zeros(N);
+    for a in 0..N {
+        for b in (a + 1)..N {
+            // Deterministic, sign-alternating, never exactly zero.
+            let v = 0.05 + 0.9 * (((a * 31 + b * 17) % 97) as f64) / 97.0;
+            let v = if (a + b) % 2 == 0 { v } else { -v };
+            j.set(a, b, 0.3 * v);
+        }
+    }
+    j
+}
+
+/// One window's machine: shared coupling, window-specific clamps and
+/// free-node seeds, optional faults.
+fn window_machine(j: &Coupling, seed: u64, faults: &FaultModel) -> RealValuedDspu {
+    let h = vec![-1.2; N];
+    let mut m = RealValuedDspu::new(j.clone(), h).expect("valid machine");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clamp0 = 0.8 - 0.07 * (seed as f64 % 10.0);
+    m.clamp(0, clamp0).expect("clamp in rails");
+    m.clamp(1, -0.4).expect("clamp in rails");
+    m.inject_faults(faults, &mut rng).expect("valid faults");
+    m.randomize_free(&mut rng);
+    m
+}
+
+fn state_bits(m: &RealValuedDspu) -> Vec<u64> {
+    m.state().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs the batch serially (reference) and in lockstep, asserting
+/// bitwise state parity and identical reports per window.
+fn assert_lockstep_parity(mut batch: Vec<RealValuedDspu>, config: &AnnealConfig, what: &str) {
+    let mut serial = batch.clone();
+    let serial_reports: Vec<_> = serial
+        .iter_mut()
+        .enumerate()
+        .map(|(w, m)| {
+            let mut rng = StdRng::seed_from_u64(0xFEED ^ w as u64);
+            m.run(config, &mut rng)
+        })
+        .collect();
+
+    let mut ws = Workspace::new();
+    let lockstep_reports = dsgl_ising::run_lockstep(&mut batch, config, &mut ws)
+        .unwrap_or_else(|| panic!("{what}: batch should be lockstep-eligible"));
+
+    assert_eq!(lockstep_reports.len(), serial_reports.len());
+    for (w, (ls, sr)) in lockstep_reports.iter().zip(&serial_reports).enumerate() {
+        assert_eq!(
+            state_bits(&batch[w]),
+            state_bits(&serial[w]),
+            "{what}: window {w} state diverged from serial bits"
+        );
+        assert_eq!(ls.converged, sr.converged, "{what}: window {w} converged");
+        assert_eq!(ls.steps, sr.steps, "{what}: window {w} steps");
+        assert_eq!(
+            ls.sim_time_ns.to_bits(),
+            sr.sim_time_ns.to_bits(),
+            "{what}: window {w} sim_time_ns"
+        );
+        assert_eq!(
+            ls.final_rate.to_bits(),
+            sr.final_rate.to_bits(),
+            "{what}: window {w} final_rate"
+        );
+        assert_eq!(
+            ls.energy.to_bits(),
+            sr.energy.to_bits(),
+            "{what}: window {w} energy"
+        );
+        assert_eq!(ls.sparse_steps, 0);
+        assert_eq!(ls.mean_active_fraction, 1.0);
+    }
+}
+
+#[test]
+fn euler_lockstep_matches_serial_bitwise() {
+    let j = dense_coupling();
+    let batch: Vec<_> = (0..7)
+        .map(|w| window_machine(&j, 100 + w, &FaultModel::none()))
+        .collect();
+    assert_lockstep_parity(batch, &AnnealConfig::default(), "euler");
+}
+
+#[test]
+fn rk4_lockstep_matches_serial_bitwise() {
+    let j = dense_coupling();
+    let batch: Vec<_> = (0..6)
+        .map(|w| window_machine(&j, 300 + w, &FaultModel::none()))
+        .collect();
+    let config = AnnealConfig {
+        integrator: Integrator::Rk4,
+        ..AnnealConfig::default()
+    };
+    assert_lockstep_parity(batch, &config, "rk4");
+}
+
+#[test]
+fn lockstep_matches_serial_when_budget_truncates() {
+    // A budget too short to converge: every window must stop on the
+    // same step with the serial integrator's exact state and rate.
+    let j = dense_coupling();
+    let batch: Vec<_> = (0..5)
+        .map(|w| window_machine(&j, 500 + w, &FaultModel::none()))
+        .collect();
+    let config = AnnealConfig {
+        max_time_ns: 24.0, // 12 Euler steps, one convergence check
+        ..AnnealConfig::default()
+    };
+    assert_lockstep_parity(batch, &config, "truncated");
+}
+
+#[test]
+fn lockstep_isolates_nan_stuck_windows() {
+    // Window 2 carries a NaN-stuck fault node: its own outputs go NaN
+    // exactly as in a serial run, and — crucially — neighbouring
+    // windows in the same GEMM batch stay bit-identical to their
+    // serial runs (column independence).
+    let j = dense_coupling();
+    let nan_fault = FaultModel {
+        stuck_nodes: vec![StuckNode {
+            idx: 3,
+            value: f64::NAN,
+        }],
+        ..FaultModel::default()
+    };
+    let batch: Vec<_> = (0..5)
+        .map(|w| {
+            let faults = if w == 2 {
+                nan_fault.clone()
+            } else {
+                FaultModel::none()
+            };
+            window_machine(&j, 700 + w, &faults)
+        })
+        .collect();
+
+    let mut serial = batch.clone();
+    for (w, m) in serial.iter_mut().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xFEED ^ w as u64);
+        m.run(&AnnealConfig::default(), &mut rng);
+    }
+    let mut lockstep = batch;
+    let mut ws = Workspace::new();
+    let reports =
+        dsgl_ising::run_lockstep(&mut lockstep, &AnnealConfig::default(), &mut ws)
+            .expect("NaN states do not affect eligibility");
+    assert_eq!(reports.len(), 5);
+    assert!(
+        lockstep[2].state().iter().any(|v| v.is_nan()),
+        "faulted window should have propagated NaN"
+    );
+    for w in 0..5 {
+        assert_eq!(
+            state_bits(&lockstep[w]),
+            state_bits(&serial[w]),
+            "window {w} state diverged (NaN isolation)"
+        );
+    }
+}
+
+#[test]
+fn lockstep_reuses_workspace_capacity_across_batches() {
+    let j = dense_coupling();
+    let config = AnnealConfig::default();
+    let mut ws = Workspace::new();
+
+    let mut first: Vec<_> = (0..4)
+        .map(|w| window_machine(&j, 900 + w, &FaultModel::none()))
+        .collect();
+    dsgl_ising::run_lockstep(&mut first, &config, &mut ws).expect("eligible");
+    let after_first = ws.reuses();
+
+    let mut second: Vec<_> = (0..4)
+        .map(|w| window_machine(&j, 950 + w, &FaultModel::none()))
+        .collect();
+    dsgl_ising::run_lockstep(&mut second, &config, &mut ws).expect("eligible");
+    assert!(
+        ws.reuses() > after_first,
+        "second batch of the same shape must reuse pooled capacity"
+    );
+}
+
+#[test]
+fn lockstep_declines_ineligible_batches() {
+    let j = dense_coupling();
+    let config = AnnealConfig::default();
+    let mut ws = Workspace::new();
+
+    // Single window: no fusion to be had.
+    let mut one = vec![window_machine(&j, 1, &FaultModel::none())];
+    assert!(dsgl_ising::run_lockstep(&mut one, &config, &mut ws).is_none());
+
+    // Dynamic noise draws per-machine RNG: must stay serial.
+    let noisy = AnnealConfig {
+        noise: NoiseModel {
+            node_std: 0.01,
+            coupler_std: 0.0,
+        },
+        ..config
+    };
+    let mut batch: Vec<_> = (0..3)
+        .map(|w| window_machine(&j, 10 + w, &FaultModel::none()))
+        .collect();
+    assert!(dsgl_ising::run_lockstep(&mut batch, &noisy, &mut ws).is_none());
+
+    // Adaptive engine has its own event-driven loop: must stay serial.
+    let adaptive = AnnealConfig {
+        mode: EngineMode::adaptive(),
+        ..config
+    };
+    assert!(dsgl_ising::run_lockstep(&mut batch, &adaptive, &mut ws).is_none());
+
+    // Couplings that differ across windows cannot share one GEMM.
+    let mut j2 = dense_coupling();
+    j2.set(0, 2, -0.123);
+    let mut mixed = vec![
+        window_machine(&j, 20, &FaultModel::none()),
+        window_machine(&j2, 21, &FaultModel::none()),
+    ];
+    assert!(dsgl_ising::run_lockstep(&mut mixed, &config, &mut ws).is_none());
+
+    // A near-empty coupling fails the density gate.
+    let mut sparse = Coupling::zeros(N);
+    sparse.set(0, 1, 0.4);
+    let mut sparse_batch = vec![
+        window_machine(&sparse, 30, &FaultModel::none()),
+        window_machine(&sparse, 31, &FaultModel::none()),
+    ];
+    assert!(dsgl_ising::run_lockstep(&mut sparse_batch, &config, &mut ws).is_none());
+
+    // Declining must leave the machines untouched.
+    let untouched = window_machine(&j, 40, &FaultModel::none());
+    let mut probe = vec![untouched.clone()];
+    assert!(dsgl_ising::run_lockstep(&mut probe, &config, &mut ws).is_none());
+    assert_eq!(state_bits(&probe[0]), state_bits(&untouched));
+}

@@ -1,0 +1,106 @@
+//! Property tests for [`InstrumentSnapshot::quantile`]: monotone in
+//! `q`, exact on single-bucket data, zero on empty instruments, and
+//! bounded by the observed extremes — over distributions recorded
+//! through a real [`TelemetrySink`], not hand-built snapshots.
+
+use dsgl_ising::telemetry::{InstrumentSnapshot, TelemetrySink};
+use proptest::prelude::*;
+
+/// Records `values` into a live histogram instrument and freezes it.
+fn recorded_snapshot(values: &[f64]) -> InstrumentSnapshot {
+    let sink = TelemetrySink::enabled();
+    for &v in values {
+        sink.record("test.hist", v);
+    }
+    sink.snapshot()
+        .get("test.hist")
+        .expect("instrument recorded")
+        .clone()
+}
+
+proptest! {
+    /// For any recorded distribution, `quantile` never decreases as `q`
+    /// grows, and every estimate stays within `[0, max]` — including
+    /// samples past the top bucket bound, which resolve to `max`.
+    #[test]
+    fn quantile_is_monotone_in_q_and_bounded(
+        values in proptest::collection::vec(1e-9f64..1e13, 48),
+        take in 1usize..=48,
+        qs in proptest::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let values = &values[..take];
+        let snap = recorded_snapshot(values);
+        let mut qs = qs;
+        qs.push(0.0);
+        qs.push(1.0);
+        qs.sort_by(f64::total_cmp);
+        let estimates: Vec<f64> = qs.iter().map(|&q| snap.quantile(q)).collect();
+        for (pair_q, pair_v) in qs.windows(2).zip(estimates.windows(2)) {
+            prop_assert!(
+                pair_v[0] <= pair_v[1],
+                "quantile({}) = {} > quantile({}) = {}",
+                pair_q[0], pair_v[0], pair_q[1], pair_v[1],
+            );
+        }
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        for &e in &estimates {
+            prop_assert!(e >= 0.0 && e <= max, "estimate {e} outside [0, {max}]");
+        }
+    }
+
+    /// When every sample is the same value, the whole distribution sits
+    /// in one bucket and the clamp against `max` makes every quantile
+    /// exact — not just bucket-bound accurate.
+    #[test]
+    fn single_bucket_data_reports_the_exact_value(
+        value in 1e-9f64..1e12,
+        copies in 1usize..32,
+        q in 0.0f64..1.0,
+    ) {
+        let snap = recorded_snapshot(&vec![value; copies]);
+        prop_assert_eq!(snap.quantile(q), value);
+        prop_assert_eq!(snap.quantile(1.0), value);
+    }
+
+    /// Out-of-range `q` values clamp to the `[0, 1]` endpoints instead
+    /// of panicking or extrapolating.
+    #[test]
+    fn out_of_range_q_clamps(
+        values in proptest::collection::vec(1e-6f64..1e6, 32),
+        take in 1usize..=32,
+    ) {
+        let snap = recorded_snapshot(&values[..take]);
+        prop_assert_eq!(snap.quantile(-1.0).to_bits(), snap.quantile(0.0).to_bits());
+        prop_assert_eq!(snap.quantile(2.0).to_bits(), snap.quantile(1.0).to_bits());
+    }
+}
+
+#[test]
+fn empty_snapshot_reports_zero() {
+    let empty = InstrumentSnapshot {
+        name: "anneal.steps".into(),
+        kind: "histogram".into(),
+        count: 0,
+        sum: 0.0,
+        min: 0.0,
+        max: 0.0,
+        last: 0.0,
+        buckets: vec![],
+        overflow: 0,
+    };
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), 0.0, "empty instrument at q={q}");
+    }
+}
+
+#[test]
+fn counters_and_gauges_fall_back_to_last() {
+    let sink = TelemetrySink::enabled();
+    sink.counter_add("c.events", 5);
+    sink.gauge_set("g.level", 0.75);
+    let snap = sink.snapshot();
+    let counter = snap.get("c.events").expect("counter present");
+    assert_eq!(counter.quantile(0.9), counter.last);
+    let gauge = snap.get("g.level").expect("gauge present");
+    assert_eq!(gauge.quantile(0.5), 0.75);
+}

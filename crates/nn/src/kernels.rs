@@ -31,6 +31,21 @@
 //! checked, shape-aware entry points. All `*_into` routines require a
 //! **zeroed** `out` buffer and accumulate into it, exactly like the
 //! naive loops they mirror.
+//!
+//! With the default-on `simd` feature on x86-64, the full-size register
+//! micro-kernels additionally run through explicit AVX vectors whose
+//! lanes span *independent output columns* (rows for the matvec), so
+//! each output element's reduction chain is still the scalar sequence
+//! of mul-then-add — no FMA, no horizontal reduction, `k` never split —
+//! and the SIMD path is bit-identical to the scalar path, which stays
+//! compiled in as the dispatch fallback and parity reference (see
+//! [`simd_active`] / [`set_simd_enabled`]). The vector kernels engage
+//! only for all-finite operands: with a NaN among the inputs, two
+//! NaNs with different bits can meet in one add, where x86 keeps
+//! whichever operand the code generator placed first — not a property
+//! any kernel arrangement can pin down — so those calls stay on the
+//! scalar reference kernels and parity is preserved by identity (see
+//! [`simd`] for the full argument).
 
 /// Packed right-hand panel width (columns) for [`gemm_into`]: the
 /// `k × NC` panel is `8·k·NC` bytes, ≤ 1 MiB for `k ≤ 1024`.
@@ -54,6 +69,260 @@ pub const NT_JB: usize = 32;
 /// panel allocation). Dispatch is a pure performance decision — both
 /// paths produce identical bits.
 pub const BLOCK_MIN_WORK: usize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch. The AVX micro-kernels in `simd` run their vector lanes
+// across *independent output columns*: each output element's reduction
+// chain stays a scalar-ordered sequence of mul-then-add (no FMA, `k`
+// never split), so the vector path is bit-identical to the scalar path
+// by construction, not by tolerance. Dispatch is runtime (CPU detection
+// plus a process-wide toggle) and per-call, with the scalar kernels kept
+// as the bit-parity reference.
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide SIMD opt-out, flipped by [`set_simd_enabled`].
+static SIMD_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the explicit-SIMD micro-kernels at runtime.
+///
+/// Both paths produce identical bits, so this is a pure performance
+/// switch — it exists so benches and parity tests can compare the
+/// vector and scalar paths within one process. Concurrent kernel calls
+/// observe the flag once at entry; flipping it mid-flight is harmless
+/// precisely because the two paths agree bit-for-bit.
+pub fn set_simd_enabled(on: bool) {
+    SIMD_DISABLED.store(!on, Ordering::Relaxed);
+}
+
+/// Whether the vectorised micro-kernels are live: the `simd` feature is
+/// compiled in, the target is x86-64 with AVX detected at runtime, and
+/// [`set_simd_enabled`] has not switched them off.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn simd_active() -> bool {
+    !SIMD_DISABLED.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx")
+}
+
+/// Whether the vectorised micro-kernels are live (`false` in builds
+/// without the `simd` feature or on non-x86-64 targets).
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub fn simd_active() -> bool {
+    false
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod simd {
+    //! AVX (f64×4) variants of the register micro-kernels.
+    //!
+    //! Lane layout: one vector register holds four *independent output
+    //! columns* of a micro-tile row. The reduction coefficient is a
+    //! scalar broadcast, each step is `acc = add(acc, mul(c, panel))` —
+    //! multiply then add, never fused — and `k` advances one step per
+    //! iteration for every lane simultaneously. Each lane therefore
+    //! executes exactly the scalar chain `acc += c * pv` in exactly the
+    //! scalar order; lanes never exchange or combine values, so no
+    //! horizontal reduction (the classic source of SIMD reassociation)
+    //! exists anywhere on the path.
+    //!
+    //! **Finite inputs only.** Dispatch routes the GEMM-family kernels
+    //! here only after both operands scanned all-finite (the matvec
+    //! instead detects the hazard *after the fact*: a NaN output lane
+    //! sends the block back to the scalar body, whose result wins).
+    //! With finite operands every
+    //! multiply is fully IEEE-determined (products overflow to `±inf`
+    //! but are never NaN), so at most one NaN — the hardware-canonical
+    //! indefinite from `inf + -inf`, identical bits on the scalar and
+    //! vector units — can ever reach an add, and single-NaN propagation
+    //! does not depend on operand order. Bits are therefore determined
+    //! by the arithmetic alone, not by how the compiler happens to
+    //! order commutative operands. With a NaN among the *inputs* that
+    //! guarantee is unattainable (two NaNs with different bits can meet
+    //! in one add, and x86 keeps whichever the code generator put
+    //! first), so such calls stay on the scalar reference kernels —
+    //! which also makes the zero-skip `CHECK` variants unnecessary
+    //! here: non-finite panels never reach this module.
+    use super::{GEMM_JR, GEMM_MR};
+    use core::arch::x86_64::{
+        _mm256_add_pd, _mm256_broadcast_sd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_permute2f128_pd,
+        _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd, _mm256_unpackhi_pd,
+        _mm256_unpacklo_pd,
+    };
+
+    /// AVX [`super::micro_gemm_4x4`] for all-finite operands; same
+    /// contract, same bits (no zero-skip: for finite panels the skip is
+    /// a bitwise no-op, see [`super::micro_gemm_4x4`]).
+    #[inline]
+    pub(super) fn micro_gemm_4x4(
+        arows: &[&[f64]; GEMM_MR],
+        mp: &[f64],
+        acc: &mut [[f64; GEMM_JR]; GEMM_MR],
+    ) {
+        // SAFETY: dispatch reaches this module only after
+        // `simd_active()` has confirmed AVX support on this CPU.
+        unsafe { micro_gemm_4x4_avx(arows, mp, acc) }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn micro_gemm_4x4_avx(
+        arows: &[&[f64]; GEMM_MR],
+        mp: &[f64],
+        acc: &mut [[f64; GEMM_JR]; GEMM_MR],
+    ) {
+        let steps = mp.len() / GEMM_JR;
+        let (a0, a1, a2, a3) = (arows[0], arows[1], arows[2], arows[3]);
+        let mut v0 = _mm256_loadu_pd(acc[0].as_ptr());
+        let mut v1 = _mm256_loadu_pd(acc[1].as_ptr());
+        let mut v2 = _mm256_loadu_pd(acc[2].as_ptr());
+        let mut v3 = _mm256_loadu_pd(acc[3].as_ptr());
+        for kk in 0..steps {
+            let p = _mm256_loadu_pd(mp.as_ptr().add(kk * GEMM_JR));
+            v0 = _mm256_add_pd(v0, _mm256_mul_pd(_mm256_set1_pd(a0[kk]), p));
+            v1 = _mm256_add_pd(v1, _mm256_mul_pd(_mm256_set1_pd(a1[kk]), p));
+            v2 = _mm256_add_pd(v2, _mm256_mul_pd(_mm256_set1_pd(a2[kk]), p));
+            v3 = _mm256_add_pd(v3, _mm256_mul_pd(_mm256_set1_pd(a3[kk]), p));
+        }
+        _mm256_storeu_pd(acc[0].as_mut_ptr(), v0);
+        _mm256_storeu_pd(acc[1].as_mut_ptr(), v1);
+        _mm256_storeu_pd(acc[2].as_mut_ptr(), v2);
+        _mm256_storeu_pd(acc[3].as_mut_ptr(), v3);
+    }
+
+    /// AVX [`super::micro_tt_4x4`] for all-finite operands; same
+    /// contract, same bits (no zero-skip, as above).
+    #[inline]
+    pub(super) fn micro_tt_4x4(pa: &[f64], pb: &[f64], acc: &mut [[f64; 4]; 4]) {
+        // SAFETY: dispatch reaches this module only after
+        // `simd_active()` has confirmed AVX support on this CPU.
+        unsafe { micro_tt_4x4_avx(pa, pb, acc) }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn micro_tt_4x4_avx(pa: &[f64], pb: &[f64], acc: &mut [[f64; 4]; 4]) {
+        let steps = pa.len() / 4;
+        let mut v0 = _mm256_loadu_pd(acc[0].as_ptr());
+        let mut v1 = _mm256_loadu_pd(acc[1].as_ptr());
+        let mut v2 = _mm256_loadu_pd(acc[2].as_ptr());
+        let mut v3 = _mm256_loadu_pd(acc[3].as_ptr());
+        for r in 0..steps {
+            let bv = _mm256_loadu_pd(pb.as_ptr().add(r * 4));
+            v0 = _mm256_add_pd(v0, _mm256_mul_pd(_mm256_set1_pd(pa[r * 4]), bv));
+            v1 = _mm256_add_pd(v1, _mm256_mul_pd(_mm256_set1_pd(pa[r * 4 + 1]), bv));
+            v2 = _mm256_add_pd(v2, _mm256_mul_pd(_mm256_set1_pd(pa[r * 4 + 2]), bv));
+            v3 = _mm256_add_pd(v3, _mm256_mul_pd(_mm256_set1_pd(pa[r * 4 + 3]), bv));
+        }
+        _mm256_storeu_pd(acc[0].as_mut_ptr(), v0);
+        _mm256_storeu_pd(acc[1].as_mut_ptr(), v1);
+        _mm256_storeu_pd(acc[2].as_mut_ptr(), v2);
+        _mm256_storeu_pd(acc[3].as_mut_ptr(), v3);
+    }
+
+    /// Four-row AVX matvec block: 4×4 tiles of `a` are transposed in
+    /// registers so each lane carries one output *row*; `x[kk]` is
+    /// broadcast and the four adds per tile happen in ascending `k`
+    /// (four separate mul-then-add steps), replaying the four scalar
+    /// accumulator chains of the scalar kernel exactly. The `k` tail
+    /// (`cols % 4`) finishes scalar, still in ascending `k` per lane.
+    #[inline]
+    pub(super) fn matvec4(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+        // SAFETY: dispatch reaches this module only after
+        // `simd_active()` has confirmed AVX support on this CPU.
+        unsafe { matvec4_avx(r0, r1, r2, r3, x) }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn matvec4_avx(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+        let cols = x.len();
+        let full = cols & !3;
+        let mut acc = _mm256_setzero_pd();
+        let mut kk = 0;
+        while kk < full {
+            let a0 = _mm256_loadu_pd(r0.as_ptr().add(kk));
+            let a1 = _mm256_loadu_pd(r1.as_ptr().add(kk));
+            let a2 = _mm256_loadu_pd(r2.as_ptr().add(kk));
+            let a3 = _mm256_loadu_pd(r3.as_ptr().add(kk));
+            // 4×4 in-register transpose: `c_t` holds column `kk + t` of
+            // the four rows, i.e. one reduction step for all four lanes.
+            let t0 = _mm256_unpacklo_pd(a0, a1);
+            let t1 = _mm256_unpackhi_pd(a0, a1);
+            let t2 = _mm256_unpacklo_pd(a2, a3);
+            let t3 = _mm256_unpackhi_pd(a2, a3);
+            let c0 = _mm256_permute2f128_pd::<0x20>(t0, t2);
+            let c1 = _mm256_permute2f128_pd::<0x20>(t1, t3);
+            let c2 = _mm256_permute2f128_pd::<0x31>(t0, t2);
+            let c3 = _mm256_permute2f128_pd::<0x31>(t1, t3);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(c0, _mm256_broadcast_sd(&x[kk])));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(c1, _mm256_broadcast_sd(&x[kk + 1])));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(c2, _mm256_broadcast_sd(&x[kk + 2])));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(c3, _mm256_broadcast_sd(&x[kk + 3])));
+            kk += 4;
+        }
+        let mut s = [0.0f64; 4];
+        _mm256_storeu_pd(s.as_mut_ptr(), acc);
+        for t in full..cols {
+            let xv = x[t];
+            s[0] += r0[t] * xv;
+            s[1] += r1[t] * xv;
+            s[2] += r2[t] * xv;
+            s[3] += r3[t] * xv;
+        }
+        s
+    }
+}
+
+/// Runs the branch-free (all-finite) 4×4 GEMM micro-kernel through the
+/// AVX path when `use_simd` is set, the scalar path otherwise.
+/// Identical bits either way (see [`simd`] for the lane argument).
+/// Callers only set `use_simd` after scanning *both* operands finite;
+/// non-finite panels stay on the scalar `CHECK = true` kernels.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn dispatch_micro_gemm(
+    use_simd: bool,
+    arows: &[&[f64]; GEMM_MR],
+    mp: &[f64],
+    acc: &mut [[f64; GEMM_JR]; GEMM_MR],
+) {
+    if use_simd {
+        simd::micro_gemm_4x4(arows, mp, acc);
+    } else {
+        micro_gemm_4x4::<false>(arows, mp, acc);
+    }
+}
+
+/// Scalar-only build of [`dispatch_micro_gemm`].
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn dispatch_micro_gemm(
+    _use_simd: bool,
+    arows: &[&[f64]; GEMM_MR],
+    mp: &[f64],
+    acc: &mut [[f64; GEMM_JR]; GEMM_MR],
+) {
+    micro_gemm_4x4::<false>(arows, mp, acc);
+}
+
+/// Runs the branch-free (all-finite) 4×4 transposed micro-kernel
+/// through the AVX path when `use_simd` is set, the scalar path
+/// otherwise. Identical bits either way; same finite-only caller
+/// contract as [`dispatch_micro_gemm`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn dispatch_micro_tt(use_simd: bool, pa: &[f64], pb: &[f64], acc: &mut [[f64; 4]; 4]) {
+    if use_simd {
+        simd::micro_tt_4x4(pa, pb, acc);
+    } else {
+        micro_tt_4x4::<false>(pa, pb, acc);
+    }
+}
+
+/// Scalar-only build of [`dispatch_micro_tt`].
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn dispatch_micro_tt(_use_simd: bool, pa: &[f64], pb: &[f64], acc: &mut [[f64; 4]; 4]) {
+    micro_tt_4x4::<false>(pa, pb, acc);
+}
 
 // ---------------------------------------------------------------------------
 // Naive references. These are the semantics; the blocked kernels must
@@ -211,6 +480,24 @@ fn micro_gemm_ragged<const CHECK: bool>(
 /// (the contract requires `out` zeroed, so register sums starting at
 /// `+0.0` replay the naive accumulation verbatim).
 pub fn gemm_into(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    let mut panel = Vec::new();
+    gemm_into_scratch(a, m, k, b, n, out, &mut panel);
+}
+
+/// [`gemm_into`] with a caller-owned packing buffer: `panel` is cleared
+/// and resized as needed, but its capacity persists across calls, so
+/// steady-state callers (the lockstep batched integrator's per-stage
+/// GEMMs) allocate nothing after warm-up. Bit-identical to
+/// [`gemm_into`] — the buffer carries capacity, never values.
+pub fn gemm_into_scratch(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    panel: &mut Vec<f64>,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -218,7 +505,15 @@ pub fn gemm_into(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [
         naive_gemm_into(a, m, k, b, n, out);
         return;
     }
-    let mut panel = vec![0.0; k * GEMM_NC.min(n)];
+    // SIMD requires *both* operands all-finite (the panel scan below
+    // covers `B`): finite operands pin every NaN that can arise to the
+    // hardware-canonical indefinite, making the vector path's bits
+    // compiler-independent. Any non-finite value keeps the whole call
+    // on the scalar reference kernels. The scan is one O(m·k) pass
+    // against O(m·k·n) multiply work.
+    let use_simd = simd_active() && a.iter().all(|v| v.is_finite());
+    panel.clear();
+    panel.resize(k * GEMM_NC.min(n), 0.0);
     let mut jc = 0;
     while jc < n {
         let ncw = GEMM_NC.min(n - jc);
@@ -258,7 +553,7 @@ pub fn gemm_into(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [
                 let mp = &panel[jt * k * GEMM_JR..(jt + 1) * k * GEMM_JR];
                 let mut acc = [[0.0f64; GEMM_JR]; GEMM_MR];
                 if finite {
-                    micro_gemm_4x4::<false>(&arows, mp, &mut acc);
+                    dispatch_micro_gemm(use_simd, &arows, mp, &mut acc);
                 } else {
                     micro_gemm_4x4::<true>(&arows, mp, &mut acc);
                 }
@@ -398,6 +693,10 @@ fn gemm_t_tiles(
     out: &mut [f64],
     upper_only: bool,
 ) {
+    // Same finite-only SIMD gate as `gemm_into_scratch`: the per-panel
+    // scan below covers the packed `B` side, this O(r·m) pass covers
+    // `A` (for SYRK the two are the same slice).
+    let use_simd = simd_active() && a.iter().all(|v| v.is_finite());
     let mut pa = vec![0.0; rdim * GT_MC.min(m)];
     let mut pb = vec![0.0; rdim * GT_NC.min(n)];
     let mut jc = 0;
@@ -459,7 +758,7 @@ fn gemm_t_tiles(
                     let pbt = &pbp[jt * rdim * 4..(jt + 1) * rdim * 4];
                     let mut acc = [[0.0f64; 4]; 4];
                     if finite {
-                        micro_tt_4x4::<false>(pat, pbt, &mut acc);
+                        dispatch_micro_tt(use_simd, pat, pbt, &mut acc);
                     } else {
                         micro_tt_4x4::<true>(pat, pbt, &mut acc);
                     }
@@ -572,6 +871,9 @@ pub fn gemm_nt_into(a: &[f64], m: usize, k: usize, b: &[f64], nb: usize, out: &m
         naive_gemm_nt_into(a, m, k, b, nb, out);
         return;
     }
+    if gemm_nt_simd(a, m, k, b, nb, out) {
+        return;
+    }
     let mut jb = 0;
     while jb < nb {
         let jbw = NT_JB.min(nb - jb);
@@ -614,6 +916,84 @@ pub fn gemm_nt_into(a: &[f64], m: usize, k: usize, b: &[f64], nb: usize, out: &m
     }
 }
 
+/// The AVX `A·Bᵀ` path: four B rows are packed transposed (`k`-major,
+/// four columns wide), turning the dot-product form into the same
+/// micro-panel shape as [`gemm_into`] so the AVX micro-kernel's lanes
+/// run across four independent output columns. `naive_gemm_nt_into`
+/// has no zero-skip, so the unconditional branch-free accumulation
+/// replays the naive sequential-`k` dot; the writeback stays scalar
+/// `out += acc` to replicate the naive element update on `-0.0` edges
+/// (a plain copy would diverge there). Ragged row/column tails take
+/// the scalar dot, which is the naive reduction itself.
+///
+/// Returns `false` (having written nothing) when SIMD is inactive or
+/// either operand holds a non-finite value (see [`simd`] for why the
+/// vector path only guarantees bit-parity on finite inputs), so the
+/// caller falls through to the scalar blocked path.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn gemm_nt_simd(a: &[f64], m: usize, k: usize, b: &[f64], nb: usize, out: &mut [f64]) -> bool {
+    if !simd_active() {
+        return false;
+    }
+    if !a.iter().chain(b.iter()).all(|v| v.is_finite()) {
+        return false;
+    }
+    let mut panel = vec![0.0; k * GEMM_JR];
+    let mut j = 0;
+    while j + GEMM_JR <= nb {
+        for kk in 0..k {
+            for l in 0..GEMM_JR {
+                panel[kk * GEMM_JR + l] = b[(j + l) * k + kk];
+            }
+        }
+        let mut i0 = 0;
+        while i0 + GEMM_MR <= m {
+            let arows = [
+                &a[i0 * k..(i0 + 1) * k],
+                &a[(i0 + 1) * k..(i0 + 2) * k],
+                &a[(i0 + 2) * k..(i0 + 3) * k],
+                &a[(i0 + 3) * k..(i0 + 4) * k],
+            ];
+            let mut acc = [[0.0f64; GEMM_JR]; GEMM_MR];
+            simd::micro_gemm_4x4(&arows, &panel, &mut acc);
+            for (r, row) in acc.iter().enumerate() {
+                let orow = &mut out[(i0 + r) * nb + j..(i0 + r) * nb + j + GEMM_JR];
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+            i0 += GEMM_MR;
+        }
+        for i in i0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for l in 0..GEMM_JR {
+                out[i * nb + j + l] += dot(arow, &b[(j + l) * k..(j + l + 1) * k]);
+            }
+        }
+        j += GEMM_JR;
+    }
+    for jj in j..nb {
+        let brow = &b[jj * k..(jj + 1) * k];
+        for (i, orow) in out.chunks_exact_mut(nb).enumerate() {
+            orow[jj] += dot(&a[i * k..(i + 1) * k], brow);
+        }
+    }
+    true
+}
+
+/// Scalar-only build of [`gemm_nt_simd`]: never takes the SIMD path.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn gemm_nt_simd(
+    _a: &[f64],
+    _m: usize,
+    _k: usize,
+    _b: &[f64],
+    _nb: usize,
+    _out: &mut [f64],
+) -> bool {
+    false
+}
+
 /// Sequential-k dot product — the naive per-element reduction.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -636,6 +1016,70 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 pub fn matvec_rows_into(a: &[f64], cols: usize, x: &[f64], out: &mut [f64]) {
     debug_assert_eq!(a.len(), out.len() * cols);
     debug_assert_eq!(x.len(), cols);
+    if matvec_rows_simd(a, cols, x, out) {
+        return;
+    }
+    let nrows = out.len();
+    let mut i = 0;
+    while i + 4 <= nrows {
+        let s = matvec4_scalar(
+            &a[i * cols..(i + 1) * cols],
+            &a[(i + 1) * cols..(i + 2) * cols],
+            &a[(i + 2) * cols..(i + 3) * cols],
+            &a[(i + 3) * cols..(i + 4) * cols],
+            x,
+        );
+        out[i..i + 4].copy_from_slice(&s);
+        i += 4;
+    }
+    for o in out[i..].iter_mut() {
+        *o = dot(&a[i * cols..(i + 1) * cols], x);
+        i += 1;
+    }
+}
+
+/// The scalar four-row matvec block: four independent accumulator
+/// chains over one streaming pass of `x`, each in ascending `k` — the
+/// naive per-row reduction, four rows at a time.
+///
+/// `inline(never)` is load-bearing: this exact compiled body serves
+/// both [`matvec_rows_into`] and the non-finite fallback inside
+/// [`matvec_rows_simd`], so a block that is ineligible for the vector
+/// path produces the same bits whichever entry reached it (inlining
+/// could otherwise specialise the two call sites differently, and NaN
+/// operand-order choices are codegen-dependent).
+#[inline(never)]
+fn matvec4_scalar(r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], x: &[f64]) -> [f64; 4] {
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (kk, &xv) in x.iter().enumerate() {
+        s0 += r0[kk] * xv;
+        s1 += r1[kk] * xv;
+        s2 += r2[kk] * xv;
+        s3 += r3[kk] * xv;
+    }
+    [s0, s1, s2, s3]
+}
+
+/// The AVX matvec path: lanes run across four independent output
+/// *rows* via an in-register 4×4 transpose (see [`simd::matvec4`]).
+/// Row tails (`rows % 4`) take the scalar dot — the naive reduction.
+///
+/// The matvec reads each matrix element exactly once, so a pre-scan of
+/// the operands would double its memory traffic. Instead the NaN gate
+/// runs *after the fact*: NaN is absorbing under add and multiply, so
+/// a non-NaN output lane proves no NaN ever entered that reduction
+/// chain — every operation on it was fully IEEE-determined and the
+/// vector bits equal the scalar bits. A NaN lane is the one case where
+/// vector/scalar agreement is codegen-dependent (see [`simd`]), so the
+/// whole block replays through [`matvec4_scalar`] — the same compiled
+/// body the scalar path runs — whose result is authoritative.
+///
+/// Returns `false` (having written nothing) when SIMD is inactive.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn matvec_rows_simd(a: &[f64], cols: usize, x: &[f64], out: &mut [f64]) -> bool {
+    if !simd_active() {
+        return false;
+    }
     let nrows = out.len();
     let mut i = 0;
     while i + 4 <= nrows {
@@ -643,23 +1087,25 @@ pub fn matvec_rows_into(a: &[f64], cols: usize, x: &[f64], out: &mut [f64]) {
         let r1 = &a[(i + 1) * cols..(i + 2) * cols];
         let r2 = &a[(i + 2) * cols..(i + 3) * cols];
         let r3 = &a[(i + 3) * cols..(i + 4) * cols];
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-        for (kk, &xv) in x.iter().enumerate() {
-            s0 += r0[kk] * xv;
-            s1 += r1[kk] * xv;
-            s2 += r2[kk] * xv;
-            s3 += r3[kk] * xv;
+        let mut s = simd::matvec4(r0, r1, r2, r3, x);
+        if s.iter().any(|v| v.is_nan()) {
+            s = matvec4_scalar(r0, r1, r2, r3, x);
         }
-        out[i] = s0;
-        out[i + 1] = s1;
-        out[i + 2] = s2;
-        out[i + 3] = s3;
+        out[i..i + 4].copy_from_slice(&s);
         i += 4;
     }
     for o in out[i..].iter_mut() {
         *o = dot(&a[i * cols..(i + 1) * cols], x);
         i += 1;
     }
+    true
+}
+
+/// Scalar-only build of [`matvec_rows_simd`]: never takes the SIMD
+/// path.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn matvec_rows_simd(_a: &[f64], _cols: usize, _x: &[f64], _out: &mut [f64]) -> bool {
+    false
 }
 
 #[cfg(test)]
@@ -814,5 +1260,40 @@ mod tests {
         naive_gemm_into(&a, m, k, &b, n, &mut naive);
         gemm_into(&a, m, k, &b, n, &mut blocked);
         assert_eq!(bits(&naive), bits(&blocked));
+    }
+
+    #[test]
+    fn simd_toggle_never_changes_bits() {
+        // Every kernel, above and below the blocked threshold, with the
+        // SIMD path forced off and (where the build and CPU allow) on.
+        // The toggle is process-global but both paths agree bitwise, so
+        // flipping it cannot perturb concurrent tests.
+        let mut rng = StdRng::seed_from_u64(29);
+        for &(m, k, n) in SHAPES {
+            let a = fill(&mut rng, m * k, 0.3);
+            let b = fill(&mut rng, k * n, 0.3);
+            let bt = fill(&mut rng, m * n, 0.3);
+            let x = fill(&mut rng, k, 0.0);
+            let run = || {
+                let mut gemm = vec![0.0; m * n];
+                gemm_into(&a, m, k, &b, n, &mut gemm);
+                // A reinterpreted as rdim=m rows of k columns.
+                let mut gemm_t = vec![0.0; k * n];
+                gemm_t_into(&a, m, k, &bt, n, &mut gemm_t);
+                let mut nt = vec![0.0; m * m];
+                gemm_nt_into(&a, m, k, &a, m, &mut nt);
+                let mut syrk = vec![0.0; k * k];
+                syrk_t_into(&a, m, k, &mut syrk);
+                let mut mv = vec![0.0; m];
+                matvec_rows_into(&a, k, &x, &mut mv);
+                (bits(&gemm), bits(&gemm_t), bits(&nt), bits(&syrk), bits(&mv))
+            };
+            set_simd_enabled(false);
+            let scalar = run();
+            set_simd_enabled(true);
+            let vector = run();
+            assert_eq!(scalar, vector, "simd toggle changed bits at {m}x{k}x{n}");
+        }
+        set_simd_enabled(true);
     }
 }

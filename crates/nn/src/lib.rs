@@ -37,7 +37,10 @@
 //! layer.apply_gradients(&mut opt, 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// explicit-AVX micro-kernel module in `kernels`, which scopes its own
+// `#[allow(unsafe_code)]` around the intrinsic calls.
+#![deny(unsafe_code)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 #![warn(missing_docs)]
 

@@ -245,3 +245,194 @@ fn non_finite_panels_stay_bit_identical() {
     kernels::naive_gemm_t_into(&a, m, k, &b2, n, &mut nt);
     assert_eq!(bits(&bt), bits(&nt), "gemm_t diverged on non-finite B");
 }
+
+/// Serialises the process-global SIMD toggle across concurrently
+/// running tests in this binary, so a "scalar" measurement can't race
+/// with another test re-enabling SIMD mid-call.
+static SIMD_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `op` once with SIMD force-disabled and once with it allowed,
+/// returning both results' bit patterns. With the `simd` feature off
+/// (or no AVX at runtime) the two runs coincide and the comparison is
+/// trivially true — the scalar build stays the bit-parity reference.
+fn scalar_vs_simd<F: Fn() -> Vec<f64>>(op: F) -> (Vec<u64>, Vec<u64>) {
+    let _guard = SIMD_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    kernels::set_simd_enabled(false);
+    let scalar = bits(&op());
+    kernels::set_simd_enabled(true);
+    let simd = bits(&op());
+    (scalar, simd)
+}
+
+/// Sprinkles a few non-finite values (NaN, ±∞) into `v`, seeded
+/// deterministically — SIMD lanes must propagate them with exactly the
+/// scalar payload/sign behaviour.
+fn poison(mut v: Vec<f64>, seed: u64) -> Vec<f64> {
+    if v.is_empty() {
+        return v;
+    }
+    let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    let mut x = seed | 1;
+    for &s in specials.iter().take(1 + (seed as usize) % 3) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let idx = (x as usize) % v.len();
+        v[idx] = s;
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM with SIMD lanes on vs off, over ragged shapes, signed
+    /// zeros, and optionally poisoned operands (0: clean, 1: NaN/∞ in
+    /// A, 2: in B) — every output bit must match the scalar kernels.
+    #[test]
+    fn simd_gemm_bit_identical_to_scalar(
+        m in dim(),
+        k in dim(),
+        n in dim(),
+        zero_bias in flag(),
+        poison_which in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = fill(m * k, seed, zero_bias);
+        let mut b = fill(k * n, seed.rotate_left(23) ^ 0xD1CE, zero_bias);
+        match poison_which {
+            1 => a = poison(a, seed),
+            2 => b = poison(b, seed.rotate_left(9)),
+            _ => {}
+        }
+        let (scalar, simd) = scalar_vs_simd(|| {
+            let mut out = vec![0.0; m * n];
+            kernels::gemm_into(&a, m, k, &b, n, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn simd_gemm_t_bit_identical_to_scalar(
+        r in dim(),
+        m in dim(),
+        n in dim(),
+        zero_bias in flag(),
+        poison_which in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = fill(r * m, seed, zero_bias);
+        let mut b = fill(r * n, seed.rotate_left(31) ^ 0xBEEF, zero_bias);
+        match poison_which {
+            1 => a = poison(a, seed),
+            2 => b = poison(b, seed.rotate_left(5)),
+            _ => {}
+        }
+        let (scalar, simd) = scalar_vs_simd(|| {
+            let mut out = vec![0.0; m * n];
+            kernels::gemm_t_into(&a, r, m, &b, n, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn simd_gemm_nt_bit_identical_to_scalar(
+        m in dim(),
+        k in dim(),
+        n in dim(),
+        zero_bias in flag(),
+        poison_which in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = fill(m * k, seed, zero_bias);
+        let mut b = fill(n * k, seed.rotate_left(37) ^ 0xCAFE, zero_bias);
+        match poison_which {
+            1 => a = poison(a, seed),
+            2 => b = poison(b, seed.rotate_left(3)),
+            _ => {}
+        }
+        let (scalar, simd) = scalar_vs_simd(|| {
+            let mut out = vec![0.0; m * n];
+            kernels::gemm_nt_into(&a, m, k, &b, n, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn simd_syrk_bit_identical_to_scalar(
+        r in dim(),
+        m in dim(),
+        zero_bias in flag(),
+        poisoned in flag(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = fill(r * m, seed, zero_bias);
+        if poisoned {
+            a = poison(a, seed);
+        }
+        let (scalar, simd) = scalar_vs_simd(|| {
+            let mut out = vec![0.0; m * m];
+            kernels::syrk_t_into(&a, r, m, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn simd_matvec_bit_identical_to_scalar(
+        rows in dim(),
+        cols in dim(),
+        zero_bias in flag(),
+        poison_which in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = fill(rows * cols, seed, zero_bias);
+        let mut x = fill(cols, seed.rotate_left(11) ^ 0xF00D, zero_bias);
+        match poison_which {
+            1 => a = poison(a, seed),
+            2 => x = poison(x, seed.rotate_left(7)),
+            _ => {}
+        }
+        let (scalar, simd) = scalar_vs_simd(|| {
+            let mut out = vec![0.0; rows];
+            kernels::matvec_rows_into(&a, cols, &x, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+}
+
+/// Deterministic SIMD-vs-scalar check on shapes large enough to engage
+/// the panel-packed blocked paths (the proptest dims mostly stay under
+/// the dispatch threshold).
+#[test]
+fn simd_large_shapes_bit_identical_to_scalar() {
+    let (m, k, n) = (129, 257, 131);
+    assert!(m * k * n >= 1 << 16, "shape must engage the blocked path");
+    let a = fill(m * k, 0x1234_5678_9ABC_DEF0, true);
+    let mut b = fill(k * n, 0x0F1E_2D3C_4B5A_6978, false);
+    for idx in (19..b.len()).step_by(151) {
+        b[idx] = f64::INFINITY;
+    }
+    for idx in (7..b.len()).step_by(173) {
+        b[idx] = f64::NAN;
+    }
+    let (scalar, simd) = scalar_vs_simd(|| {
+        let mut out = vec![0.0; m * n];
+        kernels::gemm_into(&a, m, k, &b, n, &mut out);
+        out
+    });
+    assert_eq!(scalar, simd, "large-shape gemm diverged between SIMD and scalar");
+
+    let x = fill(k, 0x5A5A_5A5A_5A5A_5A5A, false);
+    let big_a = fill(512 * k, 0xDEAD_10CC_DEAD_10CC, true);
+    let (scalar, simd) = scalar_vs_simd(|| {
+        let mut out = vec![0.0; 512];
+        kernels::matvec_rows_into(&big_a, k, &x, &mut out);
+        out
+    });
+    assert_eq!(scalar, simd, "large-shape matvec diverged between SIMD and scalar");
+}
