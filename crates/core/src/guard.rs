@@ -72,6 +72,13 @@ pub enum FailureCause {
     /// The run missed the budget without saturating: the dynamics are
     /// sound but too slow for the allotted time.
     NonConvergence,
+    /// A supervisor fired the machine's
+    /// [`CancelToken`](dsgl_ising::CancelToken) mid-run (watchdog on a
+    /// hung anneal). The guard gives up immediately — tokens latch, so
+    /// a retry would be cancelled on its first step too — and returns a
+    /// sanitised, degraded result for the caller to replace (requeue or
+    /// fallback).
+    Cancelled,
 }
 
 /// What the guard changed before the next attempt.
@@ -125,6 +132,14 @@ pub struct HealthReport {
     /// per-window latency metric.
     #[serde(default)]
     pub anneal_sim_time_ns: f64,
+    /// `true` when the run was stopped by a supervisor's
+    /// [`CancelToken`](dsgl_ising::CancelToken) rather than finishing
+    /// on its own. Always paired with `degraded`: the returned state is
+    /// whatever the integrator had reached, sanitised. Serving layers
+    /// use this to tell "replace me" (requeue/fallback) apart from an
+    /// ordinary degraded-but-final answer.
+    #[serde(default)]
+    pub cancelled: bool,
 }
 
 impl HealthReport {
@@ -231,6 +246,24 @@ impl GuardedAnneal {
         let mut health = HealthReport::default();
         loop {
             let report = dspu.run(&config, rng);
+            if dspu.cancel_requested() {
+                // Tokens latch, so retrying under a fired token would
+                // just burn attempts at zero steps each: give up now,
+                // honestly flagged. The caller owns replacement policy.
+                health.attempts.push(Attempt {
+                    cause: FailureCause::Cancelled,
+                    mitigation: None,
+                    dt_ns: config.dt_ns,
+                    budget_ns: config.max_time_ns,
+                });
+                health.cancelled = true;
+                health.degraded = true;
+                health.sanitized_nodes += dspu.sanitize(0.0);
+                health.anneal_steps = report.steps;
+                health.anneal_sim_time_ns = report.sim_time_ns;
+                record_guard_metrics(dspu.telemetry(), &health);
+                return (report, health);
+            }
             let Some(cause) = self.diagnose(dspu, &report) else {
                 health.anneal_steps = report.steps;
                 health.anneal_sim_time_ns = report.sim_time_ns;
@@ -304,6 +337,9 @@ fn record_guard_metrics(sink: &TelemetrySink, health: &HealthReport) {
     }
     if health.degraded {
         sink.counter_add("guard.degraded_runs", 1);
+    }
+    if health.cancelled {
+        sink.counter_add("guard.cancelled_runs", 1);
     }
     sink.counter_add("guard.sanitized_nodes", health.sanitized_nodes as u64);
 }
@@ -393,8 +429,36 @@ pub fn infer_dense_guarded_pooled<R: Rng + ?Sized>(
     pool: &mut Option<dsgl_ising::Workspace>,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_supervised(model, sample, guard, faults, sink, pool, None, rng)
+}
+
+/// [`infer_dense_guarded_pooled`] with an optional supervisor
+/// [`CancelToken`](dsgl_ising::CancelToken) attached to the per-window
+/// machine: a supervisor thread that fires the token stops the anneal
+/// at its next integration step, and the returned [`HealthReport`]
+/// comes back `cancelled` (and `degraded`) with a sanitised state. A
+/// token that never fires is bit-invisible — `None` *is* the plain
+/// pooled call.
+///
+/// # Errors
+///
+/// See [`infer_dense_guarded_pooled`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_dense_guarded_supervised<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
     let mut dspu = crate::inference::machine_for_sample(model, sample, rng)?;
     dspu.set_telemetry(sink.clone());
+    if let Some(token) = cancel {
+        dspu.set_cancel(token.clone());
+    }
     if let Some(ws) = pool.take() {
         dspu.adopt_workspace(ws);
     }
@@ -542,6 +606,32 @@ pub fn infer_batch_guarded_seeded_pooled(
     sink: &TelemetrySink,
     pool: &mut Option<dsgl_ising::Workspace>,
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_seeded_supervised(model, samples, guard, seeds, faults, sink, pool, None)
+}
+
+/// [`infer_batch_guarded_seeded_pooled`] with an optional supervisor
+/// [`CancelToken`](dsgl_ising::CancelToken) attached to every window's
+/// machine (including lockstep probes and their serial rebuilds): one
+/// token cancels the whole coalesced batch, which is exactly the
+/// granularity a serving worker owns. Windows cancelled mid-anneal come
+/// back `cancelled` + `degraded` in their [`HealthReport`]; windows
+/// that finished before the token fired keep their ordinary results.
+/// `None` *is* the plain pooled call, bit for bit.
+///
+/// # Errors
+///
+/// See [`infer_batch_guarded_seeded_instrumented`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_batch_guarded_seeded_supervised(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
@@ -563,7 +653,7 @@ pub fn infer_batch_guarded_seeded_pooled(
         && crate::inference::lockstep_precheck(model, &guard.anneal)
     {
         if let Some(out) =
-            lockstep_guarded_batch(model, samples, guard, seeds, faults, sink, pool)?
+            lockstep_guarded_batch(model, samples, guard, seeds, faults, sink, pool, cancel)?
         {
             return Ok(out);
         }
@@ -571,7 +661,9 @@ pub fn infer_batch_guarded_seeded_pooled(
     let run_window = |i: usize, pool: &mut Option<dsgl_ising::Workspace>| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
-        infer_dense_guarded_pooled(model, &samples[i], guard, faults, sink, pool, &mut rng)
+        infer_dense_guarded_supervised(
+            model, &samples[i], guard, faults, sink, pool, cancel, &mut rng,
+        )
     };
     if samples.len() <= GUARD_POOL_CHUNK {
         let mut out = Vec::with_capacity(samples.len());
@@ -634,6 +726,7 @@ type GuardedWindow = (Vec<f64>, AnnealReport, HealthReport);
 /// runs serially. A strict noiseless attempt consumes no RNG, so the
 /// rebuilt machine's first attempt replays the lockstep integration
 /// bit-for-bit and the ladder proceeds exactly as an all-serial window.
+#[allow(clippy::too_many_arguments)]
 fn lockstep_guarded_batch(
     model: &DsGlModel,
     samples: &[Sample],
@@ -642,6 +735,7 @@ fn lockstep_guarded_batch(
     faults: &FaultModel,
     sink: &TelemetrySink,
     pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
 ) -> Result<Option<Vec<GuardedWindow>>, CoreError> {
     use rand::SeedableRng;
     let mut machines = Vec::with_capacity(samples.len());
@@ -649,6 +743,9 @@ fn lockstep_guarded_batch(
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
         let mut dspu = crate::inference::machine_for_sample(model, sample, &mut rng)?;
         dspu.set_telemetry(sink.clone());
+        if let Some(token) = cancel {
+            dspu.set_cancel(token.clone());
+        }
         dspu.inject_faults(faults, &mut rng)?;
         machines.push(dspu);
     }
@@ -682,6 +779,12 @@ fn lockstep_guarded_batch(
             let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
             let mut fresh = crate::inference::machine_for_sample(model, &samples[i], &mut rng)?;
             fresh.set_telemetry(sink.clone());
+            if let Some(token) = cancel {
+                // A latched token makes the rebuild return immediately
+                // (zero steps) with a `cancelled` report, so a watchdog
+                // cancellation drains the whole batch fast.
+                fresh.set_cancel(token.clone());
+            }
             fresh.inject_faults(faults, &mut rng)?;
             let (retried, health) = guard.run(&mut fresh, &mut rng);
             out.push((fresh.state()[layout.target_range()].to_vec(), retried, health));
@@ -889,6 +992,135 @@ mod tests {
             );
         }
         assert!(d.state().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unfired_cancel_token_is_bit_invisible() {
+        let (model, sample) = linear_model(4);
+        let guard = GuardedAnneal::new(AnnealConfig::default());
+        let sink = TelemetrySink::noop();
+        let plain = {
+            let mut rng = StdRng::seed_from_u64(21);
+            infer_dense_guarded_pooled(
+                &model,
+                &sample,
+                &guard,
+                &FaultModel::none(),
+                &sink,
+                &mut None,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let supervised = {
+            let mut rng = StdRng::seed_from_u64(21);
+            let token = dsgl_ising::CancelToken::new();
+            infer_dense_guarded_supervised(
+                &model,
+                &sample,
+                &guard,
+                &FaultModel::none(),
+                &sink,
+                &mut None,
+                Some(&token),
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(plain.0, supervised.0, "prediction bits must match");
+        assert_eq!(plain.1, supervised.1);
+        assert_eq!(plain.2, supervised.2);
+        assert!(plain.2.healthy());
+    }
+
+    #[test]
+    fn fired_token_yields_cancelled_degraded_health_without_retries() {
+        let (model, sample) = linear_model(4);
+        let guard = GuardedAnneal::new(AnnealConfig::default());
+        let token = dsgl_ising::CancelToken::new();
+        token.cancel(); // pre-fired: the run stops at its first step
+        let mut rng = StdRng::seed_from_u64(22);
+        let (pred, report, health) = infer_dense_guarded_supervised(
+            &model,
+            &sample,
+            &guard,
+            &FaultModel::none(),
+            &TelemetrySink::noop(),
+            &mut None,
+            Some(&token),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(health.cancelled, "health: {health:?}");
+        assert!(health.degraded);
+        assert!(!health.healthy());
+        assert_eq!(health.retries, 0, "guard must not burn retries on a latched token");
+        assert_eq!(health.attempts.len(), 1);
+        assert_eq!(health.attempts[0].cause, FailureCause::Cancelled);
+        assert_eq!(health.attempts[0].mitigation, None);
+        assert!(!report.converged);
+        assert_eq!(report.steps, 0, "latched token stops before the first step");
+        assert!(pred.iter().all(|v| v.is_finite()), "output stays sanitised");
+    }
+
+    #[test]
+    fn supervised_batch_with_unfired_token_matches_plain_batch() {
+        let layout = VariableLayout::new(1, 4, 1);
+        let mut model = DsGlModel::new(layout);
+        model.init_persistence(0.65);
+        let windows: Vec<Sample> = (0..6)
+            .map(|i| Sample {
+                history: vec![0.03 * i as f64; 4],
+                target: vec![0.0; 4],
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..6).map(|i| 500 + 11 * i as u64).collect();
+        let guard = GuardedAnneal::new(AnnealConfig::default());
+        let sink = TelemetrySink::noop();
+        let plain = infer_batch_guarded_seeded_pooled(
+            &model,
+            &windows,
+            &guard,
+            &seeds,
+            &FaultModel::none(),
+            &sink,
+            &mut None,
+        )
+        .unwrap();
+        let token = dsgl_ising::CancelToken::new();
+        let supervised = infer_batch_guarded_seeded_supervised(
+            &model,
+            &windows,
+            &guard,
+            &seeds,
+            &FaultModel::none(),
+            &sink,
+            &mut None,
+            Some(&token),
+        )
+        .unwrap();
+        for (k, ((pa, ra, ha), (pb, rb, hb))) in plain.iter().zip(&supervised).enumerate() {
+            assert_eq!(pa, pb, "window {k} diverged under an unfired token");
+            assert_eq!(ra, rb);
+            assert_eq!(ha, hb);
+        }
+        // A pre-fired token marks every window cancelled.
+        let fired = dsgl_ising::CancelToken::new();
+        fired.cancel();
+        let cancelled = infer_batch_guarded_seeded_supervised(
+            &model,
+            &windows,
+            &guard,
+            &seeds,
+            &FaultModel::none(),
+            &sink,
+            &mut None,
+            Some(&fired),
+        )
+        .unwrap();
+        for (k, (_, _, h)) in cancelled.iter().enumerate() {
+            assert!(h.cancelled, "window {k} must be cancelled: {h:?}");
+        }
     }
 
     #[test]

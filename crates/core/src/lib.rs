@@ -59,6 +59,7 @@ pub mod threading;
 pub mod trainer;
 pub mod windows;
 
+pub use dsgl_ising::CancelToken;
 pub use error::CoreError;
 pub use guard::{GuardedAnneal, HealthReport, RetryPolicy};
 pub use inference::{lockstep_enabled, set_lockstep_enabled, WarmStart};

@@ -54,6 +54,7 @@ pub struct RealValuedDspu {
     pub(crate) capacitance: f64,
     pub(crate) workspace: Workspace,
     pub(crate) telemetry: crate::telemetry::TelemetrySink,
+    pub(crate) cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl RealValuedDspu {
@@ -88,6 +89,7 @@ impl RealValuedDspu {
             capacitance: crate::RC_NS,
             workspace: Workspace::new(),
             telemetry: crate::telemetry::TelemetrySink::noop(),
+            cancel: None,
         })
     }
 
@@ -104,6 +106,25 @@ impl RealValuedDspu {
     /// [`set_telemetry`](Self::set_telemetry) was called).
     pub fn telemetry(&self) -> &crate::telemetry::TelemetrySink {
         &self.telemetry
+    }
+
+    /// Attaches a cooperative cancellation token: every subsequent
+    /// annealing run polls it once per integration step and stops early
+    /// — with an unconverged report — once it fires. A token that never
+    /// fires is bit-invisible (no state reads, no RNG draws, no
+    /// allocation); without a token the check is a single `Option`
+    /// branch.
+    pub fn set_cancel(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether an attached [`CancelToken`](crate::cancel::CancelToken)
+    /// has fired. `false` when no token is attached. Tokens latch, so
+    /// after a cancelled run this keeps returning `true` — callers
+    /// (e.g. `GuardedAnneal`) use it to tell a cancellation apart from
+    /// an ordinary non-convergence.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Node capacitance in ns·Ω (the RC time constant at unit `|h|`).
@@ -534,6 +555,9 @@ impl RealValuedDspu {
             tr.record(0.0, &self.state);
         }
         while t < config.max_time_ns {
+            if self.cancel_requested() {
+                break;
+            }
             match config.integrator {
                 Integrator::Euler => self.step(config.dt_ns, &config.noise, rng),
                 Integrator::Rk4 => self.step_rk4(config.dt_ns, &config.noise, rng),
@@ -561,7 +585,9 @@ impl RealValuedDspu {
         // the output as a time-average over several RC constants, which
         // filters the voltage jitter out of the reading (paper Fig. 13's
         // "natural good tolerance of physical dynamical systems").
-        if !config.noise.is_none() {
+        // A cancelled run skips the readout rather than burn the full
+        // averaging window after the supervisor already gave up on it.
+        if !config.noise.is_none() && !self.cancel_requested() {
             let min_h = self
                 .h
                 .iter()

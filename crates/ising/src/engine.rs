@@ -130,7 +130,10 @@ pub(crate) fn run_adaptive(
     ws.note(js_reused);
     ws.note(ws.marked.capacity() >= n);
 
-    // Split borrows: the loop mutates `state` and reads the rest.
+    // Split borrows: the loop mutates `state` and reads the rest. The
+    // cancel token is cloned out first (an `Option<Arc>` clone) so the
+    // loop can poll it without touching the borrowed machine.
+    let cancel = dspu.cancel.clone();
     let coupling = &dspu.coupling;
     let h = &dspu.h;
     let free = &dspu.free;
@@ -171,6 +174,9 @@ pub(crate) fn run_adaptive(
     let mut active_peak = queue.len();
 
     loop {
+        if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            break;
+        }
         if queue.is_empty() {
             // Validate the drained set against fresh currents before
             // declaring convergence (incremental updates carry drift).

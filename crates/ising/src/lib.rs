@@ -50,6 +50,7 @@
 
 pub mod anneal;
 pub mod brim;
+pub mod cancel;
 pub mod convergence;
 pub mod coupling;
 pub mod dspu;
@@ -73,6 +74,7 @@ pub const RC_NS: f64 = 100.0;
 
 pub use anneal::{AnnealConfig, AnnealReport, FlipSchedule};
 pub use brim::Brim;
+pub use cancel::CancelToken;
 pub use coupling::Coupling;
 pub use dspu::RealValuedDspu;
 pub use engine::{AdaptiveConfig, EngineMode};

@@ -122,6 +122,13 @@ pub fn run_lockstep(
     let mut steps = 0usize;
 
     while t < config.max_time_ns && n_active > 0 {
+        // Cooperative cancellation: any window's token stops the whole
+        // batch (they share the GEMM). Already-frozen windows keep their
+        // converged, bit-identical states; the rest report unconverged
+        // and the guard's serial rebuild sees the latched token.
+        if machines.iter().any(|m| m.cancel_requested()) {
+            break;
+        }
         if rk4 {
             step_rk4_batch(machines, config.dt_ns, n, wn, ws, &active);
         } else {

@@ -1,0 +1,108 @@
+//! Test-only chaos injection into the live service.
+//!
+//! The chaos campaign (and the exactly-once test battery) needs to make
+//! the *service* fail in controlled, reproducible ways: a worker thread
+//! panicking mid-batch, a window wedging the integrator. Neither can be
+//! expressed through [`dsgl_ising::fault::FaultModel`] — that models
+//! the analog substrate, whose faults the guard already absorbs; these
+//! model the *process*, which is exactly what the supervision layer
+//! exists to absorb.
+//!
+//! Injection is keyed by request seed so a campaign can aim faults at
+//! designated victim requests while asserting that innocent bystanders
+//! still complete bit-identically:
+//!
+//! - **Panic**: the first [`panic_budget`](ChaosConfig::panic_budget)
+//!   batches containing the target seed panic before annealing — after
+//!   planning, before any reply — so every request in the batch is
+//!   orphaned and must be re-delivered exactly once by the respawned
+//!   worker.
+//! - **Hang**: the first [`hang_budget`](ChaosConfig::hang_budget)
+//!   batches containing the target seed serve that seed's windows under
+//!   a pathologically un-satisfiable guard (zero tolerance, effectively
+//!   infinite time budget, no retries) — an infinite-stiffness window
+//!   that only the watchdog's [`CancelToken`](dsgl_ising::CancelToken)
+//!   can stop. [`crate::ServeConfig::validate`] therefore refuses hang
+//!   chaos without a watchdog.
+//!
+//! A drained budget disarms the fault: the target seed then serves
+//! normally, which is what lets the battery assert that even victim
+//! requests eventually complete bit-identical to the serial reference
+//! (when the re-enqueue budget outlives the chaos budget).
+//! [`ChaosConfig::none`] is the default and is completely free — the
+//! serving hot path checks one `Option` per batch.
+
+/// Fault-injection knobs for chaos drills. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed whose batches panic the serving worker (before any reply).
+    pub panic_on_seed: Option<u64>,
+    /// How many batches may panic before the fault disarms.
+    pub panic_budget: u32,
+    /// Seed whose windows anneal under an un-satisfiable guard until
+    /// the watchdog cancels them.
+    pub hang_on_seed: Option<u64>,
+    /// How many batches may hang before the fault disarms.
+    pub hang_budget: u32,
+}
+
+impl ChaosConfig {
+    /// No chaos — the production configuration.
+    pub fn none() -> Self {
+        ChaosConfig::default()
+    }
+
+    /// Whether every fault is disarmed.
+    pub fn is_none(&self) -> bool {
+        self.armed_panics() == 0 && self.armed_hangs() == 0
+    }
+
+    /// Arms the worker-panic fault for `seed`, at most `budget` times.
+    pub fn panic_on_seed(mut self, seed: u64, budget: u32) -> Self {
+        self.panic_on_seed = Some(seed);
+        self.panic_budget = budget;
+        self
+    }
+
+    /// Arms the hung-window fault for `seed`, at most `budget` times.
+    /// Requires a [`ServeConfig::watchdog`](crate::ServeConfig::watchdog).
+    pub fn hang_on_seed(mut self, seed: u64, budget: u32) -> Self {
+        self.hang_on_seed = Some(seed);
+        self.hang_budget = budget;
+        self
+    }
+
+    /// Panic injections this config starts armed with.
+    pub(crate) fn armed_panics(&self) -> u32 {
+        if self.panic_on_seed.is_some() {
+            self.panic_budget
+        } else {
+            0
+        }
+    }
+
+    /// Hang injections this config starts armed with.
+    pub(crate) fn armed_hangs(&self) -> u32 {
+        if self.hang_on_seed.is_some() {
+            self.hang_budget
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disarmed_and_builders_arm() {
+        assert!(ChaosConfig::none().is_none());
+        // A seed with a zero budget is still disarmed.
+        assert!(ChaosConfig::none().panic_on_seed(3, 0).is_none());
+        let chaos = ChaosConfig::none().panic_on_seed(3, 2).hang_on_seed(4, 1);
+        assert!(!chaos.is_none());
+        assert_eq!(chaos.armed_panics(), 2);
+        assert_eq!(chaos.armed_hangs(), 1);
+    }
+}

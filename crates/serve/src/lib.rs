@@ -28,6 +28,20 @@
 //!   [`MetricsSnapshot`](dsgl_core::MetricsSnapshot) schema dashboards
 //!   already parse, and [`ForecastService::stats`] digests it into
 //!   p50/p99 latency, coalesce width, and degradation counts.
+//! - **Supervision** (PR 8): worker bodies run under `catch_unwind` —
+//!   a panic quarantines the worker's pooled workspace, re-enqueues its
+//!   un-replied requests exactly once each (then
+//!   [`ServeError::WorkerCrashed`] past the
+//!   [`ServeConfig::crash_retries`] budget) and respawns a fresh
+//!   worker. A [`ServeConfig::watchdog`] deadline arms a supervisor
+//!   heartbeat that cancels hung anneals cooperatively (integrator-step
+//!   granularity via [`dsgl_core::CancelToken`]), routing the cancelled
+//!   requests back through re-delivery and, budget exhausted, the
+//!   persistence fallback. A [`config::BrownoutPolicy`] adds graduated
+//!   admission: Normal → Brownout (coalesce-only, shorter deadline) →
+//!   Shed, driven by a health score with hysteresis. The
+//!   [`chaos::ChaosConfig`] knobs inject worker panics and hung windows
+//!   for the chaos campaign that proves all of the above.
 //!
 //! # The determinism contract
 //!
@@ -71,11 +85,14 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod chaos;
 pub mod config;
 pub mod queue;
 pub mod service;
+pub mod supervisor;
 
-pub use config::ServeConfig;
+pub use chaos::ChaosConfig;
+pub use config::{BrownoutPolicy, ServeConfig};
 pub use service::{ForecastResponse, ForecastService, ServeError, ServiceStats, Ticket};
 
 /// The `serve.*` instrument family recorded into the service's
@@ -103,4 +120,27 @@ pub mod instruments {
     pub const SLO_FALLBACKS: &str = "serve.slo_fallbacks";
     /// Gauge: worker threads serving.
     pub const WORKERS: &str = "serve.workers";
+    /// Counter: worker panics caught by the supervision boundary.
+    pub const WORKER_PANICS: &str = "serve.worker_panics";
+    /// Counter: replacement workers spawned after a panic.
+    pub const WORKER_RESPAWNS: &str = "serve.worker_respawns";
+    /// Counter: orphaned requests re-enqueued for exactly-once
+    /// re-delivery (after a panic or a watchdog cancellation).
+    pub const REQUEUES: &str = "serve.requeues";
+    /// Counter: requests failed with `WorkerCrashed` after exhausting
+    /// the crash-retry budget.
+    pub const CRASH_FAILURES: &str = "serve.crash_failures";
+    /// Counter: hung batches cancelled by the watchdog.
+    pub const WATCHDOG_CANCELS: &str = "serve.watchdog_cancels";
+    /// Counter: cancelled requests served the persistence fallback
+    /// after exhausting the re-delivery budget.
+    pub const WATCHDOG_FALLBACKS: &str = "serve.watchdog_fallbacks";
+    /// Gauge: current brownout tier (0 normal, 1 brownout, 2 shed).
+    pub const BROWNOUT_TIER: &str = "serve.brownout_tier";
+    /// Counter: brownout tier transitions.
+    pub const BROWNOUT_TRANSITIONS: &str = "serve.brownout_transitions";
+    /// Counter: requests admitted by brownout's coalesce-only gate.
+    pub const BROWNOUT_ADMITTED: &str = "serve.brownout_admitted";
+    /// Counter: requests shed by the brownout or shed tiers.
+    pub const BROWNOUT_REJECTED: &str = "serve.brownout_rejected";
 }

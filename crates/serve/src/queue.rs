@@ -121,18 +121,23 @@ impl<T> BoundedQueue<T> {
             }
         }
         if batch.len() < max && !inner.closed && !linger.is_zero() {
+            // One absolute deadline for the whole linger: each wakeup —
+            // spurious, item-bearing, or a close — waits only for the
+            // *remaining* time, so a storm of early wakeups can never
+            // stretch the linger past `linger` total
+            // (`linger_deadline_survives_wakeup_storms` pins this).
             let deadline = Instant::now() + linger;
             loop {
                 if batch.len() == max || inner.closed {
                     break;
                 }
-                let now = Instant::now();
-                if now >= deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     break;
                 }
                 let (guard, _) = self
                     .not_empty
-                    .wait_timeout(inner, deadline - now)
+                    .wait_timeout(inner, remaining)
                     .unwrap_or_else(|e| e.into_inner());
                 inner = guard;
                 while batch.len() < max {
@@ -145,6 +150,24 @@ impl<T> BoundedQueue<T> {
         }
         let depth = inner.queue.len();
         Some((batch, depth))
+    }
+
+    /// Re-enqueues an item at the *front* of the queue, ignoring both
+    /// capacity and the closed flag, and returns the new depth.
+    ///
+    /// This is the exactly-once re-delivery path for requests a crashed
+    /// or cancelled worker left un-replied: they were already admitted
+    /// once, so shedding them now would turn a worker fault into a lost
+    /// response, and FIFO position (front) preserves their original
+    /// admission order ahead of younger traffic. Never use this for new
+    /// admissions — that is [`try_push`](Self::try_push)'s job.
+    pub fn requeue(&self, item: T) -> usize {
+        let mut inner = self.lock();
+        inner.queue.push_front(item);
+        let depth = inner.queue.len();
+        drop(inner);
+        self.not_empty.notify_all();
+        depth
     }
 
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
@@ -205,6 +228,56 @@ mod tests {
         let (batch, _) = q.pop_batch(3, Duration::from_secs(5)).unwrap();
         producer.join().unwrap();
         assert_eq!(batch, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn linger_deadline_survives_wakeup_storms() {
+        // A trickle of producers wakes the lingering consumer over and
+        // over without ever filling the batch. If any wakeup restarted
+        // the full linger, the pop would stretch to ~storm length; the
+        // absolute deadline bounds it near the configured linger.
+        let q = Arc::new(BoundedQueue::new(1024));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 1..200u32 {
+                    std::thread::sleep(Duration::from_millis(1));
+                    if q.try_push(i).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+        let start = Instant::now();
+        let (batch, _) = q.pop_batch(1000, Duration::from_millis(40)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(!batch.is_empty());
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "linger drifted to {elapsed:?} under a wakeup storm"
+        );
+        q.close();
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn requeue_goes_to_the_front_ignoring_capacity_and_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // At capacity: a new admission sheds, a re-delivery never does.
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.requeue(0), 3);
+        let (batch, _) = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![0, 1, 2], "requeued item must lead FIFO");
+        // Closed: still accepted, still drained before the exit signal.
+        q.close();
+        assert_eq!(q.requeue(9), 1);
+        let (batch, depth) = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![9]);
+        assert_eq!(depth, 0);
+        assert!(q.pop_batch(8, Duration::ZERO).is_none());
     }
 
     #[test]

@@ -1,31 +1,43 @@
-//! The long-lived forecast service: worker pool, coalescing, SLO triage.
+//! The long-lived forecast service: worker pool, coalescing, SLO triage,
+//! and the supervision layer (panic isolation, hung-anneal watchdog,
+//! graduated brownout admission).
 
-use dsgl_core::guard::infer_batch_guarded_seeded_pooled;
-use dsgl_core::{CoreError, DsGlModel, GuardedAnneal, HealthReport, MetricsSnapshot, TelemetrySink};
+use dsgl_core::guard::{infer_batch_guarded_seeded_supervised, RetryPolicy};
+use dsgl_core::{
+    CancelToken, CoreError, DsGlModel, GuardedAnneal, HealthReport, MetricsSnapshot, TelemetrySink,
+};
 use dsgl_data::Sample;
 use dsgl_ising::Workspace;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::instruments;
 use crate::queue::{BoundedQueue, PushError};
+use crate::supervisor::{self, HealthInputs, WorkerSlot, TIER_BROWNOUT, TIER_NORMAL, TIER_SHED};
 use crate::ServeConfig;
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ServeError {
-    /// The admission queue was full: the request was shed at the door.
-    /// Back off and retry; nothing was enqueued.
+    /// Admission refused the request — the queue was full, or brownout
+    /// tiering shed it. Nothing was enqueued; back off for about
+    /// `retry_after` and resubmit.
     Overloaded {
-        /// The configured queue capacity that was exhausted.
+        /// The configured queue capacity.
         capacity: usize,
+        /// Backlog depth observed at rejection time.
+        depth: usize,
+        /// Suggested client backoff before retrying, estimated from the
+        /// backlog and a moving average of batch service time.
+        retry_after: Duration,
     },
     /// The submitted history window has the wrong length for the
     /// service's model layout.
@@ -40,6 +52,13 @@ pub enum ServeError {
     /// The worker serving this request disappeared without replying
     /// (it panicked or the service was torn down mid-flight).
     WorkerLost,
+    /// The request was orphaned by worker panics more times than the
+    /// configured [`crash_retries`](ServeConfig::crash_retries) budget;
+    /// the service gave up re-delivering it.
+    WorkerCrashed {
+        /// Re-deliveries consumed before giving up.
+        retries: u32,
+    },
     /// A configuration knob the service cannot run with.
     InvalidConfig {
         /// Human-readable reason.
@@ -53,14 +72,24 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded { capacity } => {
-                write!(f, "admission queue full ({capacity} waiting requests)")
+            ServeError::Overloaded {
+                capacity,
+                depth,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "admission refused ({depth}/{capacity} queued, retry after {retry_after:?})"
+                )
             }
             ServeError::ShapeMismatch { expected, actual } => {
                 write!(f, "history window has length {actual}, expected {expected}")
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::WorkerLost => write!(f, "worker exited without replying"),
+            ServeError::WorkerCrashed { retries } => {
+                write!(f, "workers crashed on this request {} times", retries + 1)
+            }
             ServeError::InvalidConfig { reason } => write!(f, "invalid serve config: {reason}"),
             ServeError::Inference(e) => write!(f, "batched inference failed: {e}"),
         }
@@ -123,7 +152,30 @@ struct Request {
     window: Vec<f64>,
     seed: u64,
     admitted: Instant,
+    /// Crash/cancel re-deliveries consumed so far.
+    retries: u32,
+    /// FNV-1a of `(seed, window bits)` for brownout coalesce-admission
+    /// bookkeeping. A collision can only mis-admit or mis-shed — the
+    /// exact-bits coalescing key in `serve_group` is what decides who
+    /// shares an anneal, so bits are never at risk.
+    key: u64,
     reply: mpsc::Sender<Result<ForecastResponse, ServeError>>,
+}
+
+fn fnv_word(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn request_key(seed: u64, window: &[f64]) -> u64 {
+    let mut hash = fnv_word(0xcbf2_9ce4_8422_2325, seed);
+    for v in window {
+        hash = fnv_word(hash, v.to_bits());
+    }
+    hash
 }
 
 struct Shared {
@@ -132,6 +184,75 @@ struct Shared {
     sink: TelemetrySink,
     queue: BoundedQueue<Request>,
     config: ServeConfig,
+    /// Set once by shutdown: workers stop respawning/requeueing, the
+    /// supervisor stops escalating.
+    stopping: AtomicBool,
+    /// Set by shutdown after every worker joined: the supervisor's exit
+    /// signal (it must outlive the workers — a batch hung at shutdown
+    /// still needs its watchdog).
+    workers_done: AtomicBool,
+    /// Live worker JoinHandles. A panicking worker registers its
+    /// replacement here *before* its own thread exits, so shutdown's
+    /// drain loop can never miss one.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// One watchdog slot per worker index; replacements reuse theirs.
+    slots: Vec<WorkerSlot>,
+    /// Current brownout tier (written by the supervisor, read at
+    /// admission and batch planning).
+    tier: AtomicU8,
+    /// Worker panics observed (brownout score input).
+    crashes: AtomicU64,
+    /// Guard retries across served windows (brownout score input,
+    /// deliberately independent of the possibly-noop telemetry sink).
+    guard_retries: AtomicU64,
+    /// Windows served (brownout score input).
+    guard_runs: AtomicU64,
+    /// EWMA of batch wall time in ns (retry-after hint).
+    batch_ewma_ns: AtomicU64,
+    /// Multiset of FNV keys currently waiting in the queue; maintained
+    /// only when brownout is configured (coalesce-only admission needs
+    /// to know whether a twin is still queued).
+    queued_keys: Option<Mutex<HashMap<u64, u32>>>,
+    /// Remaining chaos panic injections.
+    panics_armed: AtomicU32,
+    /// Remaining chaos hang injections.
+    hangs_armed: AtomicU32,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    fn note_queued_key(&self, key: u64) {
+        if let Some(keys) = &self.queued_keys {
+            let mut keys = keys.lock().unwrap_or_else(|e| e.into_inner());
+            *keys.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn drop_queued_key(&self, key: u64) {
+        if let Some(keys) = &self.queued_keys {
+            let mut keys = keys.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(count) = keys.get_mut(&key) {
+                if *count <= 1 {
+                    keys.remove(&key);
+                } else {
+                    *count -= 1;
+                }
+            }
+        }
+    }
+
+    fn key_is_queued(&self, key: u64) -> bool {
+        match &self.queued_keys {
+            Some(keys) => keys
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains_key(&key),
+            None => false,
+        }
+    }
 }
 
 /// A long-lived pool of trained forecasters behind a bounded queue.
@@ -143,27 +264,43 @@ struct Shared {
 /// [`Workspace`] (the PR 5 take/adopt migration, so steady-state
 /// serving allocates nothing per request).
 ///
+/// **Supervision** (PR 8): worker bodies run under `catch_unwind`; a
+/// panic quarantines the worker's pooled workspace, re-enqueues its
+/// un-replied requests exactly once each (up to
+/// [`crash_retries`](ServeConfig::crash_retries), then
+/// [`ServeError::WorkerCrashed`]), and respawns a fresh worker. With a
+/// [`watchdog`](ServeConfig::watchdog), a supervisor thread cancels
+/// anneals stuck past the deadline via a cooperative
+/// [`CancelToken`]; cancelled requests are re-enqueued, then served the
+/// persistence fallback. With a [`brownout`](ServeConfig::brownout)
+/// policy, admission degrades Normal → Brownout (coalesce-only, shorter
+/// deadline) → Shed on a health score with hysteresis.
+///
 /// **Determinism contract** (pinned by `tests/determinism.rs`): a
 /// request's forecast is a pure function of the model, window, seed,
 /// guard policy, and fault model. Queue order, batch grouping, linger,
-/// worker count, and duplicate collapsing can never change the bits —
-/// each window anneals under an RNG derived only from its own seed,
-/// exactly as a serial one-by-one run would.
+/// worker count, duplicate collapsing, panic re-delivery, and admission
+/// tiering can never change the bits — each window anneals under an RNG
+/// derived only from its own seed, exactly as a serial one-by-one run
+/// would, and a token that never fires is bit-invisible.
 pub struct ForecastService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ForecastService {
-    /// Spawns the worker pool and starts serving.
+    /// Spawns the worker pool (plus the supervisor heartbeat when a
+    /// watchdog or brownout policy is configured) and starts serving.
     ///
     /// The `telemetry` sink receives the `serve.*` instrument family
     /// (plus `guard.*`/`anneal.*` from the kernels underneath); pass
-    /// [`TelemetrySink::noop`] to serve unobserved at zero cost.
+    /// [`TelemetrySink::noop`] to serve unobserved at zero cost —
+    /// supervision reads its own atomics, never the sink.
     ///
     /// # Errors
     ///
-    /// [`ServeError::InvalidConfig`] for zero workers/coalesce/capacity.
+    /// [`ServeError::InvalidConfig`] for zero workers/coalesce/capacity,
+    /// malformed brownout bands, or hang chaos without a watchdog.
     pub fn spawn(
         model: DsGlModel,
         guard: GuardedAnneal,
@@ -183,15 +320,30 @@ impl ForecastService {
             guard,
             sink: telemetry,
             queue: BoundedQueue::new(config.queue_capacity),
+            stopping: AtomicBool::new(false),
+            workers_done: AtomicBool::new(false),
+            handles: Mutex::new(Vec::with_capacity(config.workers)),
+            slots: (0..config.workers).map(|_| WorkerSlot::new()).collect(),
+            tier: AtomicU8::new(TIER_NORMAL),
+            crashes: AtomicU64::new(0),
+            guard_retries: AtomicU64::new(0),
+            guard_runs: AtomicU64::new(0),
+            batch_ewma_ns: AtomicU64::new(0),
+            queued_keys: config.brownout.as_ref().map(|_| Mutex::new(HashMap::new())),
+            panics_armed: AtomicU32::new(config.chaos.armed_panics()),
+            hangs_armed: AtomicU32::new(config.chaos.armed_hangs()),
             config,
         });
-        let workers = (0..shared.config.workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        Ok(ForecastService { shared, workers })
+        for slot in 0..shared.config.workers {
+            spawn_worker(&shared, slot);
+        }
+        let supervised =
+            shared.config.watchdog.is_some() || shared.config.brownout.is_some();
+        let supervisor = supervised.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&shared))
+        });
+        Ok(ForecastService { shared, supervisor })
     }
 
     /// Enqueues a forecast request: `window` is the `W·N·F` history
@@ -202,38 +354,87 @@ impl ForecastService {
     /// # Errors
     ///
     /// [`ServeError::ShapeMismatch`] for a wrong-length window,
-    /// [`ServeError::Overloaded`] when the admission queue is full,
+    /// [`ServeError::Overloaded`] when the admission queue is full or
+    /// brownout tiering sheds the request (carrying the observed depth
+    /// and a retry-after hint),
     /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown).
     pub fn submit(&self, window: Vec<f64>, seed: u64) -> Result<Ticket, ServeError> {
-        let expected = self.shared.model.layout().history_len();
+        let shared = &self.shared;
+        let expected = shared.model.layout().history_len();
         if window.len() != expected {
             return Err(ServeError::ShapeMismatch {
                 expected,
                 actual: window.len(),
             });
         }
+        let key = request_key(seed, &window);
+        if shared.config.brownout.is_some() {
+            match shared.tier.load(Ordering::Acquire) {
+                TIER_SHED => {
+                    shared.sink.counter_add(instruments::BROWNOUT_REJECTED, 1);
+                    shared.sink.counter_add(instruments::REJECTED, 1);
+                    return Err(self.overloaded());
+                }
+                TIER_BROWNOUT => {
+                    // Coalesce-only admission: a request whose twin is
+                    // still queued rides the twin's anneal for free;
+                    // anything needing new anneal capacity is shed.
+                    if shared.key_is_queued(key) {
+                        shared.sink.counter_add(instruments::BROWNOUT_ADMITTED, 1);
+                    } else {
+                        shared.sink.counter_add(instruments::BROWNOUT_REJECTED, 1);
+                        shared.sink.counter_add(instruments::REJECTED, 1);
+                        return Err(self.overloaded());
+                    }
+                }
+                _ => {}
+            }
+        }
         let (tx, rx) = mpsc::channel();
         let request = Request {
             window,
             seed,
             admitted: Instant::now(),
+            retries: 0,
+            key,
             reply: tx,
         };
-        match self.shared.queue.try_push(request) {
+        match shared.queue.try_push(request) {
             Ok(depth) => {
-                self.shared.sink.counter_add(instruments::REQUESTS, 1);
-                self.shared
+                shared.note_queued_key(key);
+                shared.sink.counter_add(instruments::REQUESTS, 1);
+                shared
                     .sink
                     .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
                 Ok(Ticket { rx })
             }
             Err(PushError::Full(_)) => {
-                self.shared.sink.counter_add(instruments::REJECTED, 1);
-                Err(ServeError::Overloaded {
-                    capacity: self.shared.queue.capacity(),
-                })
+                shared.sink.counter_add(instruments::REJECTED, 1);
+                Err(self.overloaded())
             }
             Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The [`ServeError::Overloaded`] for right now: observed depth plus
+    /// a retry-after hint of "one linger + the backlog's worth of
+    /// average batch times".
+    fn overloaded(&self) -> ServeError {
+        let shared = &self.shared;
+        let depth = shared.queue.len();
+        // Before any batch completes the EWMA is empty; suggest a
+        // modest floor rather than "retry immediately".
+        let ewma = shared
+            .batch_ewma_ns
+            .load(Ordering::Relaxed)
+            .max(1_000_000);
+        let batches_ahead = depth.div_ceil(shared.config.coalesce).max(1) as u64;
+        let retry_after = shared.config.linger
+            + Duration::from_nanos(ewma.saturating_mul(batches_ahead));
+        ServeError::Overloaded {
+            capacity: shared.queue.capacity(),
+            depth,
+            retry_after,
         }
     }
 
@@ -258,14 +459,45 @@ impl ForecastService {
         ServiceStats::from_snapshot(&self.health())
     }
 
-    /// Stops admitting requests, drains what was already queued, and
-    /// joins the workers. Idempotent; also runs on drop. Subsequent
-    /// [`submit`](Self::submit) calls fail with
-    /// [`ServeError::ShuttingDown`].
+    /// Current brownout tier: 0 normal, 1 brownout, 2 shed. Always 0
+    /// without a [`brownout`](ServeConfig::brownout) policy.
+    pub fn brownout_tier(&self) -> u8 {
+        self.shared.tier.load(Ordering::Acquire)
+    }
+
+    /// Stops admitting requests, drains what was already queued, joins
+    /// the workers, then the supervisor. Idempotent — a second call is a
+    /// no-op — and panic-safe: a worker that crashed (its replacement
+    /// took over) never leaves a handle this loop could hang on, and the
+    /// supervisor outlives the workers so a batch hung *at* shutdown
+    /// still gets watchdog-cancelled rather than wedging the join.
+    /// Also runs on drop. Subsequent [`submit`](Self::submit) calls fail
+    /// with [`ServeError::ShuttingDown`].
     pub fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
         self.shared.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Workers first: drain the handle list until it stays empty.
+        // A panicking worker registers its replacement before exiting,
+        // so joining a handle happens-after any handle it spawned was
+        // registered — the loop cannot terminate early.
+        loop {
+            let handle = self
+                .shared
+                .handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
+        }
+        // Only now may the supervisor stop ticking.
+        self.shared.workers_done.store(true, Ordering::Release);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -283,13 +515,28 @@ impl fmt::Debug for ForecastService {
             .field("coalesce", &self.shared.config.coalesce)
             .field("queue_capacity", &self.shared.config.queue_capacity)
             .field("queue_depth", &self.shared.queue.len())
+            .field("brownout_tier", &self.shared.tier.load(Ordering::Relaxed))
             .finish()
     }
 }
 
-/// One worker: pop a batch, triage the SLO, collapse duplicates, anneal
-/// once per distinct `(window, seed)`, fan the results out.
-fn worker_loop(shared: &Shared) {
+/// Spawns a worker thread on `slot` and registers its handle. Called at
+/// service start and by the panic handler (replacement workers reuse
+/// the crashed worker's slot).
+fn spawn_worker(shared: &Arc<Shared>, slot: usize) {
+    let cloned = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop(&cloned, slot));
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+/// One worker: pop a batch, publish it to the watchdog slot, serve it
+/// under `catch_unwind`, and on a panic hand everything to the
+/// supervision path (quarantine + re-delivery + respawn).
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     // The PR 5 pooled workspace lives across every batch this worker
     // ever serves: buffers carry capacity between anneals, never values.
     let mut pool: Option<Workspace> = None;
@@ -297,6 +544,9 @@ fn worker_loop(shared: &Shared) {
         .queue
         .pop_batch(shared.config.coalesce, shared.config.linger)
     {
+        for request in &batch {
+            shared.drop_queued_key(request.key);
+        }
         shared.sink.counter_add(instruments::BATCHES, 1);
         shared
             .sink
@@ -304,73 +554,274 @@ fn worker_loop(shared: &Shared) {
         shared
             .sink
             .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
-        serve_batch(shared, batch, &mut pool);
+        let started = Instant::now();
+        // One fresh token per batch, only when a watchdog can fire it;
+        // without a watchdog the whole supervision path is `None`s.
+        let token = shared.config.watchdog.map(|_| CancelToken::new());
+        if let Some(token) = &token {
+            shared.slots[slot].begin(token.clone());
+        }
+        // The tray owns the batch across the unwind boundary: requests
+        // leave it only at reply time, so whatever a panic interrupts
+        // is still in the tray for exactly-once re-delivery.
+        let tray = Mutex::new(batch.into_iter().map(Some).collect::<Vec<_>>());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_batch(shared, &tray, &mut pool, token.as_ref());
+        }));
+        shared.slots[slot].clear();
+        match outcome {
+            Ok(()) => {
+                let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                note_batch_time(shared, elapsed);
+            }
+            Err(_) => {
+                // The workspace's mid-panic state is garbage; it dies
+                // with this thread (the replacement pools a fresh one).
+                drop(pool);
+                handle_worker_panic(shared, slot, tray);
+                return;
+            }
+        }
     }
 }
 
-fn serve_batch(shared: &Shared, batch: Vec<Request>, pool: &mut Option<Workspace>) {
-    let width = batch.len();
-    // SLO triage: requests already past their deadline get the
-    // sanitised persistence fallback immediately — annealing them even
-    // later helps nobody and starves the live ones further.
-    let (expired, live): (Vec<Request>, Vec<Request>) = match shared.config.deadline {
-        Some(deadline) => batch
-            .into_iter()
-            .partition(|r| r.admitted.elapsed() >= deadline),
-        None => (Vec::new(), batch),
+/// EWMA (α = 1/8) of batch wall time, feeding the retry-after hint.
+fn note_batch_time(shared: &Shared, elapsed_ns: u64) {
+    let prev = shared.batch_ewma_ns.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        elapsed_ns
+    } else {
+        prev - prev / 8 + elapsed_ns / 8
     };
-    for request in expired {
-        let (prediction, health) = persistence_fallback(&shared.model, &request.window);
-        shared.sink.counter_add(instruments::SLO_FALLBACKS, 1);
-        shared.sink.counter_add(instruments::DEGRADATIONS, 1);
-        respond(shared, request, prediction, health, true, width);
+    shared.batch_ewma_ns.store(next, Ordering::Relaxed);
+}
+
+/// The worker panic path: account the crash, re-enqueue every
+/// un-replied request exactly once each (budget permitting), and spawn
+/// a replacement on the same slot.
+fn handle_worker_panic(shared: &Arc<Shared>, slot: usize, tray: Mutex<Vec<Option<Request>>>) {
+    shared.crashes.fetch_add(1, Ordering::Relaxed);
+    shared.sink.counter_add(instruments::WORKER_PANICS, 1);
+    let leftovers: Vec<Request> = tray
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .flatten()
+        .collect();
+    let stopping = shared.stopping();
+    for mut request in leftovers {
+        if !stopping && request.retries < shared.config.crash_retries {
+            request.retries += 1;
+            shared.sink.counter_add(instruments::REQUEUES, 1);
+            shared.note_queued_key(request.key);
+            // Capacity-ignoring front re-insert: an admitted request is
+            // never shed, and it keeps its FIFO seniority.
+            shared.queue.requeue(request);
+        } else {
+            shared.sink.counter_add(instruments::CRASH_FAILURES, 1);
+            let retries = request.retries;
+            let _ = request
+                .reply
+                .send(Err(ServeError::WorkerCrashed { retries }));
+        }
     }
-    if live.is_empty() {
-        return;
+    // Re-enqueue strictly before respawn: the replacement drains the
+    // queue until it is closed *and* empty, so items present at its
+    // spawn are guaranteed served even mid-shutdown. (Respawn-first
+    // could let the replacement observe closed+empty and exit between
+    // its spawn and our requeue, stranding the re-delivered requests.)
+    if !stopping {
+        shared.sink.counter_add(instruments::WORKER_RESPAWNS, 1);
+        spawn_worker(shared, slot);
     }
+}
+
+/// Serves one popped batch from its tray: SLO triage, chaos injection,
+/// group planning (normal vs chaos-hung seeds), then one guarded kernel
+/// call per group with per-request fan-out.
+fn serve_batch(
+    shared: &Arc<Shared>,
+    tray: &Mutex<Vec<Option<Request>>>,
+    pool: &mut Option<Workspace>,
+    token: Option<&CancelToken>,
+) {
+    let lock_tray = || tray.lock().unwrap_or_else(|e| e.into_inner());
+    let width = lock_tray().iter().flatten().count();
+    // Brownout shortens the effective SLO deadline: queued work past the
+    // browned-out deadline takes the instant fallback, freeing anneal
+    // capacity for what the tighter admission still lets in.
+    let tier = shared.tier.load(Ordering::Acquire);
+    let deadline = match &shared.config.brownout {
+        Some(policy) if tier >= TIER_BROWNOUT => Some(
+            shared
+                .config
+                .deadline
+                .map_or(policy.deadline, |d| d.min(policy.deadline)),
+        ),
+        _ => shared.config.deadline,
+    };
+    if let Some(deadline) = deadline {
+        let expired: Vec<usize> = lock_tray()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.as_ref()
+                    .filter(|r| r.admitted.elapsed() >= deadline)
+                    .map(|_| i)
+            })
+            .collect();
+        for idx in expired {
+            let Some(request) = lock_tray()[idx].take() else {
+                continue;
+            };
+            let (prediction, health) = persistence_fallback(&shared.model, &request.window);
+            shared.sink.counter_add(instruments::SLO_FALLBACKS, 1);
+            shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+            respond(shared, request, prediction, health, true, width);
+        }
+    }
+    // Chaos: a batch containing the panic seed dies here — after
+    // planning, before any live reply — while the injection budget
+    // lasts. Everything still in the tray gets re-delivered.
+    if let Some(seed) = shared.config.chaos.panic_on_seed {
+        let armed = lock_tray().iter().flatten().any(|r| r.seed == seed)
+            && disarm_one(&shared.panics_armed);
+        if armed {
+            panic!("chaos: injected worker panic");
+        }
+    }
+    // Group planning: chaos-hung seeds split off so innocents in the
+    // same batch finish (normal group runs first) before the hung group
+    // starts burning watchdog time.
+    let (normal, hung) = {
+        let guard = lock_tray();
+        let hang_seed = shared.config.chaos.hang_on_seed;
+        let inject = hang_seed
+            .is_some_and(|s| guard.iter().flatten().any(|r| r.seed == s))
+            && disarm_one(&shared.hangs_armed);
+        let mut normal = Vec::new();
+        let mut hung = Vec::new();
+        for (i, r) in guard.iter().enumerate() {
+            if let Some(r) = r {
+                if inject && Some(r.seed) == hang_seed {
+                    hung.push(i);
+                } else {
+                    normal.push(i);
+                }
+            }
+        }
+        (normal, hung)
+    };
+    if !normal.is_empty() {
+        serve_group(shared, tray, &normal, &shared.guard, pool, token, width);
+    }
+    if !hung.is_empty() {
+        let chaos_guard = chaos_hang_guard(&shared.guard);
+        serve_group(shared, tray, &hung, &chaos_guard, pool, token, width);
+    }
+}
+
+/// Decrements an injection budget if any remains; `true` means this
+/// call claimed an injection.
+fn disarm_one(budget: &AtomicU32) -> bool {
+    budget
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// The chaos "infinite-stiffness window": an un-satisfiable guard
+/// (zero tolerance, effectively unbounded budget, no retries) that
+/// genuinely wedges the integrator until the watchdog's token fires —
+/// the honest way to exercise integrator-granularity cancellation.
+fn chaos_hang_guard(base: &GuardedAnneal) -> GuardedAnneal {
+    let mut guard = *base;
+    guard.anneal.tolerance = 0.0;
+    guard.anneal.max_time_ns = 1e18;
+    guard.policy = RetryPolicy {
+        max_retries: 0,
+        backoff: 1.0,
+    };
+    guard
+}
+
+/// Serves one group of tray indices: coalesce duplicates, run the
+/// supervised guarded kernel once, fan results out. Cancelled windows
+/// (watchdog fired mid-group) are re-enqueued or served the persistence
+/// fallback instead of their (meaningless) partial states.
+#[allow(clippy::too_many_arguments)]
+fn serve_group(
+    shared: &Arc<Shared>,
+    tray: &Mutex<Vec<Option<Request>>>,
+    indices: &[usize],
+    guard: &GuardedAnneal,
+    pool: &mut Option<Workspace>,
+    token: Option<&CancelToken>,
+    width: usize,
+) {
+    let target_len = shared.model.layout().target_len();
     // Coalesce duplicates: identical (seed, window bits) anneal once.
     // f64 bit patterns make the key exact — if the bits match, the
-    // anneal provably matches, so fan-out is lossless.
-    let mut index_of: HashMap<(u64, Vec<u64>), usize> = HashMap::new();
-    let mut unique: Vec<usize> = Vec::with_capacity(live.len());
-    let mut assignment: Vec<usize> = Vec::with_capacity(live.len());
-    for (i, request) in live.iter().enumerate() {
-        let key = (
-            request.seed,
-            request.window.iter().map(|v| v.to_bits()).collect(),
-        );
-        let slot = *index_of.entry(key).or_insert_with(|| {
-            unique.push(i);
-            unique.len() - 1
-        });
-        assignment.push(slot);
-    }
-    let hits = (live.len() - unique.len()) as u64;
+    // anneal provably matches, so fan-out is lossless. Planning reads
+    // through the tray (requests stay in it until reply time).
+    let (samples, seeds, assignment) = {
+        let tray = tray.lock().unwrap_or_else(|e| e.into_inner());
+        let mut index_of: HashMap<(u64, Vec<u64>), usize> = HashMap::new();
+        let mut samples: Vec<Sample> = Vec::with_capacity(indices.len());
+        let mut seeds: Vec<u64> = Vec::with_capacity(indices.len());
+        let mut assignment: Vec<usize> = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let request = tray[i].as_ref().expect("planned request left the tray");
+            let key = (
+                request.seed,
+                request.window.iter().map(|v| v.to_bits()).collect(),
+            );
+            let slot = *index_of.entry(key).or_insert_with(|| {
+                samples.push(Sample {
+                    history: request.window.clone(),
+                    target: vec![0.0; target_len],
+                });
+                seeds.push(request.seed);
+                samples.len() - 1
+            });
+            assignment.push(slot);
+        }
+        (samples, seeds, assignment)
+    };
+    let hits = (indices.len() - samples.len()) as u64;
     if hits > 0 {
         shared.sink.counter_add(instruments::COALESCED_HITS, hits);
     }
-    let target_len = shared.model.layout().target_len();
-    let samples: Vec<Sample> = unique
-        .iter()
-        .map(|&i| Sample {
-            history: live[i].window.clone(),
-            target: vec![0.0; target_len],
-        })
-        .collect();
-    let seeds: Vec<u64> = unique.iter().map(|&i| live[i].seed).collect();
-    let results = infer_batch_guarded_seeded_pooled(
+    let results = infer_batch_guarded_seeded_supervised(
         &shared.model,
         &samples,
-        &shared.guard,
+        guard,
         &seeds,
         &shared.config.faults,
         &shared.sink,
         pool,
+        token,
     );
     match results {
         Ok(results) => {
-            for (request, &slot) in live.into_iter().zip(&assignment) {
+            // Brownout score inputs — dedicated atomics, not the sink,
+            // so tiering works identically under a noop sink.
+            if shared.config.brownout.is_some() {
+                let retries: u64 = results.iter().map(|(_, _, h)| h.retries as u64).sum();
+                shared
+                    .guard_runs
+                    .fetch_add(results.len() as u64, Ordering::Relaxed);
+                shared.guard_retries.fetch_add(retries, Ordering::Relaxed);
+            }
+            for (&i, &slot) in indices.iter().zip(&assignment) {
+                let Some(request) = tray.lock().unwrap_or_else(|e| e.into_inner())[i].take()
+                else {
+                    continue;
+                };
                 let (prediction, _, health) = &results[slot];
+                if health.cancelled {
+                    resolve_cancelled(shared, request, width);
+                    continue;
+                }
                 // Count before replying: a caller that snapshots the
                 // instruments right after its response must already see
                 // its own degradation reflected.
@@ -388,10 +839,33 @@ fn serve_batch(shared: &Shared, batch: Vec<Request>, pool: &mut Option<Workspace
             }
         }
         Err(e) => {
-            for request in live {
+            for &i in indices {
+                let Some(request) = tray.lock().unwrap_or_else(|e| e.into_inner())[i].take()
+                else {
+                    continue;
+                };
                 let _ = request.reply.send(Err(ServeError::Inference(e.clone())));
             }
         }
+    }
+}
+
+/// Policy for a watchdog-cancelled request: re-enqueue while the budget
+/// lasts (a fresh batch gets a fresh token, so innocents re-run
+/// bit-identically), then serve the persistence fallback — the PR 6
+/// degradation path, flagged `cancelled` so the client knows why.
+fn resolve_cancelled(shared: &Arc<Shared>, mut request: Request, width: usize) {
+    if !shared.stopping() && request.retries < shared.config.crash_retries {
+        request.retries += 1;
+        shared.sink.counter_add(instruments::REQUEUES, 1);
+        shared.note_queued_key(request.key);
+        shared.queue.requeue(request);
+    } else {
+        let (prediction, mut health) = persistence_fallback(&shared.model, &request.window);
+        health.cancelled = true;
+        shared.sink.counter_add(instruments::WATCHDOG_FALLBACKS, 1);
+        shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+        respond(shared, request, prediction, health, false, width);
     }
 }
 
@@ -415,6 +889,60 @@ fn respond(
         batch_width,
         latency_ns,
     }));
+}
+
+/// The supervisor heartbeat: fire the watchdog on overdue batches and
+/// re-score the brownout tier. Runs until shutdown has joined every
+/// worker — it must outlive them, because a batch hung at shutdown
+/// still needs its cancellation.
+fn supervisor_loop(shared: &Shared) {
+    let watchdog = shared.config.watchdog;
+    let brownout = shared.config.brownout.clone();
+    let mut tick = Duration::from_millis(50);
+    if let Some(deadline) = watchdog {
+        tick = tick.min((deadline / 4).max(Duration::from_millis(1)));
+    }
+    if let Some(policy) = &brownout {
+        tick = tick.min(policy.tick);
+    }
+    let (mut prev_runs, mut prev_retries, mut prev_crashes) = (0u64, 0u64, 0u64);
+    while !shared.workers_done.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        if let Some(deadline) = watchdog {
+            for slot in &shared.slots {
+                if slot.cancel_if_overdue(deadline) {
+                    shared.sink.counter_add(instruments::WATCHDOG_CANCELS, 1);
+                }
+            }
+        }
+        if let Some(policy) = &brownout {
+            if shared.stopping() {
+                continue; // admission is closed anyway; stop re-scoring
+            }
+            let runs = shared.guard_runs.load(Ordering::Relaxed);
+            let retries = shared.guard_retries.load(Ordering::Relaxed);
+            let crashes = shared.crashes.load(Ordering::Relaxed);
+            let inputs = HealthInputs {
+                queue_fill: shared.queue.len() as f64 / shared.queue.capacity().max(1) as f64,
+                retries: retries.saturating_sub(prev_retries),
+                runs: runs.saturating_sub(prev_runs),
+                crashes: crashes.saturating_sub(prev_crashes),
+            };
+            (prev_runs, prev_retries, prev_crashes) = (runs, retries, crashes);
+            let score = supervisor::health_score(&inputs, policy);
+            let current = shared.tier.load(Ordering::Acquire);
+            let next = supervisor::next_tier(score, current, policy);
+            if next != current {
+                shared.tier.store(next, Ordering::Release);
+                shared
+                    .sink
+                    .counter_add(instruments::BROWNOUT_TRANSITIONS, 1);
+            }
+            shared
+                .sink
+                .gauge_set(instruments::BROWNOUT_TIER, f64::from(next));
+        }
+    }
 }
 
 /// The SLO fallback: tile the newest history frame across the horizon

@@ -1,0 +1,221 @@
+//! Supervision primitives: per-worker watchdog slots and the brownout
+//! tier state machine.
+//!
+//! The supervisor heartbeat thread (spawned by
+//! [`ForecastService`](crate::ForecastService) when a watchdog or a
+//! brownout policy is configured) ticks over two jobs:
+//!
+//! - **Watchdog**: every worker publishes its in-flight batch into a
+//!   [`WorkerSlot`] (start instant + that batch's
+//!   [`CancelToken`](dsgl_ising::CancelToken)). A batch older than the
+//!   watchdog deadline gets its token fired; the integrator bails at
+//!   its next step and the worker re-enqueues or falls back the
+//!   cancelled requests.
+//! - **Brownout**: a health score is computed from live service state
+//!   (queue fill, guard retry rate, recent crashes) and run through
+//!   [`next_tier`]'s hysteresis bands to decide the admission tier.
+//!
+//! Both jobs are deliberately decoupled from the telemetry sink: they
+//! read dedicated atomics maintained by the serving path, so
+//! supervision works identically under a noop sink.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsgl_ising::CancelToken;
+
+use crate::config::BrownoutPolicy;
+
+/// Admission is unrestricted.
+pub const TIER_NORMAL: u8 = 0;
+/// Coalesce-only admission with a shortened deadline.
+pub const TIER_BROWNOUT: u8 = 1;
+/// Nothing is admitted.
+pub const TIER_SHED: u8 = 2;
+
+/// One worker's published in-flight batch, watched by the supervisor.
+///
+/// `None` between batches. The worker publishes on batch start and
+/// clears on batch end; the supervisor only ever *fires the token* — it
+/// never clears the slot, so a slow clear can at worst cancel a batch
+/// that was about to finish anyway (the worker's response path then
+/// treats it as cancelled, which is safe: requeue re-runs bit-identical
+/// work).
+#[derive(Debug, Default)]
+pub struct WorkerSlot {
+    busy: Mutex<Option<(Instant, CancelToken)>>,
+}
+
+impl WorkerSlot {
+    /// A vacant slot.
+    pub fn new() -> Self {
+        WorkerSlot::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<(Instant, CancelToken)>> {
+        self.busy.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes a batch the worker is starting now.
+    pub fn begin(&self, token: CancelToken) {
+        *self.lock() = Some((Instant::now(), token));
+    }
+
+    /// Clears the slot after the batch (served, cancelled, or panicked
+    /// — the panic handler clears too, so a respawned worker starts
+    /// from a vacant slot).
+    pub fn clear(&self) {
+        *self.lock() = None;
+    }
+
+    /// Fires the token of a batch older than `deadline`. Returns `true`
+    /// only on the tick that actually transitions the token to
+    /// cancelled, so callers can count distinct cancellations.
+    pub fn cancel_if_overdue(&self, deadline: Duration) -> bool {
+        let guard = self.lock();
+        if let Some((since, token)) = guard.as_ref() {
+            if since.elapsed() >= deadline && !token.is_cancelled() {
+                token.cancel();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Inputs to one brownout health-score evaluation, all deltas since the
+/// previous supervisor tick (except queue fill, which is instantaneous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthInputs {
+    /// Queue depth / queue capacity, in `[0, 1]`.
+    pub queue_fill: f64,
+    /// Guard retries since the last tick.
+    pub retries: u64,
+    /// Windows served since the last tick.
+    pub runs: u64,
+    /// Worker crashes since the last tick.
+    pub crashes: u64,
+}
+
+/// The brownout health score: queue fill plus weighted retry rate plus
+/// weighted recent crashes (capped at 2 so one bad tick cannot saturate
+/// the score forever). Higher is sicker; the tier bands of
+/// [`BrownoutPolicy`] interpret it.
+pub fn health_score(inputs: &HealthInputs, policy: &BrownoutPolicy) -> f64 {
+    let retry_rate = inputs.retries as f64 / inputs.runs.max(1) as f64;
+    let crash_load = (inputs.crashes as f64).min(2.0);
+    inputs.queue_fill + policy.retry_weight * retry_rate + policy.crash_weight * crash_load
+}
+
+/// The tier state machine with hysteresis: escalation uses the `enter`
+/// thresholds, de-escalation the (lower) `exit` thresholds, so a score
+/// hovering at a boundary cannot flap the tier every tick.
+pub fn next_tier(score: f64, current: u8, policy: &BrownoutPolicy) -> u8 {
+    match current {
+        TIER_NORMAL => {
+            if score >= policy.shed_enter {
+                TIER_SHED
+            } else if score >= policy.enter {
+                TIER_BROWNOUT
+            } else {
+                TIER_NORMAL
+            }
+        }
+        TIER_BROWNOUT => {
+            if score >= policy.shed_enter {
+                TIER_SHED
+            } else if score <= policy.exit {
+                TIER_NORMAL
+            } else {
+                TIER_BROWNOUT
+            }
+        }
+        _ => {
+            if score > policy.shed_exit {
+                TIER_SHED
+            } else if score <= policy.exit {
+                TIER_NORMAL
+            } else {
+                TIER_BROWNOUT
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BrownoutPolicy {
+        BrownoutPolicy::default() // enter .75 / exit .4 / shed 1.5 / shed_exit .9
+    }
+
+    #[test]
+    fn tiers_escalate_and_recover_with_hysteresis() {
+        let p = policy();
+        // Escalation path.
+        assert_eq!(next_tier(0.2, TIER_NORMAL, &p), TIER_NORMAL);
+        assert_eq!(next_tier(0.8, TIER_NORMAL, &p), TIER_BROWNOUT);
+        assert_eq!(next_tier(2.0, TIER_NORMAL, &p), TIER_SHED);
+        assert_eq!(next_tier(2.0, TIER_BROWNOUT, &p), TIER_SHED);
+        // Hysteresis: between exit and enter, brownout holds.
+        assert_eq!(next_tier(0.6, TIER_BROWNOUT, &p), TIER_BROWNOUT);
+        assert_eq!(next_tier(0.6, TIER_NORMAL, &p), TIER_NORMAL);
+        // Recovery path.
+        assert_eq!(next_tier(0.3, TIER_BROWNOUT, &p), TIER_NORMAL);
+        // Shed holds above shed_exit, steps down to brownout in the
+        // band, and straight to normal below exit.
+        assert_eq!(next_tier(1.2, TIER_SHED, &p), TIER_SHED);
+        assert_eq!(next_tier(0.85, TIER_SHED, &p), TIER_BROWNOUT);
+        assert_eq!(next_tier(0.1, TIER_SHED, &p), TIER_NORMAL);
+    }
+
+    #[test]
+    fn score_combines_fill_retries_and_crashes() {
+        let p = policy(); // retry_weight 1.0, crash_weight 0.5
+        let calm = HealthInputs {
+            queue_fill: 0.25,
+            retries: 0,
+            runs: 10,
+            crashes: 0,
+        };
+        assert!((health_score(&calm, &p) - 0.25).abs() < 1e-12);
+        let retrying = HealthInputs {
+            retries: 5,
+            ..calm
+        };
+        assert!((health_score(&retrying, &p) - 0.75).abs() < 1e-12);
+        // Crashes cap at 2 regardless of how many happened in a tick.
+        let crashing = HealthInputs {
+            crashes: 50,
+            ..calm
+        };
+        assert!((health_score(&crashing, &p) - 1.25).abs() < 1e-12);
+        // Zero runs never divides by zero.
+        let idle = HealthInputs {
+            queue_fill: 0.0,
+            retries: 3,
+            runs: 0,
+            crashes: 0,
+        };
+        assert!(health_score(&idle, &p).is_finite());
+    }
+
+    #[test]
+    fn slot_cancels_only_overdue_batches_exactly_once() {
+        let slot = WorkerSlot::new();
+        // Vacant: nothing to cancel.
+        assert!(!slot.cancel_if_overdue(Duration::ZERO));
+        let token = CancelToken::new();
+        slot.begin(token.clone());
+        // Fresh batch, generous deadline: not overdue.
+        assert!(!slot.cancel_if_overdue(Duration::from_secs(3600)));
+        assert!(!token.is_cancelled());
+        // Zero deadline: overdue immediately, cancelled exactly once.
+        assert!(slot.cancel_if_overdue(Duration::ZERO));
+        assert!(token.is_cancelled());
+        assert!(!slot.cancel_if_overdue(Duration::ZERO), "second tick must not re-count");
+        slot.clear();
+        assert!(!slot.cancel_if_overdue(Duration::ZERO));
+    }
+}

@@ -1,0 +1,499 @@
+//! The exactly-once supervision battery: worker panics, hung anneals,
+//! watchdog cancellation, brownout admission, and shutdown under fault.
+//!
+//! Invariant under test everywhere: **N submitted requests produce
+//! exactly N responses** — nothing lost, nothing duplicated — and any
+//! request the chaos budget leaves alone (or lets recover) is
+//! **bit-identical to a serial fault-free reference**. The service
+//! counts one `serve.latency_ns` observation per response it sends, so
+//! `latency count == answered tickets` is the service-side
+//! no-loss/no-duplication check, on top of each ticket yielding exactly
+//! one reply.
+//!
+//! Note: panic-injection tests intentionally panic worker threads, so
+//! the default panic hook prints "chaos: injected worker panic"
+//! backtraces into the test output. That noise is the test working.
+
+use dsgl_core::guard::infer_batch_guarded_seeded_instrumented;
+use dsgl_core::{DsGlModel, GuardedAnneal, TelemetrySink, VariableLayout};
+use dsgl_data::Sample;
+use dsgl_ising::fault::FaultModel;
+use dsgl_ising::AnnealConfig;
+use dsgl_serve::supervisor::{TIER_BROWNOUT, TIER_NORMAL, TIER_SHED};
+use dsgl_serve::{
+    instruments, BrownoutPolicy, ChaosConfig, ForecastService, ServeConfig, ServeError,
+};
+use std::time::{Duration, Instant};
+
+fn model_of(history: usize, nodes: usize) -> DsGlModel {
+    let mut model = DsGlModel::new(VariableLayout::new(history, nodes, 1));
+    model.init_persistence(0.6);
+    model
+}
+
+fn guard() -> GuardedAnneal {
+    GuardedAnneal::new(AnnealConfig::default())
+}
+
+fn window_for(seed: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| 0.05 + 0.002 * ((i as u64 + 3 * seed) % 17) as f64)
+        .collect()
+}
+
+/// The ground truth: one window annealed alone, serially, fault-free —
+/// the bits every served (non-degraded) response must reproduce.
+fn serial_reference(model: &DsGlModel, window: &[f64], seed: u64) -> Vec<f64> {
+    let sample = Sample {
+        history: window.to_vec(),
+        target: vec![0.0; model.layout().target_len()],
+    };
+    let out = infer_batch_guarded_seeded_instrumented(
+        model,
+        &[sample],
+        &guard(),
+        &[seed],
+        &FaultModel::none(),
+        &TelemetrySink::noop(),
+    )
+    .unwrap();
+    out[0].0.clone()
+}
+
+fn wait_for(mut check: impl FnMut() -> bool, budget: Duration, what: &str) {
+    let start = Instant::now();
+    while !check() {
+        assert!(start.elapsed() < budget, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn panic_injection_loses_and_duplicates_nothing() {
+    let model = model_of(3, 8);
+    let sink = TelemetrySink::enabled();
+    let victim = 5u64;
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        sink.clone(),
+        ServeConfig::default()
+            .workers(2)
+            .coalesce(4)
+            .queue_capacity(64)
+            .linger(Duration::from_millis(2))
+            .crash_retries(3)
+            .chaos(ChaosConfig::none().panic_on_seed(victim, 2)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    // 24 requests over 8 seeds; the victim seed recurs, so both panic
+    // budgets fire, orphaning whole batches (innocents included).
+    let submissions: Vec<(u64, Vec<f64>)> = (0..24u64)
+        .map(|i| {
+            let seed = i % 8;
+            (seed, window_for(seed, len))
+        })
+        .collect();
+    let tickets: Vec<_> = submissions
+        .iter()
+        .map(|(seed, window)| service.submit(window.clone(), *seed).unwrap())
+        .collect();
+    let mut answered = 0u64;
+    for ((seed, window), ticket) in submissions.iter().zip(tickets) {
+        let response = ticket.wait().expect("every orphaned request is re-delivered");
+        answered += 1;
+        assert_eq!(
+            response.prediction,
+            serial_reference(&model, window, *seed),
+            "seed {seed} must be bit-identical to the serial reference after re-delivery"
+        );
+        assert!(!response.health.cancelled);
+    }
+    assert_eq!(answered, 24);
+    let snapshot = service.health();
+    assert_eq!(
+        snapshot.counter(instruments::WORKER_PANICS),
+        2,
+        "both injection budgets must fire"
+    );
+    assert_eq!(snapshot.counter(instruments::WORKER_RESPAWNS), 2);
+    assert!(snapshot.counter(instruments::REQUEUES) >= 1);
+    assert_eq!(snapshot.counter(instruments::CRASH_FAILURES), 0);
+    // One latency observation per response sent: exactly-once at the
+    // service boundary, not just per-ticket.
+    assert_eq!(
+        snapshot.get(instruments::LATENCY_NS).unwrap().count,
+        24,
+        "the service must send exactly one response per admitted request"
+    );
+}
+
+#[test]
+fn crash_budget_exhaustion_fails_with_typed_error() {
+    let model = model_of(2, 6);
+    let sink = TelemetrySink::enabled();
+    let victim = 9u64;
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(1) // isolate the victim: innocents never share its batch
+            .queue_capacity(16)
+            .linger(Duration::ZERO)
+            .crash_retries(1)
+            .chaos(ChaosConfig::none().panic_on_seed(victim, 5)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    let victim_ticket = service.submit(window_for(victim, len), victim).unwrap();
+    let innocents: Vec<_> = (20..24u64)
+        .map(|seed| (seed, service.submit(window_for(seed, len), seed).unwrap()))
+        .collect();
+    // Delivery 1 panics (retry 1 granted), delivery 2 panics (budget
+    // exhausted): the victim fails typed, with its retry count.
+    match victim_ticket.wait() {
+        Err(ServeError::WorkerCrashed { retries }) => assert_eq!(retries, 1),
+        other => panic!("expected WorkerCrashed, got {other:?}"),
+    }
+    for (seed, ticket) in innocents {
+        let response = ticket.wait().unwrap();
+        assert_eq!(
+            response.prediction,
+            serial_reference(&model, &window_for(seed, len), seed),
+            "innocent seed {seed} must be untouched by the victim's crashes"
+        );
+    }
+    let snapshot = service.health();
+    assert_eq!(snapshot.counter(instruments::WORKER_PANICS), 2);
+    assert_eq!(snapshot.counter(instruments::CRASH_FAILURES), 1);
+    assert_eq!(snapshot.counter(instruments::REQUEUES), 1);
+}
+
+#[test]
+fn watchdog_cancels_hung_windows_then_serves_them_bit_identically() {
+    let model = model_of(2, 6);
+    let sink = TelemetrySink::enabled();
+    let victim = 7u64;
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(4)
+            .queue_capacity(16)
+            .linger(Duration::from_millis(2))
+            .watchdog(Duration::from_millis(50))
+            .crash_retries(2)
+            .chaos(ChaosConfig::none().hang_on_seed(victim, 1)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    let submissions: Vec<(u64, Vec<f64>)> = [victim, 30, 31, 32]
+        .iter()
+        .map(|&seed| (seed, window_for(seed, len)))
+        .collect();
+    let tickets: Vec<_> = submissions
+        .iter()
+        .map(|(seed, window)| service.submit(window.clone(), *seed).unwrap())
+        .collect();
+    for ((seed, window), ticket) in submissions.iter().zip(tickets) {
+        let response = ticket.wait().expect("cancelled windows are re-delivered");
+        // The hang budget (1) is under the re-enqueue budget (2): even
+        // the victim ends up annealed normally, bit-identical.
+        assert_eq!(
+            response.prediction,
+            serial_reference(&model, window, *seed),
+            "seed {seed} must recover to the serial reference bits"
+        );
+        assert!(!response.health.cancelled, "the final delivery was not cancelled");
+    }
+    let snapshot = service.health();
+    assert!(snapshot.counter(instruments::WATCHDOG_CANCELS) >= 1);
+    assert!(snapshot.counter(instruments::REQUEUES) >= 1);
+    assert_eq!(snapshot.counter(instruments::WATCHDOG_FALLBACKS), 0);
+    assert_eq!(snapshot.counter(instruments::CRASH_FAILURES), 0);
+    assert_eq!(snapshot.get(instruments::LATENCY_NS).unwrap().count, 4);
+}
+
+#[test]
+fn watchdog_exhaustion_serves_the_persistence_fallback() {
+    let model = model_of(2, 4);
+    let sink = TelemetrySink::enabled();
+    let victim = 3u64;
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(1)
+            .queue_capacity(8)
+            .linger(Duration::ZERO)
+            .watchdog(Duration::from_millis(40))
+            .crash_retries(0) // no re-delivery: first cancel goes straight to fallback
+            .chaos(ChaosConfig::none().hang_on_seed(victim, 3)),
+    )
+    .unwrap();
+    let window = window_for(victim, model.layout().history_len());
+    let response = service.forecast(window.clone(), victim).unwrap();
+    assert!(response.health.cancelled, "the fallback must say why it exists");
+    assert!(response.health.degraded);
+    assert!(!response.slo_degraded, "this is the watchdog path, not the SLO path");
+    // The persistence fallback tiles the newest frame across the
+    // horizon; with horizon 1 that is exactly the last frame.
+    let frame = model.layout().frame_len();
+    assert_eq!(response.prediction, window[window.len() - frame..].to_vec());
+    let snapshot = service.health();
+    assert!(snapshot.counter(instruments::WATCHDOG_CANCELS) >= 1);
+    assert_eq!(snapshot.counter(instruments::WATCHDOG_FALLBACKS), 1);
+    assert_eq!(snapshot.counter(instruments::REQUEUES), 0);
+}
+
+#[test]
+fn supervision_without_faults_is_bit_invisible() {
+    let model = model_of(3, 10);
+    let len = model.layout().history_len();
+    let plain = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        TelemetrySink::noop(),
+        ServeConfig::default().workers(2).coalesce(4),
+    )
+    .unwrap();
+    // Full supervision stack armed, nothing ever fires: a 60 s watchdog
+    // no anneal reaches, a brownout policy idle load never enters.
+    let supervised = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default()
+            .workers(2)
+            .coalesce(4)
+            .watchdog(Duration::from_secs(60))
+            .crash_retries(2)
+            .brownout(BrownoutPolicy::default()),
+    )
+    .unwrap();
+    for seed in 0..6u64 {
+        let window = window_for(seed, len);
+        let reference = serial_reference(&model, &window, seed);
+        let a = plain.forecast(window.clone(), seed).unwrap();
+        let b = supervised.forecast(window, seed).unwrap();
+        assert_eq!(a.prediction, reference, "unsupervised serving matches serial");
+        assert_eq!(
+            b.prediction, reference,
+            "an unfired supervision stack must be bit-invisible (seed {seed})"
+        );
+    }
+    assert_eq!(supervised.brownout_tier(), TIER_NORMAL);
+    let snapshot = supervised.health();
+    assert_eq!(snapshot.counter(instruments::WATCHDOG_CANCELS), 0);
+    assert_eq!(snapshot.counter(instruments::WORKER_PANICS), 0);
+    assert_eq!(snapshot.counter(instruments::REQUEUES), 0);
+}
+
+#[test]
+fn brownout_admits_only_coalescible_requests_while_wedged() {
+    let model = model_of(2, 6);
+    let sink = TelemetrySink::enabled();
+    let victim = 7u64;
+    // Queue-fill-driven policy (weights zeroed) so the tier is a pure
+    // function of backlog: 8 queued / 16 capacity = 0.5 ≥ enter.
+    let policy = BrownoutPolicy {
+        enter: 0.4,
+        exit: 0.05,
+        shed_enter: 10.0, // unreachable: this test exercises tier 1 only
+        shed_exit: 0.2,
+        deadline: Duration::from_secs(60), // never SLO-degrade in this test
+        retry_weight: 0.0,
+        crash_weight: 0.0,
+        tick: Duration::from_millis(2),
+    };
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        sink.clone(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(16)
+            .queue_capacity(16)
+            .linger(Duration::from_millis(2))
+            .watchdog(Duration::from_millis(300))
+            .crash_retries(2)
+            .brownout(policy)
+            .chaos(ChaosConfig::none().hang_on_seed(victim, 1)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    // The victim wedges the only worker for ~the watchdog deadline...
+    let victim_ticket = service.submit(window_for(victim, len), victim).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    // ...while 8 innocents pile up behind it.
+    let queued: Vec<_> = (10..18u64)
+        .map(|seed| (seed, service.submit(window_for(seed, len), seed).unwrap()))
+        .collect();
+    wait_for(
+        || service.brownout_tier() == TIER_BROWNOUT,
+        Duration::from_millis(250),
+        "the supervisor to enter brownout on queue fill",
+    );
+    // Tier 1 is coalesce-only: a duplicate of queued work rides along...
+    let duplicate = service
+        .submit(window_for(10, len), 10)
+        .expect("a coalescible duplicate must be admitted in brownout");
+    // ...but fresh work is shed even though the queue has room.
+    match service.submit(window_for(99, len), 99) {
+        Err(ServeError::Overloaded { capacity, depth, retry_after }) => {
+            assert!(depth < capacity, "shed by brownout, not by a full queue");
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected brownout shed, got {other:?}"),
+    }
+    // Everyone admitted still completes, bit-identical (the hang budget
+    // drains on the first delivery, so even the victim recovers).
+    for (seed, ticket) in queued {
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.prediction, serial_reference(&model, &window_for(seed, len), seed));
+    }
+    assert_eq!(
+        duplicate.wait().unwrap().prediction,
+        serial_reference(&model, &window_for(10, len), 10)
+    );
+    assert_eq!(
+        victim_ticket.wait().unwrap().prediction,
+        serial_reference(&model, &window_for(victim, len), victim)
+    );
+    // Load gone: the tier recovers to normal.
+    wait_for(
+        || service.brownout_tier() == TIER_NORMAL,
+        Duration::from_secs(3),
+        "the supervisor to recover to normal",
+    );
+    let snapshot = service.health();
+    assert!(snapshot.counter(instruments::BROWNOUT_ADMITTED) >= 1);
+    assert!(snapshot.counter(instruments::BROWNOUT_REJECTED) >= 1);
+    assert!(snapshot.counter(instruments::BROWNOUT_TRANSITIONS) >= 2, "in and back out");
+}
+
+#[test]
+fn shed_tier_rejects_everything() {
+    let model = model_of(2, 6);
+    let victim = 7u64;
+    // Same wedge recipe, but thresholds put 0.5 queue fill straight
+    // into the shed band.
+    let policy = BrownoutPolicy {
+        enter: 0.1,
+        exit: 0.02,
+        shed_enter: 0.3,
+        shed_exit: 0.15,
+        deadline: Duration::from_secs(60),
+        retry_weight: 0.0,
+        crash_weight: 0.0,
+        tick: Duration::from_millis(2),
+    };
+    let service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(16)
+            .queue_capacity(16)
+            .linger(Duration::from_millis(2))
+            .watchdog(Duration::from_millis(300))
+            .crash_retries(2)
+            .brownout(policy)
+            .chaos(ChaosConfig::none().hang_on_seed(victim, 1)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    let victim_ticket = service.submit(window_for(victim, len), victim).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let queued: Vec<_> = (10..18u64)
+        .map(|seed| (seed, service.submit(window_for(seed, len), seed).unwrap()))
+        .collect();
+    wait_for(
+        || service.brownout_tier() == TIER_SHED,
+        Duration::from_millis(250),
+        "the supervisor to shed on queue fill",
+    );
+    // Shed rejects even a coalescible duplicate.
+    assert!(matches!(
+        service.submit(window_for(10, len), 10),
+        Err(ServeError::Overloaded { .. })
+    ));
+    for (_, ticket) in queued {
+        ticket.wait().unwrap();
+    }
+    victim_ticket.wait().unwrap();
+}
+
+#[test]
+fn shutdown_returns_even_with_a_wedged_worker() {
+    let model = model_of(2, 4);
+    let victim = 11u64;
+    let mut service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default()
+            .workers(1)
+            .coalesce(1)
+            .linger(Duration::ZERO)
+            .watchdog(Duration::from_millis(80))
+            .crash_retries(2)
+            .chaos(ChaosConfig::none().hang_on_seed(victim, 10)),
+    )
+    .unwrap();
+    let window = window_for(victim, model.layout().history_len());
+    let ticket = service.submit(window.clone(), victim).unwrap();
+    // Let the worker pop and wedge on the hang before shutting down.
+    std::thread::sleep(Duration::from_millis(20));
+    // Shutdown must not hang: the supervisor outlives the workers, so
+    // the wedged batch is cancelled and (stopping) resolved with the
+    // persistence fallback instead of re-queued forever.
+    service.shutdown();
+    let response = ticket.wait().expect("wedged request resolves at shutdown");
+    assert!(response.health.cancelled);
+    let frame = model.layout().frame_len();
+    assert_eq!(response.prediction, window[window.len() - frame..].to_vec());
+    service.shutdown(); // idempotent
+}
+
+#[test]
+fn shutdown_after_crashes_is_clean_and_idempotent() {
+    let model = model_of(2, 4);
+    let victim = 2u64;
+    let mut service = ForecastService::spawn(
+        model.clone(),
+        guard(),
+        TelemetrySink::enabled(),
+        ServeConfig::default()
+            .workers(2)
+            .coalesce(1)
+            .linger(Duration::ZERO)
+            .crash_retries(0)
+            .chaos(ChaosConfig::none().panic_on_seed(victim, 1)),
+    )
+    .unwrap();
+    let len = model.layout().history_len();
+    let ticket = service.submit(window_for(victim, len), victim).unwrap();
+    assert!(matches!(
+        ticket.wait(),
+        Err(ServeError::WorkerCrashed { retries: 0 })
+    ));
+    // The respawned worker serves normally.
+    let response = service.forecast(window_for(4, len), 4).unwrap();
+    assert_eq!(response.prediction, serial_reference(&model, &window_for(4, len), 4));
+    // Joining must not hang on the crashed thread's stale handle.
+    service.shutdown();
+    service.shutdown();
+    assert!(matches!(
+        service.submit(window_for(5, len), 5),
+        Err(ServeError::ShuttingDown)
+    ));
+}

@@ -39,8 +39,14 @@ fn overload_sheds_requests_instead_of_queuing_forever() {
     for i in 0..50u64 {
         match service.submit(window.clone(), i) {
             Ok(ticket) => tickets.push((i, ticket)),
-            Err(ServeError::Overloaded { capacity }) => {
+            Err(ServeError::Overloaded {
+                capacity,
+                depth,
+                retry_after,
+            }) => {
                 assert_eq!(capacity, 1);
+                assert!(depth <= capacity, "observed depth is bounded by capacity");
+                assert!(retry_after > Duration::ZERO, "hint must suggest real backoff");
                 rejected += 1;
             }
             Err(other) => panic!("unexpected admission error: {other}"),

@@ -125,6 +125,7 @@ fn health_report_roundtrips() {
         fault_clamped: 0,
         anneal_steps: 321,
         anneal_sim_time_ns: 80.25,
+        cancelled: false,
     };
     let json = serde_json::to_string(&health).unwrap();
     let back: dsgl::core::HealthReport = serde_json::from_str(&json).unwrap();
@@ -140,20 +141,25 @@ fn health_report_roundtrips() {
             "sanitized_nodes",
             "fault_clamped",
             "anneal_steps",
-            "anneal_sim_time_ns"
+            "anneal_sim_time_ns",
+            "cancelled"
         ]
     );
 
-    // Reports serialized before the telemetry fields existed must still
-    // deserialize (the new fields default to zero).
+    // Reports serialized before the telemetry/cancellation fields
+    // existed must still deserialize (the new fields default to
+    // zero/false).
     let serde::Value::Map(mut entries) = health.to_value() else {
         panic!("health report serializes as an object");
     };
-    entries.retain(|(k, _)| k != "anneal_steps" && k != "anneal_sim_time_ns");
+    entries.retain(|(k, _)| {
+        k != "anneal_steps" && k != "anneal_sim_time_ns" && k != "cancelled"
+    });
     let legacy =
         dsgl::core::HealthReport::from_value(&serde::Value::Map(entries)).unwrap();
     assert_eq!(legacy.anneal_steps, 0);
     assert_eq!(legacy.anneal_sim_time_ns, 0.0);
+    assert!(!legacy.cancelled);
     assert_eq!(legacy.retries, health.retries);
 }
 
@@ -182,6 +188,43 @@ fn serve_instruments_and_stats_schema_is_frozen() {
         "serve.slo_fallbacks"
     );
     assert_eq!(dsgl::serve::instruments::WORKERS, "serve.workers");
+    assert_eq!(
+        dsgl::serve::instruments::WORKER_PANICS,
+        "serve.worker_panics"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::WORKER_RESPAWNS,
+        "serve.worker_respawns"
+    );
+    assert_eq!(dsgl::serve::instruments::REQUEUES, "serve.requeues");
+    assert_eq!(
+        dsgl::serve::instruments::CRASH_FAILURES,
+        "serve.crash_failures"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::WATCHDOG_CANCELS,
+        "serve.watchdog_cancels"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::WATCHDOG_FALLBACKS,
+        "serve.watchdog_fallbacks"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::BROWNOUT_TIER,
+        "serve.brownout_tier"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::BROWNOUT_TRANSITIONS,
+        "serve.brownout_transitions"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::BROWNOUT_ADMITTED,
+        "serve.brownout_admitted"
+    );
+    assert_eq!(
+        dsgl::serve::instruments::BROWNOUT_REJECTED,
+        "serve.brownout_rejected"
+    );
 
     // A served run exports serve.* through the ordinary schema-v1
     // snapshot — same top-level shape, instruments sorted by name.
