@@ -31,14 +31,20 @@
 //! fault phases additionally assert bounded p99 degradation relative to
 //! the quiet supervised run. `BENCH_chaos.json` is written with the
 //! full ledger, counters, and the final snapshot.
+//!
+//! Phases 2–5 run with an **enabled span collector** (PR 9): the quiet
+//! overhead bound therefore covers supervision *plus* per-request
+//! tracing against an untraced baseline, and the fault phases assert
+//! that each injected fault leaves its event in the black-box flight
+//! recorder on top of the counters.
 
 use dsgl_bench::pipeline::{self, Scale};
 use dsgl_core::guard::infer_batch_guarded_seeded_instrumented;
-use dsgl_core::{DsGlModel, GuardedAnneal, MetricsSnapshot, TelemetrySink};
+use dsgl_core::{DsGlModel, FlightDump, GuardedAnneal, MetricsSnapshot, SpanCollector, TelemetrySink};
 use dsgl_data::Sample;
 use dsgl_ising::fault::FaultModel;
 use dsgl_ising::AnnealConfig;
-use dsgl_serve::{instruments, ChaosConfig, ForecastService, ServeConfig, ServeError};
+use dsgl_serve::{flight_events, instruments, ChaosConfig, ForecastService, ServeConfig, ServeError};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -106,6 +112,10 @@ struct PhaseReport {
     watchdog_cancels: u64,
     watchdog_fallbacks: u64,
     rejected: u64,
+    /// Spans recorded by the per-request tracer (0 when untraced).
+    trace_spans: usize,
+    /// Failure-edge events left in the black-box flight recorder.
+    flight_events: usize,
 }
 
 #[derive(Serialize)]
@@ -142,6 +152,8 @@ struct PhaseOutcome {
     shed_retries: u64,
     bit_identical: usize,
     wall_s: f64,
+    span_count: usize,
+    flight: FlightDump,
     snapshot: MetricsSnapshot,
 }
 
@@ -165,10 +177,16 @@ fn run_phase(
     windows: &[Vec<f64>],
     stream: &[(usize, u64)],
     config: ServeConfig,
+    traced: bool,
     reference: &HashMap<(usize, u64), Vec<f64>>,
 ) -> PhaseOutcome {
     let sink = TelemetrySink::enabled();
-    let service = ForecastService::spawn(model.clone(), guard, sink.clone(), config)
+    let spans = if traced {
+        SpanCollector::enabled()
+    } else {
+        SpanCollector::noop()
+    };
+    let service = ForecastService::spawn_traced(model.clone(), guard, sink.clone(), spans, config)
         .expect("spawn service");
     let next = AtomicUsize::new(0);
     let shed = AtomicU64::new(0);
@@ -221,6 +239,8 @@ fn run_phase(
         latencies,
         shed_retries: shed.load(Ordering::Relaxed),
         wall_s,
+        span_count: service.trace_spans().len(),
+        flight: service.flight_dump(),
         snapshot: sink.snapshot(),
     }
 }
@@ -238,8 +258,14 @@ fn run_spike(
 ) -> PhaseOutcome {
     let sink = TelemetrySink::enabled();
     let config = supervised_config(watchdog).queue_capacity(4);
-    let service = ForecastService::spawn(model.clone(), guard, sink.clone(), config)
-        .expect("spawn service");
+    let service = ForecastService::spawn_traced(
+        model.clone(),
+        guard,
+        sink.clone(),
+        SpanCollector::enabled(),
+        config,
+    )
+    .expect("spawn service");
     let mut shed_retries = 0u64;
     let t0 = Instant::now();
     let mut tickets = Vec::with_capacity(stream.len());
@@ -273,6 +299,8 @@ fn run_spike(
         latencies,
         shed_retries,
         wall_s,
+        span_count: service.trace_spans().len(),
+        flight: service.flight_dump(),
         snapshot: sink.snapshot(),
     }
 }
@@ -310,6 +338,8 @@ fn phase_report(
         watchdog_cancels: snap.counter(instruments::WATCHDOG_CANCELS),
         watchdog_fallbacks: snap.counter(instruments::WATCHDOG_FALLBACKS),
         rejected: snap.counter(instruments::REJECTED),
+        trace_spans: outcome.span_count,
+        flight_events: outcome.flight.events.len(),
     };
     // The exactly-once ledger, phase-locally: every admitted request
     // produced exactly one response (latency is recorded once per
@@ -450,13 +480,22 @@ fn main() {
     let mut supervised_best: Option<PhaseOutcome> = None;
     let mut overhead = f64::INFINITY;
     for rep in 0..REPS {
-        let base = run_phase(&model, guard, &windows, &stream, baseline_config(), &reference);
+        let base = run_phase(
+            &model,
+            guard,
+            &windows,
+            &stream,
+            baseline_config(),
+            false,
+            &reference,
+        );
         let sup = run_phase(
             &model,
             guard,
             &windows,
             &stream,
             supervised_config(watchdog).brownout(dsgl_serve::BrownoutPolicy::default()),
+            true,
             &reference,
         );
         eprintln!(
@@ -498,6 +537,14 @@ fn main() {
         assert_eq!(quiet.worker_panics, 0);
         assert_eq!(quiet.watchdog_cancels, 0);
         assert_eq!(quiet.requeues, 0);
+        // The traced phase really traced: at least the root span of
+        // every request landed in the collector.
+        assert!(
+            quiet.trace_spans >= total,
+            "expected >= {total} spans from the traced quiet phase, got {}",
+            quiet.trace_spans
+        );
+        assert_eq!(base_report.trace_spans, 0, "the baseline runs untraced");
         phases.push(base_report);
         phases.push(quiet);
         p99
@@ -511,6 +558,7 @@ fn main() {
         &windows,
         &stream,
         supervised_config(watchdog).chaos(ChaosConfig::none().panic_on_seed(VICTIM_SEED, 2)),
+        true,
         &reference,
     );
     let panic_bound = P99_FACTOR * quiet_p99_us + 150_000.0;
@@ -518,6 +566,16 @@ fn main() {
     assert_eq!(panic_phase.worker_panics, 2, "both panic budgets must fire");
     assert_eq!(panic_phase.worker_respawns, 2);
     assert!(panic_phase.requeues >= 1, "orphans must be re-delivered");
+    assert_eq!(
+        panic_outcome
+            .flight
+            .events
+            .iter()
+            .filter(|e| e.kind == flight_events::WORKER_PANIC)
+            .count(),
+        2,
+        "each injected panic must leave a flight event"
+    );
     eprintln!(
         "[worker-panics: {} panics, {} requeues, p99 {:.0} µs]",
         panic_phase.worker_panics, panic_phase.requeues, panic_phase.p99_latency_us
@@ -532,6 +590,7 @@ fn main() {
         &windows,
         &stream,
         supervised_config(watchdog).chaos(ChaosConfig::none().hang_on_seed(VICTIM_SEED, 2)),
+        true,
         &reference,
     );
     let hang_bound =
@@ -539,6 +598,14 @@ fn main() {
     let hang_phase = phase_report("hung-anneals", total, &hang_outcome, Some(hang_bound));
     assert!(hang_phase.watchdog_cancels >= 1, "the watchdog must fire");
     assert!(hang_phase.requeues >= 1, "cancelled windows must be re-delivered");
+    assert!(
+        hang_outcome
+            .flight
+            .events
+            .iter()
+            .any(|e| e.kind == flight_events::WATCHDOG_CANCEL),
+        "the watchdog fire must leave a flight event"
+    );
     assert_eq!(
         hang_phase.watchdog_fallbacks, 0,
         "budgeted chaos must recover to real anneals, not fallbacks"

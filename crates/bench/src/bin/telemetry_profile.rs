@@ -4,23 +4,24 @@
 //! telemetry_profile [--smoke] [--seed N] [--out DIR] [--dataset NAME]
 //! ```
 //!
-//! Runs train → decompose/map → guarded forecast twice — once with the
-//! noop [`TelemetrySink`] and once with an enabled sink — and writes
+//! Runs train → decompose/map → guarded forecast three times — with
+//! the noop [`TelemetrySink`], with an enabled sink, and (PR 9) with an
+//! enabled sink *plus* an enabled [`SpanCollector`] — and writes
 //! `BENCH_telemetry.json` under the output directory (default
-//! `results/`) with both wall times, the overhead fraction, and the
+//! `results/`) with the wall times, the overhead fractions, and the
 //! full [`MetricsSnapshot`] of the instrumented run.
 //!
 //! `--smoke` runs the CI-sized workload and additionally asserts the
 //! acceptance conditions: the snapshot contains the `anneal`, `guard`,
-//! `train`, and `hw` instrument families at non-zero counts, and the
-//! enabled-sink wall time stays within the documented bound
-//! (`OVERHEAD_BOUND`, plus a small absolute floor for timer noise on
-//! seconds-scale runs).
+//! `train`, and `hw` instrument families at non-zero counts, and both
+//! the enabled-sink and the traced wall times stay within the
+//! documented bound (`OVERHEAD_BOUND`, plus a small absolute floor for
+//! timer noise on seconds-scale runs).
 
 use dsgl_bench::pipeline::{self, Scale, H_MAGNITUDE, LAMBDA_GRID};
-use dsgl_core::guard::{infer_batch_guarded_instrumented, GuardedAnneal};
+use dsgl_core::guard::{infer_batch_guarded_traced, GuardedAnneal};
 use dsgl_core::ridge::{fit_ridge_instrumented, fit_ridge_validated_instrumented};
-use dsgl_core::{DsGlModel, MetricsSnapshot, PatternKind, TelemetrySink};
+use dsgl_core::{DsGlModel, MetricsSnapshot, PatternKind, SpanCollector, TelemetrySink, TraceScope};
 use dsgl_hw::MappedMachine;
 use dsgl_ising::AnnealConfig;
 use rand::rngs::StdRng;
@@ -45,13 +46,19 @@ struct TelemetryBenchReport {
     windows: usize,
     /// Mapped (hardware-simulated) windows evaluated per run.
     mapped_windows: usize,
-    /// Pooled RMSE of the guarded forecast (identical for both runs —
-    /// the sink must never change a bit).
+    /// Pooled RMSE of the guarded forecast (identical for all runs —
+    /// neither the sink nor the span collector may change a bit).
     rmse: f64,
     wall_noop_s: f64,
     wall_enabled_s: f64,
+    /// Enabled sink *and* enabled span collector.
+    wall_traced_s: f64,
     /// `wall_enabled / wall_noop - 1`.
     overhead_fraction: f64,
+    /// `wall_traced / wall_noop - 1`: metrics plus tracing, together.
+    tracing_overhead_fraction: f64,
+    /// Spans recorded by the traced pass.
+    trace_spans: usize,
     snapshot: MetricsSnapshot,
 }
 
@@ -64,6 +71,7 @@ fn run_pipeline(
     seed: u64,
     mapped_cap: usize,
     sink: &TelemetrySink,
+    scope: &TraceScope,
 ) -> f64 {
     let p = pipeline::prepare(dataset, scale, seed);
 
@@ -80,7 +88,7 @@ fn run_pipeline(
 
     // Guarded forecast over the held-out windows.
     let guard = GuardedAnneal::new(AnnealConfig::default());
-    let results = infer_batch_guarded_instrumented(&model, &p.test, &guard, seed, sink)
+    let results = infer_batch_guarded_traced(&model, &p.test, &guard, seed, sink, scope)
         .expect("guarded batch");
     let mut sse = 0.0;
     let mut count = 0usize;
@@ -102,6 +110,7 @@ fn run_pipeline(
     // after the first window without changing a single result bit.
     let mut machine = MappedMachine::new(&d, hw.lanes).expect("mapping");
     machine.set_telemetry(sink.clone());
+    machine.set_tracing(scope.clone());
     for sample in p.test.iter().take(mapped_cap) {
         machine.load_sample(sample, &mut rng).expect("load sample");
         let report = machine.run(&hw, &mut rng);
@@ -176,24 +185,54 @@ fn main() {
     let started = Instant::now();
 
     // Warm-up pass (page cache, allocator, thread pool), then timed
-    // noop and enabled passes over the identical workload.
-    run_pipeline(&dataset, &scale, seed, mapped_cap, &TelemetrySink::noop());
+    // noop, enabled, and traced passes over the identical workload.
+    let noop_scope = TraceScope::noop();
+    run_pipeline(&dataset, &scale, seed, mapped_cap, &TelemetrySink::noop(), &noop_scope);
     let t0 = Instant::now();
-    let rmse_noop = run_pipeline(&dataset, &scale, seed, mapped_cap, &TelemetrySink::noop());
+    let rmse_noop =
+        run_pipeline(&dataset, &scale, seed, mapped_cap, &TelemetrySink::noop(), &noop_scope);
     let wall_noop = t0.elapsed().as_secs_f64();
     let sink = TelemetrySink::enabled();
     let t1 = Instant::now();
-    let rmse_enabled = run_pipeline(&dataset, &scale, seed, mapped_cap, &sink);
+    let rmse_enabled = run_pipeline(&dataset, &scale, seed, mapped_cap, &sink, &noop_scope);
     let wall_enabled = t1.elapsed().as_secs_f64();
     assert_eq!(
         rmse_noop.to_bits(),
         rmse_enabled.to_bits(),
         "telemetry sink changed pipeline bits"
     );
+    // Third pass: metrics *and* per-window spans, against a fresh sink
+    // so the reported snapshot stays that of the enabled pass.
+    let spans = SpanCollector::enabled();
+    let root = spans.reserve();
+    let scope = TraceScope::new(spans.clone(), root, 0);
+    let traced_start = spans.now();
+    let t2 = Instant::now();
+    let rmse_traced = run_pipeline(
+        &dataset,
+        &scale,
+        seed,
+        mapped_cap,
+        &TelemetrySink::enabled(),
+        &scope,
+    );
+    let wall_traced = t2.elapsed().as_secs_f64();
+    spans.record_with_id(root, root, 0, "bench.pipeline", traced_start, &[]);
+    assert_eq!(
+        rmse_noop.to_bits(),
+        rmse_traced.to_bits(),
+        "span collector changed pipeline bits"
+    );
+    let trace_spans = spans.snapshot().len();
+    assert!(
+        trace_spans > 1,
+        "the traced pass must record anneal spans, got {trace_spans}"
+    );
 
     let snapshot = sink.snapshot();
     assert_families(&snapshot);
     let overhead = wall_enabled / wall_noop - 1.0;
+    let tracing_overhead = wall_traced / wall_noop - 1.0;
     let report = TelemetryBenchReport {
         command: format!("telemetry_profile --seed {seed}{}", if smoke { " --smoke" } else { "" }),
         dataset,
@@ -204,17 +243,24 @@ fn main() {
         rmse: rmse_enabled,
         wall_noop_s: wall_noop,
         wall_enabled_s: wall_enabled,
+        wall_traced_s: wall_traced,
         overhead_fraction: overhead,
+        tracing_overhead_fraction: tracing_overhead,
+        trace_spans,
         snapshot,
     };
     let path = write_report(&report, &out).expect("write BENCH_telemetry.json");
     println!("{}", report.snapshot.summary_table());
     eprintln!(
-        "[telemetry profile: rmse {:.4}, noop {:.2}s, enabled {:.2}s ({:+.2}%), report at {}]",
+        "[telemetry profile: rmse {:.4}, noop {:.2}s, enabled {:.2}s ({:+.2}%), traced {:.2}s \
+         ({:+.2}%, {} spans), report at {}]",
         report.rmse,
         wall_noop,
         wall_enabled,
         overhead * 100.0,
+        wall_traced,
+        tracing_overhead * 100.0,
+        trace_spans,
         path.display()
     );
     if smoke {
@@ -222,6 +268,11 @@ fn main() {
         assert!(
             wall_enabled <= bound,
             "smoke overhead bound violated: enabled {wall_enabled:.3}s > bound {bound:.3}s \
+             (noop {wall_noop:.3}s)"
+        );
+        assert!(
+            wall_traced <= bound,
+            "smoke tracing bound violated: traced {wall_traced:.3}s > bound {bound:.3}s \
              (noop {wall_noop:.3}s)"
         );
         // The report must parse back under the frozen schema.

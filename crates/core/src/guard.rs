@@ -140,6 +140,14 @@ pub struct HealthReport {
     /// ordinary degraded-but-final answer.
     #[serde(default)]
     pub cancelled: bool,
+    /// Trace id of the [`TraceScope`](crate::tracing::TraceScope)
+    /// attached to the machine that produced this run, 0 when tracing
+    /// was off. Correlates a served response's health account with its
+    /// span tree in the collector (the serving layer stamps the
+    /// *primary* request's trace id on coalesced riders, since their
+    /// answer came from that request's anneal).
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 impl HealthReport {
@@ -243,8 +251,12 @@ impl GuardedAnneal {
             }
         }
         let mut config = self.anneal;
-        let mut health = HealthReport::default();
+        let mut health = HealthReport {
+            trace_id: dspu.tracing().trace_id(),
+            ..HealthReport::default()
+        };
         loop {
+            let attempt_start = dspu.tracing().start();
             let report = dspu.run(&config, rng);
             if dspu.cancel_requested() {
                 // Tokens latch, so retrying under a fired token would
@@ -262,6 +274,7 @@ impl GuardedAnneal {
                 health.anneal_steps = report.steps;
                 health.anneal_sim_time_ns = report.sim_time_ns;
                 record_guard_metrics(dspu.telemetry(), &health);
+                record_retry_span(dspu, attempt_start, &health);
                 return (report, health);
             }
             let Some(cause) = self.diagnose(dspu, &report) else {
@@ -289,6 +302,7 @@ impl GuardedAnneal {
                 dt_ns: config.dt_ns,
                 budget_ns: config.max_time_ns,
             });
+            record_retry_span(dspu, attempt_start, &health);
             let Some(mitigation) = mitigation else {
                 health.degraded = true;
                 health.sanitized_nodes += dspu.sanitize(0.0);
@@ -342,6 +356,41 @@ fn record_guard_metrics(sink: &TelemetrySink, health: &HealthReport) {
         sink.counter_add("guard.cancelled_runs", 1);
     }
     sink.counter_add("guard.sanitized_nodes", health.sanitized_nodes as u64);
+}
+
+/// Records one `guard.retry` span for the latest rejected attempt in
+/// `health`, into the machine's tracing scope. Called only after the
+/// attempt's dynamics finished; a noop scope makes this a single branch
+/// (the `start` is already `None`).
+fn record_retry_span(
+    dspu: &RealValuedDspu,
+    start: Option<std::time::Instant>,
+    health: &HealthReport,
+) {
+    let Some(attempt) = health.attempts.last() else {
+        return;
+    };
+    dspu.tracing().record(
+        "guard.retry",
+        start,
+        &[
+            ("attempt", health.attempts.len() as f64),
+            ("cause", cause_code(attempt.cause)),
+            ("dt_ns", attempt.dt_ns),
+            ("budget_ns", attempt.budget_ns),
+        ],
+    );
+}
+
+/// Stable numeric code of a [`FailureCause`] for span args (span args
+/// are numeric by design).
+fn cause_code(cause: FailureCause) -> f64 {
+    match cause {
+        FailureCause::NonFiniteState => 1.0,
+        FailureCause::RailSaturation => 2.0,
+        FailureCause::NonConvergence => 3.0,
+        FailureCause::Cancelled => 4.0,
+    }
 }
 
 /// Guarded counterpart of [`crate::inference::infer_dense`]: clamp
@@ -454,8 +503,45 @@ pub fn infer_dense_guarded_supervised<R: Rng + ?Sized>(
     cancel: Option<&dsgl_ising::CancelToken>,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_traced(
+        model,
+        sample,
+        guard,
+        faults,
+        sink,
+        pool,
+        cancel,
+        &crate::tracing::TraceScope::noop(),
+        rng,
+    )
+}
+
+/// [`infer_dense_guarded_supervised`] with a
+/// [`TraceScope`](crate::tracing::TraceScope) attached to the
+/// per-window machine: the run records its `anneal.*` phase span and
+/// any `guard.retry` spans into the scope's collector, and the returned
+/// [`HealthReport`] carries the scope's trace id. A noop scope *is* the
+/// plain supervised call — spans are recorded only after the dynamics
+/// finish, so traced results are bit-identical either way.
+///
+/// # Errors
+///
+/// See [`infer_dense_guarded_pooled`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_dense_guarded_traced<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    scope: &crate::tracing::TraceScope,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
     let mut dspu = crate::inference::machine_for_sample(model, sample, rng)?;
     dspu.set_telemetry(sink.clone());
+    dspu.set_tracing(scope.clone());
     if let Some(token) = cancel {
         dspu.set_cancel(token.clone());
     }
@@ -506,6 +592,35 @@ pub fn infer_batch_guarded_instrumented(
     master_seed: u64,
     sink: &TelemetrySink,
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_traced(
+        model,
+        samples,
+        guard,
+        master_seed,
+        sink,
+        &crate::tracing::TraceScope::noop(),
+    )
+}
+
+/// [`infer_batch_guarded_instrumented`] with one
+/// [`TraceScope`](crate::tracing::TraceScope) shared by every window's
+/// machine: each window records its `anneal.*` phase span (and any
+/// `guard.retry` spans) under the scope's trace and parent ids. The
+/// collector behind the scope is thread-safe; a noop scope *is* the
+/// plain instrumented call, bit for bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_guarded_traced(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    master_seed: u64,
+    sink: &TelemetrySink,
+    scope: &crate::tracing::TraceScope,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
@@ -528,13 +643,15 @@ pub fn infer_batch_guarded_instrumented(
         for (i, sample) in samples.iter().enumerate().take(hi).skip(lo) {
             let mut rng =
                 rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
-            out.push(infer_dense_guarded_pooled(
+            out.push(infer_dense_guarded_traced(
                 model,
                 sample,
                 guard,
                 &FaultModel::none(),
                 sink,
                 &mut pool,
+                None,
+                scope,
                 &mut rng,
             ));
         }
@@ -632,6 +749,43 @@ pub fn infer_batch_guarded_seeded_supervised(
     pool: &mut Option<dsgl_ising::Workspace>,
     cancel: Option<&dsgl_ising::CancelToken>,
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_seeded_traced(model, samples, guard, seeds, faults, sink, pool, cancel, &[])
+}
+
+/// [`infer_batch_guarded_seeded_supervised`] with one
+/// [`TraceScope`](crate::tracing::TraceScope) per window (aligned with
+/// `samples`; an empty slice means every window is untraced, and *is*
+/// the plain supervised call). Window `i`'s machine records its
+/// `anneal.{strict,adaptive,lockstep}` phase span and any `guard.retry`
+/// spans into `scopes[i]`, and its [`HealthReport`] carries that
+/// scope's trace id — the hook `dsgl-serve` uses to parent per-window
+/// spans under the owning request's `serve.batch` span. Spans are
+/// recorded only after dynamics finish, so traced results stay
+/// bit-identical to untraced ones.
+///
+/// # Errors
+///
+/// See [`infer_batch_guarded_seeded_instrumented`]; additionally a
+/// non-empty `scopes` must match `samples` in length.
+#[allow(clippy::too_many_arguments)]
+pub fn infer_batch_guarded_seeded_traced(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    scopes: &[crate::tracing::TraceScope],
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    if !scopes.is_empty() && scopes.len() != samples.len() {
+        return Err(CoreError::SampleShapeMismatch {
+            what: "per-window trace scope list",
+            expected: samples.len(),
+            actual: scopes.len(),
+        });
+    }
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
@@ -652,17 +806,19 @@ pub fn infer_batch_guarded_seeded_supervised(
         && faults.coupler_drift == 0.0
         && crate::inference::lockstep_precheck(model, &guard.anneal)
     {
-        if let Some(out) =
-            lockstep_guarded_batch(model, samples, guard, seeds, faults, sink, pool, cancel)?
-        {
+        if let Some(out) = lockstep_guarded_batch(
+            model, samples, guard, seeds, faults, sink, pool, cancel, scopes,
+        )? {
             return Ok(out);
         }
     }
     let run_window = |i: usize, pool: &mut Option<dsgl_ising::Workspace>| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
-        infer_dense_guarded_supervised(
-            model, &samples[i], guard, faults, sink, pool, cancel, &mut rng,
+        let noop = crate::tracing::TraceScope::noop();
+        let scope = scopes.get(i).unwrap_or(&noop);
+        infer_dense_guarded_traced(
+            model, &samples[i], guard, faults, sink, pool, cancel, scope, &mut rng,
         )
     };
     if samples.len() <= GUARD_POOL_CHUNK {
@@ -736,6 +892,7 @@ fn lockstep_guarded_batch(
     sink: &TelemetrySink,
     pool: &mut Option<dsgl_ising::Workspace>,
     cancel: Option<&dsgl_ising::CancelToken>,
+    scopes: &[crate::tracing::TraceScope],
 ) -> Result<Option<Vec<GuardedWindow>>, CoreError> {
     use rand::SeedableRng;
     let mut machines = Vec::with_capacity(samples.len());
@@ -743,6 +900,9 @@ fn lockstep_guarded_batch(
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
         let mut dspu = crate::inference::machine_for_sample(model, sample, &mut rng)?;
         dspu.set_telemetry(sink.clone());
+        if let Some(scope) = scopes.get(i) {
+            dspu.set_tracing(scope.clone());
+        }
         if let Some(token) = cancel {
             dspu.set_cancel(token.clone());
         }
@@ -767,6 +927,7 @@ fn lockstep_guarded_batch(
             let health = HealthReport {
                 anneal_steps: report.steps,
                 anneal_sim_time_ns: report.sim_time_ns,
+                trace_id: dspu.tracing().trace_id(),
                 ..HealthReport::default()
             };
             record_guard_metrics(dspu.telemetry(), &health);
@@ -779,6 +940,9 @@ fn lockstep_guarded_batch(
             let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
             let mut fresh = crate::inference::machine_for_sample(model, &samples[i], &mut rng)?;
             fresh.set_telemetry(sink.clone());
+            if let Some(scope) = scopes.get(i) {
+                fresh.set_tracing(scope.clone());
+            }
             if let Some(token) = cancel {
                 // A latched token makes the rebuild return immediately
                 // (zero steps) with a `cancelled` report, so a watchdog

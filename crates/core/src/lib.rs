@@ -56,6 +56,7 @@ pub mod ridge;
 pub mod sparsify;
 pub mod telemetry;
 pub mod threading;
+pub mod tracing;
 pub mod trainer;
 pub mod windows;
 
@@ -68,4 +69,5 @@ pub use patterns::PatternKind;
 pub use sparsify::{decompose, DecomposeConfig, DecomposedModel};
 pub use telemetry::{MetricsSnapshot, TelemetrySink};
 pub use threading::Threading;
+pub use tracing::{FlightDump, FlightRecorder, SpanCollector, SpanRecord, TraceScope};
 pub use trainer::{TrainConfig, TrainReport, Trainer};

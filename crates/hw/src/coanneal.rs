@@ -26,7 +26,7 @@ use crate::fault::HwFaultModel;
 use crate::schedule::{active_slice, schedule_link, CrossCoupling, LinkSchedule};
 use dsgl_core::inference::EvalReport;
 use dsgl_core::metrics::{pooled_rmse, rmse};
-use dsgl_core::{CoreError, DecomposedModel, TelemetrySink};
+use dsgl_core::{CoreError, DecomposedModel, TelemetrySink, TraceScope};
 use dsgl_data::Sample;
 use dsgl_ising::convergence::max_rate;
 use dsgl_ising::noise::gaussian;
@@ -95,6 +95,9 @@ pub struct MappedMachine {
     /// Metrics sink; noop unless [`set_telemetry`](Self::set_telemetry)
     /// attached an enabled one.
     telemetry: TelemetrySink,
+    /// Span scope; noop unless [`set_tracing`](Self::set_tracing)
+    /// attached an enabled one.
+    tracing: TraceScope,
 }
 
 impl MappedMachine {
@@ -215,6 +218,7 @@ impl MappedMachine {
             pe_occupancy,
             lanes,
             telemetry: TelemetrySink::noop(),
+            tracing: TraceScope::noop(),
         })
     }
 
@@ -234,6 +238,22 @@ impl MappedMachine {
     /// The attached telemetry sink (noop by default).
     pub fn telemetry(&self) -> &TelemetrySink {
         &self.telemetry
+    }
+
+    /// Attaches a [`TraceScope`]. Each subsequent [`run`](Self::run)
+    /// records one `hw.coanneal` span (steps, sim time, convergence)
+    /// into the scope's collector, parented to the scope's current
+    /// parent span. Follows the telemetry contract: the span is built
+    /// only after the dynamics finish, a noop scope costs one branch
+    /// and reads no clock, so co-annealed results are bit-identical
+    /// with or without tracing.
+    pub fn set_tracing(&mut self, scope: TraceScope) {
+        self.tracing = scope;
+    }
+
+    /// The attached trace scope (noop by default).
+    pub fn tracing(&self) -> &TraceScope {
+        &self.tracing
     }
 
     /// Gauges and histograms describing the programmed mapping.
@@ -473,6 +493,7 @@ impl MappedMachine {
 
     /// Runs co-annealing under `config`, returning the report.
     pub fn run<R: Rng + ?Sized>(&mut self, config: &HwConfig, rng: &mut R) -> CoAnnealReport {
+        let span_start = self.tracing.start();
         let anneal = &config.anneal;
         let mut t = 0.0;
         let mut steps = 0usize;
@@ -561,6 +582,15 @@ impl MappedMachine {
         }
         self.run_prev = prev;
         self.run_currents = currents;
+        self.tracing.record(
+            "hw.coanneal",
+            span_start,
+            &[
+                ("steps", steps as f64),
+                ("sim_time_ns", t),
+                ("converged", f64::from(u8::from(converged))),
+            ],
+        );
         CoAnnealReport {
             anneal: AnnealReport {
                 converged,

@@ -54,6 +54,7 @@ pub struct RealValuedDspu {
     pub(crate) capacitance: f64,
     pub(crate) workspace: Workspace,
     pub(crate) telemetry: crate::telemetry::TelemetrySink,
+    pub(crate) tracing: crate::tracing::TraceScope,
     pub(crate) cancel: Option<crate::cancel::CancelToken>,
 }
 
@@ -89,6 +90,7 @@ impl RealValuedDspu {
             capacitance: crate::RC_NS,
             workspace: Workspace::new(),
             telemetry: crate::telemetry::TelemetrySink::noop(),
+            tracing: crate::tracing::TraceScope::noop(),
             cancel: None,
         })
     }
@@ -106,6 +108,23 @@ impl RealValuedDspu {
     /// [`set_telemetry`](Self::set_telemetry) was called).
     pub fn telemetry(&self) -> &crate::telemetry::TelemetrySink {
         &self.telemetry
+    }
+
+    /// Attaches a tracing scope: every subsequent annealing run records
+    /// one `anneal.{strict,adaptive,lockstep}` span into the scope's
+    /// [`SpanCollector`](crate::tracing::SpanCollector), carrying the
+    /// step count and simulated time as args. Spans are recorded only
+    /// after the dynamics finish, per the telemetry contract, so traced
+    /// runs stay bit-identical; the default
+    /// [noop scope](crate::tracing::TraceScope::noop) costs one branch.
+    pub fn set_tracing(&mut self, scope: crate::tracing::TraceScope) {
+        self.tracing = scope;
+    }
+
+    /// The attached tracing scope (noop unless
+    /// [`set_tracing`](Self::set_tracing) was called).
+    pub fn tracing(&self) -> &crate::tracing::TraceScope {
+        &self.tracing
     }
 
     /// Attaches a cooperative cancellation token: every subsequent
@@ -530,6 +549,7 @@ impl RealValuedDspu {
         rng: &mut R,
         mut trace: Option<&mut Trace>,
     ) -> AnnealReport {
+        let span_start = self.tracing.start();
         // The event-driven engine handles noiseless Euler runs; noise
         // keeps every node active (nothing to skip) and RK4's staged
         // mat-vecs defeat incremental current maintenance, so both fall
@@ -538,6 +558,7 @@ impl RealValuedDspu {
             if config.noise.is_none() && config.integrator == Integrator::Euler {
                 let report = crate::engine::run_adaptive(self, config, &acfg, trace);
                 self.record_anneal_metrics(&report);
+                self.record_anneal_span("anneal.adaptive", span_start, &report);
                 return report;
             }
         }
@@ -631,7 +652,29 @@ impl RealValuedDspu {
             mean_active_fraction: 1.0,
         };
         self.record_anneal_metrics(&report);
+        self.record_anneal_span("anneal.strict", span_start, &report);
         report
+    }
+
+    /// Records one `anneal.*` phase span into the attached tracing
+    /// scope. Called only after the dynamics finish (the telemetry
+    /// contract); with a noop scope `start` is `None` and this is a
+    /// single branch.
+    pub(crate) fn record_anneal_span(
+        &self,
+        name: &str,
+        start: Option<std::time::Instant>,
+        report: &AnnealReport,
+    ) {
+        self.tracing.record(
+            name,
+            start,
+            &[
+                ("steps", report.steps as f64),
+                ("sim_time_ns", report.sim_time_ns),
+                ("converged", f64::from(u8::from(report.converged))),
+            ],
+        );
     }
 
     /// Reports an externally-integrated annealing run to the attached

@@ -19,7 +19,10 @@
 //! - [`Trace`]: voltage-vs-time recording (paper Fig. 4);
 //! - [`TelemetrySink`]: run-level metrics (steps, simulated time,
 //!   residuals, active-set occupancy) reported by every annealing run
-//!   into a thread-safe registry — see [`telemetry`].
+//!   into a thread-safe registry — see [`telemetry`];
+//! - [`SpanCollector`]: per-request hierarchical tracing spans plus a
+//!   [`FlightRecorder`] black box and Prometheus / Chrome-trace
+//!   exporters — see [`tracing`].
 //!
 //! Simulated time is explicit: the integrator advances in nanosecond
 //! timesteps, so "annealing latency" in the evaluation is simply the
@@ -64,6 +67,7 @@ pub(crate) mod par;
 pub mod sparse;
 pub mod telemetry;
 pub mod trace;
+pub mod tracing;
 pub mod workspace;
 
 /// Default node time constant in nanoseconds: the product of a node's
@@ -85,4 +89,8 @@ pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};
 pub use trace::Trace;
+pub use tracing::{
+    chrome_trace_json, prometheus_text, FlightDump, FlightEvent, FlightRecorder, SpanArg,
+    SpanCollector, SpanRecord, TraceScope, TRACE_SCHEMA_VERSION,
+};
 pub use workspace::Workspace;

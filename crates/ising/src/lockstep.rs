@@ -39,9 +39,14 @@
 //! further writes) while the rest keep stepping on the shared time
 //! grid, which is the same `t` sequence each serial run would see.
 //!
-//! [`run_lockstep`] records **no telemetry** — callers report each
-//! window via [`crate::RealValuedDspu::record_anneal`] so accepted
-//! lockstep windows and serial fallbacks count identically.
+//! [`run_lockstep`] records **no telemetry metrics** — callers report
+//! each window via [`crate::RealValuedDspu::record_anneal`] so accepted
+//! lockstep windows and serial fallbacks count identically. It *does*
+//! record one `anneal.lockstep` span per window into each machine's
+//! attached [`TraceScope`](crate::tracing::TraceScope), after the
+//! dynamics finish: span recording happens from the outside here
+//! because the per-machine `run` never executes, and the serial
+//! fallback's `anneal.strict` spans come from `run` itself.
 
 use crate::anneal::{AnnealConfig, AnnealReport, Integrator};
 use crate::dspu::RealValuedDspu;
@@ -69,7 +74,9 @@ const DENSITY_GATE_INV: usize = 8;
 /// On success the returned reports match what each machine's own
 /// [`run`](RealValuedDspu::run) would have produced, bit for bit, and
 /// each machine's state is the corresponding serial final state. No
-/// telemetry is recorded; see the module docs.
+/// telemetry metrics are recorded (see the module docs); one
+/// `anneal.lockstep` span per window goes to each machine's tracing
+/// scope once the dynamics finish.
 pub fn run_lockstep(
     machines: &mut [RealValuedDspu],
     config: &AnnealConfig,
@@ -103,6 +110,11 @@ pub fn run_lockstep(
             row[j] = v;
         }
     }
+
+    // Span clocks are read only for machines with an enabled scope, and
+    // only before the dynamics start — never inside the loop.
+    let span_starts: Vec<Option<std::time::Instant>> =
+        machines.iter().map(|m| m.tracing().start()).collect();
 
     // Pack states window-minor: column w of `S` is machine w's state.
     for (i, row) in ws.batch_states.chunks_exact_mut(wn).enumerate() {
@@ -176,7 +188,7 @@ pub fn run_lockstep(
             steps_rec[w] = steps;
             time_rec[w] = t;
         }
-        reports.push(AnnealReport {
+        let report = AnnealReport {
             converged: converged[w],
             steps: steps_rec[w],
             sim_time_ns: time_rec[w],
@@ -184,7 +196,9 @@ pub fn run_lockstep(
             energy: machine.energy(),
             sparse_steps: 0,
             mean_active_fraction: 1.0,
-        });
+        };
+        machine.record_anneal_span("anneal.lockstep", span_starts[w], &report);
+        reports.push(report);
     }
     Some(reports)
 }

@@ -56,6 +56,14 @@ pub struct ServeConfig {
     /// Test-only fault injection into the live service (worker panics,
     /// hung windows). [`ChaosConfig::none`] in production.
     pub chaos: ChaosConfig,
+    /// Ring capacity of the service's black-box
+    /// [`FlightRecorder`](dsgl_core::FlightRecorder): how many recent
+    /// structured events (worker panics, watchdog fires, brownout
+    /// edges, SLO fallbacks) a
+    /// [`flight_dump`](crate::ForecastService::flight_dump) retains.
+    /// The recorder is always on — events are rare failure edges, never
+    /// per-request work — so this only bounds post-mortem memory.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +79,7 @@ impl Default for ServeConfig {
             crash_retries: 2,
             brownout: None,
             chaos: ChaosConfig::none(),
+            flight_capacity: 256,
         }
     }
 }
@@ -136,6 +145,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the flight-recorder ring capacity (≥ 1).
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
     /// Rejects configurations the service cannot run.
     ///
     /// # Errors
@@ -156,6 +171,11 @@ impl ServeConfig {
         if self.queue_capacity == 0 {
             return Err(ServeError::InvalidConfig {
                 reason: "queue capacity must be at least 1".to_owned(),
+            });
+        }
+        if self.flight_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "flight-recorder capacity must be at least 1".to_owned(),
             });
         }
         if self.watchdog.is_some_and(|w| w.is_zero()) {
@@ -308,6 +328,7 @@ mod tests {
             ServeConfig::default().coalesce(0),
             ServeConfig::default().queue_capacity(0),
             ServeConfig::default().watchdog(Duration::ZERO),
+            ServeConfig::default().flight_capacity(0),
         ] {
             assert!(matches!(
                 cfg.validate(),

@@ -42,6 +42,24 @@
 //!   Shed, driven by a health score with hysteresis. The
 //!   [`chaos::ChaosConfig`] knobs inject worker panics and hung windows
 //!   for the chaos campaign that proves all of the above.
+//! - **Tracing & the black box** (PR 9): spawn via
+//!   [`ForecastService::spawn_traced`] with a
+//!   [`SpanCollector`](dsgl_core::SpanCollector) and every request
+//!   records a causal span tree — `serve.request` →
+//!   `serve.admission`/`serve.queue_wait` → `serve.batch` →
+//!   `anneal.{strict,adaptive,lockstep}`/`guard.retry`, plus
+//!   `serve.coalesce` and `serve.fallback` markers — exportable as
+//!   Perfetto-loadable Chrome trace JSON
+//!   ([`ForecastService::chrome_trace`]). Independently, an always-on
+//!   [`FlightRecorder`](dsgl_core::FlightRecorder) keeps the last
+//!   [`ServeConfig::flight_capacity`] failure-edge events
+//!   ([`flight_events`]) for [`ForecastService::flight_dump`], frozen
+//!   automatically at each worker panic
+//!   ([`ForecastService::last_crash_dump`]). The metrics snapshot
+//!   exports as Prometheus text via [`ForecastService::prometheus`].
+//!   All of it obeys the telemetry contract: spans are recorded only
+//!   after dynamics finish, and the noop collector is one branch —
+//!   tracing on vs off is bit-identical.
 //!
 //! # The determinism contract
 //!
@@ -143,4 +161,30 @@ pub mod instruments {
     pub const BROWNOUT_ADMITTED: &str = "serve.brownout_admitted";
     /// Counter: requests shed by the brownout or shed tiers.
     pub const BROWNOUT_REJECTED: &str = "serve.brownout_rejected";
+}
+
+/// Frozen event-kind strings of the service's black-box
+/// [`FlightRecorder`](dsgl_core::FlightRecorder) (dumped by
+/// [`ForecastService::flight_dump`]). Like the instrument names, these
+/// are a stable interface: dashboards and post-mortem tooling match on
+/// them, so they only ever grow.
+pub mod flight_events {
+    /// A worker panic was caught at the supervision boundary; the
+    /// detail carries the slot and orphaned-request count, the trace id
+    /// points at the batch's first request (0 when untraced).
+    pub const WORKER_PANIC: &str = "worker.panic";
+    /// A request failed typed ([`ServeError::WorkerCrashed`]) after
+    /// exhausting the crash-retry budget.
+    pub const CRASH_FAILURE: &str = "crash.failure";
+    /// The watchdog fired a hung batch's cancel token.
+    pub const WATCHDOG_CANCEL: &str = "watchdog.cancel";
+    /// A cancelled request exhausted re-delivery and was served the
+    /// persistence fallback.
+    pub const WATCHDOG_FALLBACK: &str = "watchdog.fallback";
+    /// The brownout tier changed; the detail carries the edge and the
+    /// health score that drove it.
+    pub const BROWNOUT_TRANSITION: &str = "brownout.transition";
+    /// A request queued past its SLO deadline was served the
+    /// persistence fallback.
+    pub const SLO_FALLBACK: &str = "slo.fallback";
 }

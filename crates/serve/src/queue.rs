@@ -12,6 +12,14 @@
 //! affects *what* each request computes (every window anneals under its
 //! own seed), so the linger trades latency for throughput without
 //! touching the bit-identity contract.
+//!
+//! Observability: the service samples the `serve.queue_depth` gauge at
+//! every depth-changing edge — successful push, full-queue rejection,
+//! batch pop, and crash/cancel [`requeue`](BoundedQueue::requeue) (which
+//! returns the new depth for exactly that reason) — so a brownout
+//! decision can be reconstructed from the gauge series after the fact.
+//! Per-request queue time is the `serve.queue_wait` span recorded at
+//! pop time when tracing is enabled.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};

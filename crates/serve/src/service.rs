@@ -2,9 +2,11 @@
 //! and the supervision layer (panic isolation, hung-anneal watchdog,
 //! graduated brownout admission).
 
-use dsgl_core::guard::{infer_batch_guarded_seeded_supervised, RetryPolicy};
+use dsgl_core::guard::{infer_batch_guarded_seeded_traced, RetryPolicy};
+use dsgl_core::tracing::{chrome_trace_json, prometheus_text};
 use dsgl_core::{
-    CancelToken, CoreError, DsGlModel, GuardedAnneal, HealthReport, MetricsSnapshot, TelemetrySink,
+    CancelToken, CoreError, DsGlModel, FlightDump, FlightRecorder, GuardedAnneal, HealthReport,
+    MetricsSnapshot, SpanCollector, SpanRecord, TelemetrySink, TraceScope,
 };
 use dsgl_data::Sample;
 use dsgl_ising::Workspace;
@@ -18,8 +20,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::instruments;
 use crate::queue::{BoundedQueue, PushError};
+use crate::{flight_events, instruments};
 use crate::supervisor::{self, HealthInputs, WorkerSlot, TIER_BROWNOUT, TIER_NORMAL, TIER_SHED};
 use crate::ServeConfig;
 
@@ -154,6 +156,9 @@ struct Request {
     admitted: Instant,
     /// Crash/cancel re-deliveries consumed so far.
     retries: u32,
+    /// This request's trace id, doubling as its reserved root
+    /// `serve.request` span id (0 when the service traces nowhere).
+    trace_id: u64,
     /// FNV-1a of `(seed, window bits)` for brownout coalesce-admission
     /// bookkeeping. A collision can only mis-admit or mis-shed — the
     /// exact-bits coalescing key in `serve_group` is what decides who
@@ -217,6 +222,16 @@ struct Shared {
     panics_armed: AtomicU32,
     /// Remaining chaos hang injections.
     hangs_armed: AtomicU32,
+    /// Span collector: noop unless the service was spawned via
+    /// [`ForecastService::spawn_traced`], in which case every request
+    /// gets a `serve.request` span tree down to the anneal phases.
+    spans: SpanCollector,
+    /// Always-on black-box recorder of failure-edge events (worker
+    /// panics, watchdog fires, brownout edges, SLO fallbacks).
+    flight: FlightRecorder,
+    /// Flight dump frozen at the moment of the most recent worker
+    /// panic, so the evidence survives later ring rotation.
+    last_crash_dump: Mutex<Option<FlightDump>>,
 }
 
 impl Shared {
@@ -307,6 +322,33 @@ impl ForecastService {
         telemetry: TelemetrySink,
         config: ServeConfig,
     ) -> Result<ForecastService, ServeError> {
+        Self::spawn_traced(model, guard, telemetry, SpanCollector::noop(), config)
+    }
+
+    /// [`spawn`](Self::spawn) with a [`SpanCollector`]: every admitted
+    /// request records a `serve.request` span tree — `serve.admission`
+    /// and `serve.queue_wait` under the root, a `serve.batch` span per
+    /// executed batch, the `anneal.{strict,adaptive,lockstep}` phase and
+    /// `guard.retry` spans from the kernels underneath, plus
+    /// `serve.coalesce` / `serve.fallback` markers. Read the tree back
+    /// with [`trace_spans`](Self::trace_spans) or export it via
+    /// [`chrome_trace`](Self::chrome_trace).
+    ///
+    /// Pass [`SpanCollector::noop`] (what [`spawn`](Self::spawn) does)
+    /// to trace nothing: the disabled collector is a single branch on
+    /// every path and provably bit-invisible (the determinism suite runs
+    /// collector-enabled vs noop and compares bits).
+    ///
+    /// # Errors
+    ///
+    /// See [`spawn`](Self::spawn).
+    pub fn spawn_traced(
+        model: DsGlModel,
+        guard: GuardedAnneal,
+        telemetry: TelemetrySink,
+        spans: SpanCollector,
+        config: ServeConfig,
+    ) -> Result<ForecastService, ServeError> {
         config.validate()?;
         config
             .faults
@@ -332,6 +374,9 @@ impl ForecastService {
             queued_keys: config.brownout.as_ref().map(|_| Mutex::new(HashMap::new())),
             panics_armed: AtomicU32::new(config.chaos.armed_panics()),
             hangs_armed: AtomicU32::new(config.chaos.armed_hangs()),
+            spans,
+            flight: FlightRecorder::with_capacity(config.flight_capacity),
+            last_crash_dump: Mutex::new(None),
             config,
         });
         for slot in 0..shared.config.workers {
@@ -367,6 +412,7 @@ impl ForecastService {
                 actual: window.len(),
             });
         }
+        let admission_start = shared.spans.now();
         let key = request_key(seed, &window);
         if shared.config.brownout.is_some() {
             match shared.tier.load(Ordering::Acquire) {
@@ -391,11 +437,16 @@ impl ForecastService {
             }
         }
         let (tx, rx) = mpsc::channel();
+        // The trace id doubles as the root `serve.request` span id,
+        // reserved now so every child span recorded before reply time
+        // already knows its parent (0 under a noop collector).
+        let trace_id = shared.spans.reserve();
         let request = Request {
             window,
             seed,
             admitted: Instant::now(),
             retries: 0,
+            trace_id,
             key,
             reply: tx,
         };
@@ -406,10 +457,22 @@ impl ForecastService {
                 shared
                     .sink
                     .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
+                shared.spans.record(
+                    trace_id,
+                    trace_id,
+                    "serve.admission",
+                    admission_start,
+                    &[("queue_depth", depth as f64)],
+                );
                 Ok(Ticket { rx })
             }
             Err(PushError::Full(_)) => {
                 shared.sink.counter_add(instruments::REJECTED, 1);
+                // Sample the depth at the rejection edge too: brownout
+                // post-mortems need the gauge at every decision point.
+                shared
+                    .sink
+                    .gauge_set(instruments::QUEUE_DEPTH, shared.queue.len() as f64);
                 Err(self.overloaded())
             }
             Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
@@ -463,6 +526,45 @@ impl ForecastService {
     /// without a [`brownout`](ServeConfig::brownout) policy.
     pub fn brownout_tier(&self) -> u8 {
         self.shared.tier.load(Ordering::Acquire)
+    }
+
+    /// The Prometheus text exposition of [`health`](Self::health) —
+    /// what an HTTP `/metrics` endpoint would body out verbatim.
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.health())
+    }
+
+    /// The black-box flight recorder's current contents: the last
+    /// [`ServeConfig::flight_capacity`] failure-edge events (worker
+    /// panics, watchdog fires, brownout edges, SLO fallbacks), oldest
+    /// first. Always available — the recorder runs even when tracing
+    /// and telemetry are off.
+    pub fn flight_dump(&self) -> FlightDump {
+        self.shared.flight.dump()
+    }
+
+    /// The flight dump frozen at the most recent worker panic (the
+    /// black-box evidence, immune to later ring rotation), or `None`
+    /// if no worker has ever panicked.
+    pub fn last_crash_dump(&self) -> Option<FlightDump> {
+        self.shared
+            .last_crash_dump
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Every span the collector retains, in creation order. Empty
+    /// unless the service was spawned via
+    /// [`spawn_traced`](Self::spawn_traced).
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.shared.spans.snapshot()
+    }
+
+    /// Chrome trace-event JSON of [`trace_spans`](Self::trace_spans),
+    /// loadable directly in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.trace_spans())
     }
 
     /// Stops admitting requests, drains what was already queued, joins
@@ -554,6 +656,25 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
         shared
             .sink
             .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
+        // Queue-wait spans (admission → this pop) plus the batch span,
+        // reserved *before* serving so the anneal spans recorded inside
+        // the kernels can parent to it. The batch span rides the first
+        // request's trace.
+        if shared.spans.is_enabled() {
+            for request in &batch {
+                shared.spans.record(
+                    request.trace_id,
+                    request.trace_id,
+                    "serve.queue_wait",
+                    Some(request.admitted),
+                    &[("batch", batch.len() as f64)],
+                );
+            }
+        }
+        let batch_span = shared.spans.reserve();
+        let batch_start = shared.spans.now();
+        let batch_trace = batch.first().map_or(0, |r| r.trace_id);
+        let batch_width = batch.len();
         let started = Instant::now();
         // One fresh token per batch, only when a watchdog can fire it;
         // without a watchdog the whole supervision path is `None`s.
@@ -566,13 +687,21 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
         // is still in the tray for exactly-once re-delivery.
         let tray = Mutex::new(batch.into_iter().map(Some).collect::<Vec<_>>());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_batch(shared, &tray, &mut pool, token.as_ref());
+            serve_batch(shared, &tray, &mut pool, token.as_ref(), batch_span);
         }));
         shared.slots[slot].clear();
         match outcome {
             Ok(()) => {
                 let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 note_batch_time(shared, elapsed);
+                shared.spans.record_with_id(
+                    batch_span,
+                    batch_trace,
+                    batch_trace,
+                    "serve.batch",
+                    batch_start,
+                    &[("width", batch_width as f64)],
+                );
             }
             Err(_) => {
                 // The workspace's mid-panic state is garbage; it dies
@@ -608,6 +737,11 @@ fn handle_worker_panic(shared: &Arc<Shared>, slot: usize, tray: Mutex<Vec<Option
         .into_iter()
         .flatten()
         .collect();
+    shared.flight.record(
+        flight_events::WORKER_PANIC,
+        format!("worker {slot}: {} orphaned request(s)", leftovers.len()),
+        leftovers.first().map_or(0, |r| r.trace_id),
+    );
     let stopping = shared.stopping();
     for mut request in leftovers {
         if !stopping && request.retries < shared.config.crash_retries {
@@ -616,15 +750,29 @@ fn handle_worker_panic(shared: &Arc<Shared>, slot: usize, tray: Mutex<Vec<Option
             shared.note_queued_key(request.key);
             // Capacity-ignoring front re-insert: an admitted request is
             // never shed, and it keeps its FIFO seniority.
-            shared.queue.requeue(request);
+            let depth = shared.queue.requeue(request);
+            shared
+                .sink
+                .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
         } else {
             shared.sink.counter_add(instruments::CRASH_FAILURES, 1);
+            shared.flight.record(
+                flight_events::CRASH_FAILURE,
+                format!("seed {} failed after {} re-deliveries", request.seed, request.retries),
+                request.trace_id,
+            );
             let retries = request.retries;
             let _ = request
                 .reply
                 .send(Err(ServeError::WorkerCrashed { retries }));
         }
     }
+    // Freeze the black box *after* the per-request events above, so the
+    // crash dump carries the whole failure edge.
+    *shared
+        .last_crash_dump
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = Some(shared.flight.dump());
     // Re-enqueue strictly before respawn: the replacement drains the
     // queue until it is closed *and* empty, so items present at its
     // spawn are guaranteed served even mid-shutdown. (Respawn-first
@@ -644,6 +792,7 @@ fn serve_batch(
     tray: &Mutex<Vec<Option<Request>>>,
     pool: &mut Option<Workspace>,
     token: Option<&CancelToken>,
+    batch_span: u64,
 ) {
     let lock_tray = || tray.lock().unwrap_or_else(|e| e.into_inner());
     let width = lock_tray().iter().flatten().count();
@@ -674,9 +823,22 @@ fn serve_batch(
             let Some(request) = lock_tray()[idx].take() else {
                 continue;
             };
-            let (prediction, health) = persistence_fallback(&shared.model, &request.window);
+            let (prediction, mut health) = persistence_fallback(&shared.model, &request.window);
+            health.trace_id = request.trace_id;
             shared.sink.counter_add(instruments::SLO_FALLBACKS, 1);
             shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+            shared.flight.record(
+                flight_events::SLO_FALLBACK,
+                format!("seed {} queued past its deadline", request.seed),
+                request.trace_id,
+            );
+            shared.spans.record(
+                request.trace_id,
+                request.trace_id,
+                "serve.fallback",
+                shared.spans.is_enabled().then_some(request.admitted),
+                &[("slo", 1.0)],
+            );
             respond(shared, request, prediction, health, true, width);
         }
     }
@@ -713,11 +875,11 @@ fn serve_batch(
         (normal, hung)
     };
     if !normal.is_empty() {
-        serve_group(shared, tray, &normal, &shared.guard, pool, token, width);
+        serve_group(shared, tray, &normal, &shared.guard, pool, token, width, batch_span);
     }
     if !hung.is_empty() {
         let chaos_guard = chaos_hang_guard(&shared.guard);
-        serve_group(shared, tray, &hung, &chaos_guard, pool, token, width);
+        serve_group(shared, tray, &hung, &chaos_guard, pool, token, width, batch_span);
     }
 }
 
@@ -757,18 +919,23 @@ fn serve_group(
     pool: &mut Option<Workspace>,
     token: Option<&CancelToken>,
     width: usize,
+    batch_span: u64,
 ) {
     let target_len = shared.model.layout().target_len();
     // Coalesce duplicates: identical (seed, window bits) anneal once.
     // f64 bit patterns make the key exact — if the bits match, the
     // anneal provably matches, so fan-out is lossless. Planning reads
     // through the tray (requests stay in it until reply time).
-    let (samples, seeds, assignment) = {
+    // The first request mapped to a slot is that window's *primary*:
+    // the anneal's spans ride the primary's trace, and riders point at
+    // it from their `serve.coalesce` span and shared `HealthReport`.
+    let (samples, seeds, assignment, primaries) = {
         let tray = tray.lock().unwrap_or_else(|e| e.into_inner());
         let mut index_of: HashMap<(u64, Vec<u64>), usize> = HashMap::new();
         let mut samples: Vec<Sample> = Vec::with_capacity(indices.len());
         let mut seeds: Vec<u64> = Vec::with_capacity(indices.len());
         let mut assignment: Vec<usize> = Vec::with_capacity(indices.len());
+        let mut primaries: Vec<u64> = Vec::with_capacity(indices.len());
         for &i in indices {
             let request = tray[i].as_ref().expect("planned request left the tray");
             let key = (
@@ -781,17 +948,29 @@ fn serve_group(
                     target: vec![0.0; target_len],
                 });
                 seeds.push(request.seed);
+                primaries.push(request.trace_id);
                 samples.len() - 1
             });
             assignment.push(slot);
         }
-        (samples, seeds, assignment)
+        (samples, seeds, assignment, primaries)
     };
     let hits = (indices.len() - samples.len()) as u64;
     if hits > 0 {
         shared.sink.counter_add(instruments::COALESCED_HITS, hits);
     }
-    let results = infer_batch_guarded_seeded_supervised(
+    // One scope per distinct window: anneal/guard spans record into the
+    // primary's trace, parented under this batch's span. Empty when the
+    // collector is noop — the kernels then skip tracing in one branch.
+    let scopes: Vec<TraceScope> = if shared.spans.is_enabled() {
+        primaries
+            .iter()
+            .map(|&t| TraceScope::new(shared.spans.clone(), t, batch_span))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let results = infer_batch_guarded_seeded_traced(
         &shared.model,
         &samples,
         guard,
@@ -800,6 +979,7 @@ fn serve_group(
         &shared.sink,
         pool,
         token,
+        &scopes,
     );
     match results {
         Ok(results) => {
@@ -821,6 +1001,18 @@ fn serve_group(
                 if health.cancelled {
                     resolve_cancelled(shared, request, width);
                     continue;
+                }
+                // A rider marks that it coasted on the primary's anneal;
+                // its health (cloned below) carries the primary's trace
+                // id, which is the pointer a post-mortem follows.
+                if request.trace_id != primaries[slot] {
+                    shared.spans.record(
+                        request.trace_id,
+                        request.trace_id,
+                        "serve.coalesce",
+                        shared.spans.is_enabled().then_some(request.admitted),
+                        &[("primary_trace", primaries[slot] as f64)],
+                    );
                 }
                 // Count before replying: a caller that snapshots the
                 // instruments right after its response must already see
@@ -859,12 +1051,28 @@ fn resolve_cancelled(shared: &Arc<Shared>, mut request: Request, width: usize) {
         request.retries += 1;
         shared.sink.counter_add(instruments::REQUEUES, 1);
         shared.note_queued_key(request.key);
-        shared.queue.requeue(request);
+        let depth = shared.queue.requeue(request);
+        shared
+            .sink
+            .gauge_set(instruments::QUEUE_DEPTH, depth as f64);
     } else {
         let (prediction, mut health) = persistence_fallback(&shared.model, &request.window);
         health.cancelled = true;
+        health.trace_id = request.trace_id;
         shared.sink.counter_add(instruments::WATCHDOG_FALLBACKS, 1);
         shared.sink.counter_add(instruments::DEGRADATIONS, 1);
+        shared.flight.record(
+            flight_events::WATCHDOG_FALLBACK,
+            format!("seed {} out of re-deliveries after cancellation", request.seed),
+            request.trace_id,
+        );
+        shared.spans.record(
+            request.trace_id,
+            request.trace_id,
+            "serve.fallback",
+            shared.spans.is_enabled().then_some(request.admitted),
+            &[("cancelled", 1.0)],
+        );
         respond(shared, request, prediction, health, false, width);
     }
 }
@@ -881,6 +1089,20 @@ fn respond(
     shared
         .sink
         .record(instruments::LATENCY_NS, latency_ns as f64);
+    // The root span closes here, under the id reserved at submit, so
+    // every child recorded along the way already points at it.
+    shared.spans.record_with_id(
+        request.trace_id,
+        request.trace_id,
+        0,
+        "serve.request",
+        shared.spans.is_enabled().then_some(request.admitted),
+        &[
+            ("batch_width", batch_width as f64),
+            ("slo_degraded", f64::from(u8::from(slo_degraded))),
+            ("retries", f64::from(request.retries)),
+        ],
+    );
     // A dropped Ticket just means the caller stopped waiting.
     let _ = request.reply.send(Ok(ForecastResponse {
         prediction,
@@ -909,9 +1131,14 @@ fn supervisor_loop(shared: &Shared) {
     while !shared.workers_done.load(Ordering::Acquire) {
         std::thread::sleep(tick);
         if let Some(deadline) = watchdog {
-            for slot in &shared.slots {
+            for (i, slot) in shared.slots.iter().enumerate() {
                 if slot.cancel_if_overdue(deadline) {
                     shared.sink.counter_add(instruments::WATCHDOG_CANCELS, 1);
+                    shared.flight.record(
+                        flight_events::WATCHDOG_CANCEL,
+                        format!("worker {i} overdue past {deadline:?}"),
+                        0,
+                    );
                 }
             }
         }
@@ -937,6 +1164,11 @@ fn supervisor_loop(shared: &Shared) {
                 shared
                     .sink
                     .counter_add(instruments::BROWNOUT_TRANSITIONS, 1);
+                shared.flight.record(
+                    flight_events::BROWNOUT_TRANSITION,
+                    format!("tier {current} -> {next} (score {score:.3})"),
+                    0,
+                );
             }
             shared
                 .sink

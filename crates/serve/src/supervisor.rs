@@ -18,6 +18,14 @@
 //! Both jobs are deliberately decoupled from the telemetry sink: they
 //! read dedicated atomics maintained by the serving path, so
 //! supervision works identically under a noop sink.
+//!
+//! Every supervision edge also lands in the service's black-box
+//! [`FlightRecorder`](dsgl_core::FlightRecorder): a fired watchdog
+//! records a `watchdog.cancel` event and a tier change records a
+//! `brownout.transition` event (with the driving health score), so a
+//! post-mortem [`flight_dump`](crate::ForecastService::flight_dump)
+//! shows *when* supervision acted, not just the counters saying that it
+//! did.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -21,7 +21,8 @@ use dsgl_ising::fault::FaultModel;
 use dsgl_ising::AnnealConfig;
 use dsgl_serve::supervisor::{TIER_BROWNOUT, TIER_NORMAL, TIER_SHED};
 use dsgl_serve::{
-    instruments, BrownoutPolicy, ChaosConfig, ForecastService, ServeConfig, ServeError,
+    flight_events, instruments, BrownoutPolicy, ChaosConfig, ForecastService, ServeConfig,
+    ServeError,
 };
 use std::time::{Duration, Instant};
 
@@ -127,6 +128,23 @@ fn panic_injection_loses_and_duplicates_nothing() {
         24,
         "the service must send exactly one response per admitted request"
     );
+    // The black box saw both panics, and each panic froze a crash dump
+    // that itself contains the panic evidence.
+    let dump = service.flight_dump();
+    assert_eq!(
+        dump.events
+            .iter()
+            .filter(|e| e.kind == flight_events::WORKER_PANIC)
+            .count(),
+        2,
+        "each injected panic must leave a flight event: {dump:?}"
+    );
+    let crash_dump = service.last_crash_dump().expect("a panic freezes the black box");
+    assert!(crash_dump
+        .events
+        .iter()
+        .any(|e| e.kind == flight_events::WORKER_PANIC));
+    assert!(crash_dump.events.iter().all(|e| e.kind != flight_events::CRASH_FAILURE));
 }
 
 #[test]
@@ -170,6 +188,22 @@ fn crash_budget_exhaustion_fails_with_typed_error() {
     assert_eq!(snapshot.counter(instruments::WORKER_PANICS), 2);
     assert_eq!(snapshot.counter(instruments::CRASH_FAILURES), 1);
     assert_eq!(snapshot.counter(instruments::REQUEUES), 1);
+    // The budget-exhausted failure is in the black box, and the crash
+    // dump frozen at the second panic carries it (events precede the
+    // freeze in handle_worker_panic).
+    let dump = service.flight_dump();
+    assert_eq!(
+        dump.events
+            .iter()
+            .filter(|e| e.kind == flight_events::CRASH_FAILURE)
+            .count(),
+        1
+    );
+    let crash_dump = service.last_crash_dump().unwrap();
+    assert!(crash_dump
+        .events
+        .iter()
+        .any(|e| e.kind == flight_events::CRASH_FAILURE));
 }
 
 #[test]
@@ -217,6 +251,16 @@ fn watchdog_cancels_hung_windows_then_serves_them_bit_identically() {
     assert_eq!(snapshot.counter(instruments::WATCHDOG_FALLBACKS), 0);
     assert_eq!(snapshot.counter(instruments::CRASH_FAILURES), 0);
     assert_eq!(snapshot.get(instruments::LATENCY_NS).unwrap().count, 4);
+    // The watchdog fire is in the black box; no panic happened, so no
+    // crash dump was frozen.
+    let dump = service.flight_dump();
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == flight_events::WATCHDOG_CANCEL),
+        "the cancellation must leave a flight event: {dump:?}"
+    );
+    assert!(service.last_crash_dump().is_none());
 }
 
 #[test]
@@ -251,6 +295,14 @@ fn watchdog_exhaustion_serves_the_persistence_fallback() {
     assert!(snapshot.counter(instruments::WATCHDOG_CANCELS) >= 1);
     assert_eq!(snapshot.counter(instruments::WATCHDOG_FALLBACKS), 1);
     assert_eq!(snapshot.counter(instruments::REQUEUES), 0);
+    // Budget exhaustion is a failure edge: it must be in the black box.
+    let dump = service.flight_dump();
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == flight_events::WATCHDOG_FALLBACK),
+        "the fallback must leave a flight event: {dump:?}"
+    );
 }
 
 #[test]
@@ -377,6 +429,17 @@ fn brownout_admits_only_coalescible_requests_while_wedged() {
     assert!(snapshot.counter(instruments::BROWNOUT_ADMITTED) >= 1);
     assert!(snapshot.counter(instruments::BROWNOUT_REJECTED) >= 1);
     assert!(snapshot.counter(instruments::BROWNOUT_TRANSITIONS) >= 2, "in and back out");
+    // Both tier edges (enter and recover) land in the black box with
+    // the health score that drove them.
+    let dump = service.flight_dump();
+    assert!(
+        dump.events
+            .iter()
+            .filter(|e| e.kind == flight_events::BROWNOUT_TRANSITION)
+            .count()
+            >= 2,
+        "both tier transitions must leave flight events: {dump:?}"
+    );
 }
 
 #[test]

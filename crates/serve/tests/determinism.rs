@@ -2,9 +2,13 @@
 //! returns bit-identical forecasts to the same requests executed
 //! serially one-by-one — across coalesce widths {1, 4, 8} and worker
 //! counts {1, 2, 8}, with submissions racing in from several threads.
+//! An enabled span collector must not perturb a single bit of any of
+//! it (the PR 9 extension of the PR 4 telemetry contract).
 
 use dsgl_core::guard::infer_batch_guarded_instrumented;
-use dsgl_core::{DsGlModel, GuardedAnneal, HealthReport, TelemetrySink, VariableLayout};
+use dsgl_core::{
+    DsGlModel, GuardedAnneal, HealthReport, SpanCollector, TelemetrySink, VariableLayout,
+};
 use dsgl_data::Sample;
 use dsgl_ising::AnnealConfig;
 use dsgl_serve::{ForecastService, ServeConfig};
@@ -172,6 +176,64 @@ fn duplicate_requests_coalesce_into_one_anneal_with_identical_bits() {
         "duplicate (window, seed) pairs must share an anneal: {stats:?}"
     );
     assert!(stats.batches >= 1);
+}
+
+#[test]
+fn tracing_enabled_service_is_bit_identical_to_noop_tracing() {
+    let reqs = requests(16);
+    let reference = serial_reference(&reqs);
+    let mut service = ForecastService::spawn_traced(
+        model(),
+        guard(),
+        TelemetrySink::enabled(),
+        SpanCollector::enabled(),
+        ServeConfig::default()
+            .workers(2)
+            .coalesce(4)
+            .queue_capacity(32)
+            .linger(Duration::from_micros(500)),
+    )
+    .expect("spawn traced service");
+    for (i, (window, seed)) in reqs.iter().enumerate() {
+        let response = service.forecast(window.clone(), *seed).unwrap();
+        assert_eq!(
+            response.prediction, reference[i].0,
+            "request {i} bits diverged under an enabled span collector"
+        );
+        // Health is identical except for the trace id the traced path
+        // stamps in; zeroing it must recover the reference exactly.
+        assert!(response.health.trace_id > 0, "served health carries its trace");
+        let mut health = response.health.clone();
+        health.trace_id = 0;
+        assert_eq!(health, reference[i].1, "request {i}");
+    }
+    // Join the workers first: the batch span is recorded after the
+    // responses fan out, so a live snapshot could miss the last one.
+    service.shutdown();
+    // The span tree is real: roots, batches, and kernel anneal spans
+    // with causal parents.
+    let spans = service.trace_spans();
+    let roots = spans.iter().filter(|s| s.name == "serve.request").count();
+    assert_eq!(roots, 16, "one root span per request");
+    assert!(spans.iter().any(|s| s.name == "serve.admission"));
+    assert!(spans.iter().any(|s| s.name == "serve.batch"));
+    assert!(
+        spans.iter().any(|s| s.name.starts_with("anneal.")),
+        "kernel anneal spans must land in the service's collector"
+    );
+    for span in &spans {
+        if span.name.starts_with("anneal.") {
+            let parent_is_batch = spans
+                .iter()
+                .any(|p| p.span_id == span.parent_id && p.name == "serve.batch");
+            assert!(parent_is_batch, "anneal spans parent to their batch: {span:?}");
+        }
+    }
+    // The Chrome trace export is well-formed enough to contain every
+    // span as a complete ("ph":"X") event.
+    let json = service.chrome_trace();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), spans.len());
 }
 
 #[test]

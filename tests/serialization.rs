@@ -126,6 +126,7 @@ fn health_report_roundtrips() {
         anneal_steps: 321,
         anneal_sim_time_ns: 80.25,
         cancelled: false,
+        trace_id: 42,
     };
     let json = serde_json::to_string(&health).unwrap();
     let back: dsgl::core::HealthReport = serde_json::from_str(&json).unwrap();
@@ -142,24 +143,26 @@ fn health_report_roundtrips() {
             "fault_clamped",
             "anneal_steps",
             "anneal_sim_time_ns",
-            "cancelled"
+            "cancelled",
+            "trace_id"
         ]
     );
 
-    // Reports serialized before the telemetry/cancellation fields
-    // existed must still deserialize (the new fields default to
+    // Reports serialized before the telemetry/cancellation/tracing
+    // fields existed must still deserialize (the new fields default to
     // zero/false).
     let serde::Value::Map(mut entries) = health.to_value() else {
         panic!("health report serializes as an object");
     };
     entries.retain(|(k, _)| {
-        k != "anneal_steps" && k != "anneal_sim_time_ns" && k != "cancelled"
+        k != "anneal_steps" && k != "anneal_sim_time_ns" && k != "cancelled" && k != "trace_id"
     });
     let legacy =
         dsgl::core::HealthReport::from_value(&serde::Value::Map(entries)).unwrap();
     assert_eq!(legacy.anneal_steps, 0);
     assert_eq!(legacy.anneal_sim_time_ns, 0.0);
     assert!(!legacy.cancelled);
+    assert_eq!(legacy.trace_id, 0);
     assert_eq!(legacy.retries, health.retries);
 }
 
@@ -266,6 +269,174 @@ fn serve_instruments_and_stats_schema_is_frozen() {
     let json = serde_json::to_string(&stats).unwrap();
     let back: dsgl::serve::ServiceStats = serde_json::from_str(&json).unwrap();
     assert_eq!(stats, back);
+}
+
+#[test]
+fn span_records_and_flight_dumps_schema_is_frozen() {
+    use dsgl::core::tracing::{FlightDump, FlightEvent, SpanArg, SpanRecord, TRACE_SCHEMA_VERSION};
+    use serde::Serialize as _;
+
+    assert_eq!(TRACE_SCHEMA_VERSION, 1);
+
+    let span = SpanRecord {
+        trace_id: 7,
+        span_id: 9,
+        parent_id: 7,
+        name: "anneal.strict".to_owned(),
+        start_ns: 1_500,
+        duration_ns: 250,
+        args: vec![SpanArg {
+            key: "steps".to_owned(),
+            value: 400.0,
+        }],
+    };
+    let json = serde_json::to_string(&span).unwrap();
+    let back: SpanRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(span, back);
+    // Field-name stability: the flight-recorder dump and any span sink
+    // (Chrome trace args aside) key on these names.
+    assert_eq!(
+        map_keys(&span.to_value()),
+        ["trace_id", "span_id", "parent_id", "name", "start_ns", "duration_ns", "args"]
+    );
+    let value = span.to_value();
+    let serde::Value::Seq(args) = value.get("args").unwrap() else {
+        panic!("span args serialize as an array");
+    };
+    assert_eq!(map_keys(&args[0]), ["key", "value"]);
+
+    let dump = FlightDump {
+        schema_version: TRACE_SCHEMA_VERSION,
+        capacity: 4,
+        dropped: 1,
+        events: vec![FlightEvent {
+            seq: 9,
+            at_ns: 77,
+            kind: "worker.panic".to_owned(),
+            detail: "worker 0: 2 orphaned request(s)".to_owned(),
+            trace_id: 3,
+        }],
+    };
+    let json = serde_json::to_string(&dump).unwrap();
+    let back: FlightDump = serde_json::from_str(&json).unwrap();
+    assert_eq!(dump, back);
+    assert_eq!(
+        map_keys(&dump.to_value()),
+        ["schema_version", "capacity", "dropped", "events"]
+    );
+    let value = dump.to_value();
+    let serde::Value::Seq(events) = value.get("events").unwrap() else {
+        panic!("flight events serialize as an array");
+    };
+    assert_eq!(map_keys(&events[0]), ["seq", "at_ns", "kind", "detail", "trace_id"]);
+
+    // The flight-event kind strings are a frozen interface too.
+    assert_eq!(dsgl::serve::flight_events::WORKER_PANIC, "worker.panic");
+    assert_eq!(dsgl::serve::flight_events::CRASH_FAILURE, "crash.failure");
+    assert_eq!(dsgl::serve::flight_events::WATCHDOG_CANCEL, "watchdog.cancel");
+    assert_eq!(
+        dsgl::serve::flight_events::WATCHDOG_FALLBACK,
+        "watchdog.fallback"
+    );
+    assert_eq!(
+        dsgl::serve::flight_events::BROWNOUT_TRANSITION,
+        "brownout.transition"
+    );
+    assert_eq!(dsgl::serve::flight_events::SLO_FALLBACK, "slo.fallback");
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_in_the_trace_event_shape() {
+    use dsgl::core::tracing::{chrome_trace_json, SpanArg, SpanRecord};
+
+    let spans = vec![
+        SpanRecord {
+            trace_id: 1,
+            span_id: 1,
+            parent_id: 0,
+            name: "serve.request".to_owned(),
+            start_ns: 2_000,
+            duration_ns: 9_500,
+            args: vec![SpanArg {
+                key: "batch_width".to_owned(),
+                value: 2.0,
+            }],
+        },
+        SpanRecord {
+            trace_id: 1,
+            span_id: 3,
+            parent_id: 2,
+            name: "anneal.\"strict\"\n".to_owned(), // exercises escaping
+            start_ns: 2_500,
+            duration_ns: 4_000,
+            args: vec![],
+        },
+    ];
+    let json = chrome_trace_json(&spans);
+    // JSON numbers lose their int/float distinction in text; compare
+    // numerically regardless of how the parser classified them.
+    fn num(v: &serde::Value) -> f64 {
+        match v {
+            serde::Value::Int(i) => *i as f64,
+            serde::Value::UInt(u) => *u as f64,
+            serde::Value::Float(f) => *f,
+            other => panic!("expected a number, found {other:?}"),
+        }
+    }
+    // A real JSON parser accepts the hand-written export.
+    let value: serde::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        value.get("displayTimeUnit").and_then(serde::Value::as_str),
+        Some("ms")
+    );
+    let serde::Value::Seq(events) = value.get("traceEvents").unwrap() else {
+        panic!("traceEvents is an array");
+    };
+    assert_eq!(events.len(), spans.len());
+    for (event, span) in events.iter().zip(&spans) {
+        assert_eq!(event.get("name").and_then(serde::Value::as_str), Some(span.name.as_str()));
+        assert_eq!(event.get("cat").and_then(serde::Value::as_str), Some("dsgl"));
+        assert_eq!(event.get("ph").and_then(serde::Value::as_str), Some("X"));
+        assert_eq!(num(event.get("pid").unwrap()), 1.0);
+        assert_eq!(num(event.get("tid").unwrap()), span.trace_id as f64);
+        // ts/dur are microseconds.
+        assert_eq!(num(event.get("ts").unwrap()), span.start_ns as f64 / 1000.0);
+        assert_eq!(num(event.get("dur").unwrap()), span.duration_ns as f64 / 1000.0);
+        let args = event.get("args").unwrap();
+        assert_eq!(num(args.get("span_id").unwrap()), span.span_id as f64);
+        assert_eq!(num(args.get("parent_id").unwrap()), span.parent_id as f64);
+        for arg in &span.args {
+            assert_eq!(num(args.get(arg.key.as_str()).unwrap()), arg.value);
+        }
+    }
+    // Empty input still yields a valid document.
+    let empty: serde::Value = serde_json::from_str(&chrome_trace_json(&[])).unwrap();
+    assert_eq!(empty.get("traceEvents"), Some(&serde::Value::Seq(vec![])));
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_file() {
+    use dsgl::core::tracing::prometheus_text;
+
+    // A deterministic snapshot covering all three instrument kinds;
+    // snapshots sort by name, so the exposition is reproducible.
+    let sink = dsgl::core::TelemetrySink::enabled();
+    sink.counter_add("anneal.runs", 3);
+    sink.counter_add("serve.requests", 6);
+    sink.gauge_set("serve.queue_depth", 4.0);
+    sink.record("serve.latency_ns", 1500.0);
+    sink.record("serve.latency_ns", 250_000.0);
+    let text = prometheus_text(&sink.snapshot());
+
+    let golden = include_str!("golden/prometheus_exposition.txt");
+    for (i, (got, want)) in text.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(got, want, "exposition line {} diverged from the golden file", i + 1);
+    }
+    assert_eq!(
+        text.lines().count(),
+        golden.lines().count(),
+        "exposition line count diverged from the golden file"
+    );
 }
 
 #[test]
