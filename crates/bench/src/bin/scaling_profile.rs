@@ -1,0 +1,464 @@
+//! Scaling profile: multigrid warm starts vs cold and chained anneals
+//! on planted-partition graphs from 10k to 200k nodes.
+//!
+//! ```text
+//! scaling_profile [--smoke] [--seed N] [--out DIR]
+//! ```
+//!
+//! For each graph size the bench builds a sparse community-structured
+//! machine (planted partition, 2% of nodes clamped to block-correlated
+//! observations that drift across three forecast windows), computes the
+//! analytic fixed point by damped Jacobi iteration as ground truth, and
+//! solves every window three ways:
+//!
+//! * **cold** — fresh random free state per window;
+//! * **chained** — window `w` starts from window `w-1`'s settled state;
+//! * **multigrid** — fresh random free state, then a Louvain-coarsened
+//!   coarse solve prolongated back as the warm start. The hierarchy is
+//!   built once on the first window ([`dsgl_ising::build_hierarchy`])
+//!   and reused across the drifting windows
+//!   ([`dsgl_ising::warm_start_with`]) — partitions depend only on the
+//!   coupling topology and clamp mask, not the clamp values.
+//!
+//! `BENCH_scaling.json` records wall time, integrator steps, and RMSE
+//! against the fixed point for every (size, strategy) cell, plus the
+//! multigrid hierarchy shape. `--smoke` runs one CI-sized graph and
+//! asserts the determinism contract (two multigrid runs are
+//! bit-identical) and the steps floor (multigrid saves at least
+//! [`SMOKE_STEP_SAVINGS`] of the cold fine steps) — bounds that, unlike
+//! wall time, are stable on shared CI runners.
+
+use dsgl_graph::generators::planted_partition;
+use dsgl_ising::{
+    build_hierarchy, warm_start_with, AnnealConfig, EngineMode, MultigridHierarchy,
+    MultigridOptions, RealValuedDspu, SparseCoupling,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Forecast windows per size; clamp observations drift between them.
+const WINDOWS: usize = 3;
+/// One node in `CLAMP_EVERY` is a clamped observation: sparse
+/// anchoring, so inferred values must propagate through the graph —
+/// many communities carry no observation at all and are informed only
+/// through weak inter-community links.
+const CLAMP_EVERY: usize = 50;
+/// Smoke bound: multigrid must save at least this fraction of the cold
+/// strategy's fine integrator steps.
+const SMOKE_STEP_SAVINGS: f64 = 0.30;
+/// Full-run bound (the README acceptance line): multigrid wall time
+/// must be at least this factor below cold at 100k+ nodes.
+const WALL_SPEEDUP_BOUND: f64 = 2.0;
+/// RMSE parity bound: multigrid RMSE may exceed cold RMSE by at most
+/// this relative margin.
+const RMSE_PARITY: f64 = 0.01;
+/// Diagonal dominance margin: `hᵢ = -(margin + Σⱼ|Jᵢⱼ|)`. The margin
+/// sets the relaxation rate of the slowest (inter-community) modes —
+/// exactly the modes the coarse grid solves — so a small margin is the
+/// regime where warm starts matter.
+const DIAGONAL_MARGIN: f64 = 0.05;
+
+/// SplitMix64 finaliser → uniform in `[0, 1)`. Pure arithmetic so the
+/// drifting clamp schedule is reproducible by construction.
+fn hash01(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Clamp value for a node in `block` at forecast window `w`: a
+/// block-correlated base level plus a small per-window drift, kept well
+/// inside the rails. Observations are block-coherent, so the coarse
+/// model sees them exactly.
+fn clamp_value(block: usize, window: usize) -> f64 {
+    let base = hash01(block as u64 + 1) - 0.5;
+    let drift = (hash01((block as u64) << 20 | (window as u64 + 1)) - 0.5) * 0.5;
+    (0.5 * base + drift).clamp(-0.8, 0.8)
+}
+
+struct Problem {
+    machine: RealValuedDspu,
+    /// Clamped node → its community block.
+    clamped: Vec<(usize, usize)>,
+    free: Vec<usize>,
+    /// Free-node adjacency over the *full* node set, for Jacobi.
+    adjacency: Vec<Vec<(u32, f64)>>,
+    h: Vec<f64>,
+    edge_count: usize,
+    communities: usize,
+}
+
+/// Builds the sparse machine and ground-truth structures for one size.
+fn build_problem(n: usize, seed: u64) -> Problem {
+    let communities = (n / 256).max(4);
+    let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+    let graph = planted_partition(n, communities, 8, 2, &mut rng);
+    let block_len = n.div_ceil(communities);
+    let mut adjacency: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut row_sum = vec![0.0f64; n];
+    let entries: Vec<(u32, u32, f64)> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| {
+            // Soften the generator's inter-community weight further:
+            // cross-block information flows through many weak links, the
+            // regime where a coarse-grid solve pays off.
+            let w = if u / block_len == v / block_len { w } else { w * 0.2 };
+            adjacency[u].push((v as u32, w));
+            adjacency[v].push((u as u32, w));
+            row_sum[u] += w.abs();
+            row_sum[v] += w.abs();
+            (u as u32, v as u32, w)
+        })
+        .collect();
+    let h: Vec<f64> = row_sum.iter().map(|s| -(DIAGONAL_MARGIN + s)).collect();
+    let coupling = SparseCoupling::from_entries(n, &entries).expect("valid entries");
+    let mut machine = RealValuedDspu::from_sparse(coupling, h.clone()).expect("valid machine");
+    let mut clamped = Vec::new();
+    let mut free = Vec::new();
+    for i in 0..n {
+        if i % CLAMP_EVERY == 0 {
+            clamped.push((i, i / block_len));
+        } else {
+            free.push(i);
+        }
+    }
+    for &(i, b) in &clamped {
+        machine.clamp(i, clamp_value(b, 0)).expect("in range");
+    }
+    Problem {
+        machine,
+        clamped,
+        free,
+        adjacency,
+        h,
+        edge_count: entries.len(),
+        communities,
+    }
+}
+
+/// Damped Jacobi iteration to the analytic fixed point of the free
+/// subsystem for window `w`. Diagonal dominance (`|hᵢ| = 1 + Σ|Jᵢⱼ|`)
+/// makes this a contraction, so it converges to the same point the
+/// machine settles to.
+fn fixed_point(p: &Problem, window: usize) -> Vec<f64> {
+    let n = p.adjacency.len();
+    let mut state = vec![0.0f64; n];
+    for &(i, b) in &p.clamped {
+        state[i] = clamp_value(b, window);
+    }
+    let mut next = state.clone();
+    for _ in 0..2_000 {
+        let mut max_delta = 0.0f64;
+        for &i in &p.free {
+            let mut dot = 0.0;
+            for &(j, w) in &p.adjacency[i] {
+                dot += w * state[j as usize];
+            }
+            let v = dot / (-p.h[i]);
+            max_delta = max_delta.max((v - state[i]).abs());
+            next[i] = v;
+        }
+        for &i in &p.free {
+            state[i] = next[i];
+        }
+        if max_delta < 1e-12 {
+            break;
+        }
+    }
+    state
+}
+
+/// RMSE of the machine's free block against the ground-truth state.
+fn free_rmse(machine: &RealValuedDspu, truth: &[f64], free: &[usize]) -> f64 {
+    let sq: f64 = free
+        .iter()
+        .map(|&i| (machine.state()[i] - truth[i]).powi(2))
+        .sum();
+    (sq / free.len() as f64).sqrt()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Strategy {
+    Cold,
+    Chained,
+    Multigrid,
+}
+
+#[derive(Serialize)]
+struct StrategyPoint {
+    wall_s: f64,
+    fine_steps: usize,
+    rmse: f64,
+    converged_windows: usize,
+    /// Multigrid only: coarse integrator steps across all windows.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    coarse_steps: Option<usize>,
+    /// Multigrid only: hierarchy sizes of the last window's V-cycle.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    coarse_nodes: Option<Vec<usize>>,
+    /// Multigrid only: levels actually built (0 ⇒ fell back to cold).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    levels: Option<usize>,
+}
+
+/// Runs one strategy over all windows and returns metrics plus the
+/// final free-state bits (for the determinism check). `truths` holds
+/// the precomputed per-window fixed points, so the timed region covers
+/// only the solver work: clamp updates, warm starts, and the anneal.
+fn run_strategy(
+    p: &Problem,
+    strategy: Strategy,
+    cfg: &AnnealConfig,
+    seed: u64,
+    truths: &[Vec<f64>],
+) -> (StrategyPoint, Vec<u64>) {
+    let mut machine = p.machine.clone();
+    let opts = MultigridOptions {
+        levels: 3,
+        coarse_tol: 1e-6,
+    };
+    let mut fine_steps = 0usize;
+    let mut coarse_steps = 0usize;
+    let mut levels = 0usize;
+    let mut coarse_nodes = Vec::new();
+    let mut converged = 0usize;
+    let mut sq_sum = 0.0f64;
+    let mut count = 0usize;
+    let mut bits = Vec::new();
+    let mut wall = 0.0f64;
+    let mut hierarchy: Option<MultigridHierarchy> = None;
+    for (w, truth) in truths.iter().enumerate().take(WINDOWS) {
+        let t0 = Instant::now();
+        for &(i, b) in &p.clamped {
+            machine.clamp(i, clamp_value(b, w)).expect("in range");
+        }
+        // Chained keeps the previous window's settled free state; the
+        // other strategies restart from the same seeded random state.
+        if strategy != Strategy::Chained || w == 0 {
+            let mut rng = StdRng::seed_from_u64(seed ^ (w as u64) << 32);
+            machine.randomize_free(&mut rng);
+        }
+        if strategy == Strategy::Multigrid {
+            // Louvain partitions depend only on topology and clamp
+            // mask, so the first window pays the hierarchy build and
+            // later windows only re-aggregate and re-solve.
+            if hierarchy.is_none() {
+                hierarchy = build_hierarchy(&machine, &opts);
+            }
+            if let Some(report) = hierarchy
+                .as_ref()
+                .and_then(|h| warm_start_with(&mut machine, h, &opts, cfg))
+            {
+                coarse_steps += report.coarse_steps;
+                levels = report.levels;
+                coarse_nodes = report.coarse_nodes.clone();
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1fe ^ (w as u64) << 32);
+        let report = machine.run(cfg, &mut rng);
+        wall += t0.elapsed().as_secs_f64();
+        fine_steps += report.steps;
+        converged += report.converged as usize;
+        let r = free_rmse(&machine, truth, &p.free);
+        sq_sum += r * r;
+        count += 1;
+        bits.extend(p.free.iter().map(|&i| machine.state()[i].to_bits()));
+    }
+    let point = StrategyPoint {
+        wall_s: wall,
+        fine_steps,
+        rmse: (sq_sum / count as f64).sqrt(),
+        converged_windows: converged,
+        coarse_steps: (strategy == Strategy::Multigrid).then_some(coarse_steps),
+        coarse_nodes: (strategy == Strategy::Multigrid).then_some(coarse_nodes),
+        levels: (strategy == Strategy::Multigrid).then_some(levels),
+    };
+    (point, bits)
+}
+
+#[derive(Serialize)]
+struct SizePoint {
+    nodes: usize,
+    edges: usize,
+    communities: usize,
+    clamped: usize,
+    cold: StrategyPoint,
+    chained: StrategyPoint,
+    multigrid: StrategyPoint,
+    wall_speedup_mg_vs_cold: f64,
+    wall_speedup_mg_vs_chained: f64,
+    step_savings_mg_vs_cold: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingReport {
+    command: String,
+    seed: u64,
+    smoke: bool,
+    windows: usize,
+    clamp_fraction: f64,
+    wall_speedup_bound: f64,
+    rmse_parity: f64,
+    sizes: Vec<SizePoint>,
+}
+
+fn write_report(report: &ScalingReport, out: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join("BENCH_scaling.json");
+    let json = serde_json::to_string_pretty(report).expect("serialise scaling report");
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: scaling_profile [--smoke] [--seed N] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let sizes: &[usize] = if smoke {
+        &[4_000]
+    } else {
+        &[10_000, 25_000, 50_000, 100_000, 200_000]
+    };
+    let cfg = AnnealConfig {
+        mode: EngineMode::adaptive(),
+        max_time_ns: 25_000.0,
+        tolerance: 1e-5,
+        ..AnnealConfig::default()
+    };
+    let started = Instant::now();
+    let mut points = Vec::new();
+    for &n in sizes {
+        let p = build_problem(n, seed);
+        eprintln!(
+            "[n={n}: {} edges, {} communities, {} clamped]",
+            p.edge_count,
+            p.communities,
+            p.clamped.len()
+        );
+        let truths: Vec<Vec<f64>> = (0..WINDOWS).map(|w| fixed_point(&p, w)).collect();
+        let (cold, _) = run_strategy(&p, Strategy::Cold, &cfg, seed, &truths);
+        let (chained, _) = run_strategy(&p, Strategy::Chained, &cfg, seed, &truths);
+        let (mg, mg_bits) = run_strategy(&p, Strategy::Multigrid, &cfg, seed, &truths);
+        if smoke {
+            let (_, again) = run_strategy(&p, Strategy::Multigrid, &cfg, seed, &truths);
+            assert_eq!(
+                mg_bits, again,
+                "multigrid reruns must be bit-identical at n={n}"
+            );
+        }
+        eprintln!(
+            "[n={n}: cold {:.2}s/{} steps/rmse {:.2e} | chained {:.2}s/{} | mg {:.2}s/{} steps (+{} coarse, {} levels)/rmse {:.2e}]",
+            cold.wall_s,
+            cold.fine_steps,
+            cold.rmse,
+            chained.wall_s,
+            chained.fine_steps,
+            mg.wall_s,
+            mg.fine_steps,
+            mg.coarse_steps.unwrap_or(0),
+            mg.levels.unwrap_or(0),
+            mg.rmse,
+        );
+        points.push(SizePoint {
+            nodes: n,
+            edges: p.edge_count,
+            communities: p.communities,
+            clamped: p.clamped.len(),
+            wall_speedup_mg_vs_cold: cold.wall_s / mg.wall_s,
+            wall_speedup_mg_vs_chained: chained.wall_s / mg.wall_s,
+            step_savings_mg_vs_cold: 1.0 - mg.fine_steps as f64 / cold.fine_steps as f64,
+            cold,
+            chained,
+            multigrid: mg,
+        });
+    }
+    let report = ScalingReport {
+        command: format!(
+            "scaling_profile --seed {seed}{}",
+            if smoke { " --smoke" } else { "" }
+        ),
+        seed,
+        smoke,
+        windows: WINDOWS,
+        clamp_fraction: 1.0 / CLAMP_EVERY as f64,
+        wall_speedup_bound: WALL_SPEEDUP_BOUND,
+        rmse_parity: RMSE_PARITY,
+        sizes: points,
+    };
+    let path = write_report(&report, &out).expect("write BENCH_scaling.json");
+    for sp in &report.sizes {
+        // RMSE parity holds at every size, in smoke and full runs alike.
+        assert!(
+            sp.multigrid.rmse <= sp.cold.rmse * (1.0 + RMSE_PARITY) + 1e-12,
+            "n={}: multigrid rmse {:.3e} exceeds cold {:.3e} beyond parity",
+            sp.nodes,
+            sp.multigrid.rmse,
+            sp.cold.rmse
+        );
+        assert_eq!(
+            sp.multigrid.converged_windows, WINDOWS,
+            "n={}: multigrid windows must converge",
+            sp.nodes
+        );
+    }
+    if smoke {
+        let sp = &report.sizes[0];
+        assert!(
+            sp.step_savings_mg_vs_cold >= SMOKE_STEP_SAVINGS,
+            "step savings {:.2} below the {SMOKE_STEP_SAVINGS:.2} floor",
+            sp.step_savings_mg_vs_cold
+        );
+        eprintln!(
+            "[smoke ok: bit-identity verified, step savings {:.0}%, rmse parity held]",
+            sp.step_savings_mg_vs_cold * 100.0
+        );
+    } else {
+        for sp in report.sizes.iter().filter(|sp| sp.nodes >= 100_000) {
+            assert!(
+                sp.wall_speedup_mg_vs_cold >= WALL_SPEEDUP_BOUND,
+                "n={}: wall speedup vs cold {:.2}x below the {WALL_SPEEDUP_BOUND:.1}x bound",
+                sp.nodes,
+                sp.wall_speedup_mg_vs_cold
+            );
+            assert!(
+                sp.wall_speedup_mg_vs_chained >= WALL_SPEEDUP_BOUND,
+                "n={}: wall speedup vs chained {:.2}x below the {WALL_SPEEDUP_BOUND:.1}x bound",
+                sp.nodes,
+                sp.wall_speedup_mg_vs_chained
+            );
+        }
+    }
+    eprintln!(
+        "[scaling profile: report at {}, done in {:.1}s]",
+        path.display(),
+        started.elapsed().as_secs_f64()
+    );
+}

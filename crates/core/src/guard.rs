@@ -539,6 +539,78 @@ pub fn infer_dense_guarded_traced<R: Rng + ?Sized>(
     scope: &crate::tracing::TraceScope,
     rng: &mut R,
 ) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_warm_traced(
+        model,
+        sample,
+        guard,
+        faults,
+        sink,
+        pool,
+        cancel,
+        scope,
+        crate::inference::WarmStart::Cold,
+        rng,
+    )
+}
+
+/// [`infer_dense_guarded_traced`] with a [`WarmStart`] policy applied to
+/// the per-window machine.
+///
+/// Only [`WarmStart::Multigrid`] changes anything: the multigrid warm
+/// start runs *after* machine construction (telemetry, tracing, cancel
+/// token and workspace pool attached) and *before* fault injection and
+/// the guard — so the guard's retry ladder captures the warmed state as
+/// its restore point, and stuck-node faults override warm values exactly
+/// as they override cold ones. [`WarmStart::Cold`] *is* the plain traced
+/// call; [`WarmStart::Chained`] is per-batch chaining with no per-window
+/// meaning, so a single guarded window treats it as cold.
+///
+/// When the warm start applies, the window also records
+/// [`dsgl_ising::multigrid::instruments::FINE_STEPS_SAVED`] against the
+/// guard's annealing budget.
+///
+/// # Errors
+///
+/// See [`infer_dense_guarded_pooled`].
+#[allow(clippy::too_many_arguments)]
+pub fn infer_dense_guarded_warm_traced<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    scope: &crate::tracing::TraceScope,
+    warm: crate::inference::WarmStart,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
+    infer_dense_guarded_warm_hier(
+        model, sample, guard, faults, sink, pool, cancel, scope, warm, None, rng,
+    )
+}
+
+/// [`infer_dense_guarded_warm_traced`] with an optional pre-built
+/// multigrid hierarchy. The batch entry points build the Louvain
+/// hierarchy once — it depends only on the coupling topology and clamp
+/// mask, identical across a batch's windows — and pass it here;
+/// `warm_start_with` on a cached hierarchy is bit-identical to the
+/// one-shot `multigrid_warm_start`, and a hierarchy that does not match
+/// the machine falls back to a cold start exactly like the one-shot.
+#[allow(clippy::too_many_arguments)]
+fn infer_dense_guarded_warm_hier<R: Rng + ?Sized>(
+    model: &DsGlModel,
+    sample: &Sample,
+    guard: &GuardedAnneal,
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    scope: &crate::tracing::TraceScope,
+    warm: crate::inference::WarmStart,
+    hierarchy: Option<&dsgl_ising::MultigridHierarchy>,
+    rng: &mut R,
+) -> Result<(Vec<f64>, AnnealReport, HealthReport), CoreError> {
     let mut dspu = crate::inference::machine_for_sample(model, sample, rng)?;
     dspu.set_telemetry(sink.clone());
     dspu.set_tracing(scope.clone());
@@ -548,8 +620,25 @@ pub fn infer_dense_guarded_traced<R: Rng + ?Sized>(
     if let Some(ws) = pool.take() {
         dspu.adopt_workspace(ws);
     }
+    let warmed = match warm {
+        crate::inference::WarmStart::Multigrid { levels, coarse_tol } => {
+            let opts = dsgl_ising::MultigridOptions { levels, coarse_tol };
+            match hierarchy {
+                Some(h) => {
+                    dsgl_ising::multigrid::warm_start_with(&mut dspu, h, &opts, &guard.anneal)
+                        .is_some()
+                }
+                None => dsgl_ising::multigrid::multigrid_warm_start(&mut dspu, &opts, &guard.anneal)
+                    .is_some(),
+            }
+        }
+        _ => false,
+    };
     dspu.inject_faults(faults, rng)?;
     let (report, health) = guard.run(&mut dspu, rng);
+    if warmed {
+        crate::inference::record_fine_steps_saved(sink, &guard.anneal, &report);
+    }
     let layout = model.layout();
     let pred = dspu.state()[layout.target_range()].to_vec();
     *pool = Some(dspu.take_workspace());
@@ -621,9 +710,65 @@ pub fn infer_batch_guarded_traced(
     sink: &TelemetrySink,
     scope: &crate::tracing::TraceScope,
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_warm_traced(
+        model,
+        samples,
+        guard,
+        master_seed,
+        crate::inference::WarmStart::Cold,
+        sink,
+        scope,
+    )
+}
+
+/// [`infer_batch_guarded_instrumented`] with a [`WarmStart`] policy
+/// applied per window (see [`infer_dense_guarded_warm_traced`] for the
+/// policy semantics — `Multigrid` warm-starts each window, `Cold` and
+/// `Chained` behave as the plain guarded batch).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_guarded_warm_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    master_seed: u64,
+    warm: crate::inference::WarmStart,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_warm_traced(
+        model,
+        samples,
+        guard,
+        master_seed,
+        warm,
+        sink,
+        &crate::tracing::TraceScope::noop(),
+    )
+}
+
+/// [`infer_batch_guarded_traced`] with a [`WarmStart`] policy per
+/// window. [`WarmStart::Cold`] *is* the plain traced batch.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTrainingSet`] for an empty batch, or the
+/// first per-window shape/parameter error in sample order.
+pub fn infer_batch_guarded_warm_traced(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    master_seed: u64,
+    warm: crate::inference::WarmStart,
+    sink: &TelemetrySink,
+    scope: &crate::tracing::TraceScope,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
     if samples.is_empty() {
         return Err(CoreError::EmptyTrainingSet);
     }
+    let hierarchy = batch_hierarchy(model, samples, warm, window_seed(master_seed, 0));
     let total = model.layout().total();
     let work_per_window = total * total * 64;
     // Windows are grouped into small chunks so a scratch workspace can
@@ -643,7 +788,7 @@ pub fn infer_batch_guarded_traced(
         for (i, sample) in samples.iter().enumerate().take(hi).skip(lo) {
             let mut rng =
                 rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
-            out.push(infer_dense_guarded_traced(
+            out.push(infer_dense_guarded_warm_hier(
                 model,
                 sample,
                 guard,
@@ -652,12 +797,39 @@ pub fn infer_batch_guarded_traced(
                 &mut pool,
                 None,
                 scope,
+                warm,
+                hierarchy.as_ref(),
                 &mut rng,
             ));
         }
         out
     });
     chunks.into_iter().flatten().collect()
+}
+
+/// Builds the batch-shared multigrid hierarchy when the policy is
+/// [`WarmStart::Multigrid`](crate::inference::WarmStart::Multigrid): a
+/// throwaway probe machine for the first sample supplies the coupling
+/// topology and clamp mask, both identical across the batch's windows.
+/// Returns `None` for every other policy, for an unbuildable hierarchy,
+/// or when the probe cannot be constructed — each window then falls
+/// back exactly as the one-shot warm start would.
+fn batch_hierarchy(
+    model: &DsGlModel,
+    samples: &[Sample],
+    warm: crate::inference::WarmStart,
+    probe_seed: u64,
+) -> Option<dsgl_ising::MultigridHierarchy> {
+    use rand::SeedableRng;
+    let crate::inference::WarmStart::Multigrid { levels, coarse_tol } = warm else {
+        return None;
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(probe_seed);
+    let probe = crate::inference::machine_for_sample(model, samples.first()?, &mut rng).ok()?;
+    dsgl_ising::multigrid::build_hierarchy(
+        &probe,
+        &dsgl_ising::MultigridOptions { levels, coarse_tol },
+    )
 }
 
 /// Windows per workspace-pooling chunk in
@@ -779,6 +951,48 @@ pub fn infer_batch_guarded_seeded_traced(
     cancel: Option<&dsgl_ising::CancelToken>,
     scopes: &[crate::tracing::TraceScope],
 ) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
+    infer_batch_guarded_seeded_warm_traced(
+        model,
+        samples,
+        guard,
+        seeds,
+        faults,
+        sink,
+        pool,
+        cancel,
+        scopes,
+        crate::inference::WarmStart::Cold,
+    )
+}
+
+/// [`infer_batch_guarded_seeded_traced`] with a [`WarmStart`] policy
+/// per window — the serving-layer entry point when multigrid warm
+/// starts are enabled in `ServeConfig`.
+///
+/// Every window remains a pure function of
+/// `(model, sample, guard, faults, seed, warm)`: the multigrid warm
+/// start is seeded internally and draws nothing from the per-window
+/// RNG, so coalescing requests into one batch still cannot change a
+/// single output bit. The lockstep fast path only fuses cold windows;
+/// any other policy runs the serial per-window path.
+///
+/// # Errors
+///
+/// See [`infer_batch_guarded_seeded_instrumented`]; additionally a
+/// non-empty `scopes` must match `samples` in length.
+#[allow(clippy::too_many_arguments)]
+pub fn infer_batch_guarded_seeded_warm_traced(
+    model: &DsGlModel,
+    samples: &[Sample],
+    guard: &GuardedAnneal,
+    seeds: &[u64],
+    faults: &FaultModel,
+    sink: &TelemetrySink,
+    pool: &mut Option<dsgl_ising::Workspace>,
+    cancel: Option<&dsgl_ising::CancelToken>,
+    scopes: &[crate::tracing::TraceScope],
+    warm: crate::inference::WarmStart,
+) -> Result<Vec<(Vec<f64>, AnnealReport, HealthReport)>, CoreError> {
     if !scopes.is_empty() && scopes.len() != samples.len() {
         return Err(CoreError::SampleShapeMismatch {
             what: "per-window trace scope list",
@@ -802,6 +1016,7 @@ pub fn infer_batch_guarded_seeded_traced(
     // per-window matrices diverge, so only coupling-preserving fault
     // models qualify; `run_lockstep` re-checks everything else.
     if samples.len() >= 2
+        && warm == crate::inference::WarmStart::Cold
         && faults.dead_couplers.is_empty()
         && faults.coupler_drift == 0.0
         && crate::inference::lockstep_precheck(model, &guard.anneal)
@@ -812,13 +1027,24 @@ pub fn infer_batch_guarded_seeded_traced(
             return Ok(out);
         }
     }
+    let hierarchy = batch_hierarchy(model, samples, warm, window_seed(seeds[0], 0));
     let run_window = |i: usize, pool: &mut Option<dsgl_ising::Workspace>| {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(seeds[i], 0));
         let noop = crate::tracing::TraceScope::noop();
         let scope = scopes.get(i).unwrap_or(&noop);
-        infer_dense_guarded_traced(
-            model, &samples[i], guard, faults, sink, pool, cancel, scope, &mut rng,
+        infer_dense_guarded_warm_hier(
+            model,
+            &samples[i],
+            guard,
+            faults,
+            sink,
+            pool,
+            cancel,
+            scope,
+            warm,
+            hierarchy.as_ref(),
+            &mut rng,
         )
     };
     if samples.len() <= GUARD_POOL_CHUNK {
@@ -1431,5 +1657,111 @@ mod tests {
             infer_batch_guarded(&model, &[], &guard, 0),
             Err(CoreError::EmptyTrainingSet)
         ));
+    }
+
+    /// 48 free targets in three blocks of 16 with intra-block coupling
+    /// structure, so the Louvain coarsener has something to find.
+    fn community_setup(seed: u64) -> (DsGlModel, Vec<Sample>) {
+        let n = 48;
+        let layout = VariableLayout::new(1, n, 1);
+        let mut model = DsGlModel::new(layout);
+        let mut rng = StdRng::seed_from_u64(seed);
+        {
+            let j = model.coupling_mut();
+            for b in 0..3 {
+                let (lo, hi) = (b * 16, (b + 1) * 16);
+                for a in lo..hi {
+                    for c in (a + 1)..hi {
+                        if rng.random::<f64>() < 0.4 {
+                            j.set(n + a, n + c, 0.2 + 0.2 * rng.random::<f64>());
+                        }
+                    }
+                }
+            }
+            for b in 0..2 {
+                j.set(n + (b + 1) * 16 - 1, n + (b + 1) * 16, 0.05);
+            }
+            for i in 0..n {
+                j.set(i, n + i, 0.6);
+            }
+        }
+        let row_sums: Vec<f64> = (0..2 * n).map(|v| model.coupling().row_abs_sum(v)).collect();
+        for (v, sum) in row_sums.into_iter().enumerate() {
+            model.h_mut()[v] = -(1.0 + sum);
+        }
+        let windows: Vec<Sample> = (0..6)
+            .map(|_| Sample {
+                history: (0..n).map(|_| rng.random::<f64>() * 0.8 - 0.4).collect(),
+                target: vec![0.0; n],
+            })
+            .collect();
+        (model, windows)
+    }
+
+    #[test]
+    fn guarded_multigrid_batch_matches_unguarded_multigrid() {
+        // Fault-free guarded inference with a multigrid warm start must
+        // stay a zero-cost wrapper: every prediction bit-identical to
+        // the unguarded multigrid batch, with clean health.
+        let (model, windows) = community_setup(31);
+        let cfg = AnnealConfig::default();
+        let guard = GuardedAnneal::new(cfg);
+        let warm = crate::inference::WarmStart::Multigrid {
+            levels: 1,
+            coarse_tol: 1e-3,
+        };
+        let sink = TelemetrySink::noop();
+        let guarded =
+            infer_batch_guarded_warm_instrumented(&model, &windows, &guard, 13, warm, &sink)
+                .unwrap();
+        let plain =
+            crate::inference::infer_batch_warm(&model, &windows, &cfg, 13, warm).unwrap();
+        assert_eq!(guarded.len(), plain.len());
+        for ((gp, _, gh), (pp, _)) in guarded.iter().zip(&plain) {
+            assert!(gh.healthy(), "guard fired on healthy hardware: {gh:?}");
+            assert_eq!(gh.retries, 0);
+            assert_eq!(gp, pp, "guarded multigrid batch must match bitwise");
+        }
+        // Reruns reproduce bits, including under sequential threading.
+        let again = crate::Threading::Sequential
+            .install(|| {
+                infer_batch_guarded_warm_instrumented(&model, &windows, &guard, 13, warm, &sink)
+            })
+            .unwrap();
+        for ((gp, _, _), (ap, _, _)) in guarded.iter().zip(&again) {
+            assert_eq!(gp, ap, "guarded multigrid must be thread-count independent");
+        }
+    }
+
+    #[test]
+    fn guarded_chained_warm_start_is_treated_as_cold() {
+        // Chained warm starts couple windows, which the guarded batch
+        // cannot honour per-window; it must silently run cold rather
+        // than produce order-dependent bits.
+        let (model, windows) = community_setup(32);
+        let cfg = AnnealConfig::default();
+        let guard = GuardedAnneal::new(cfg);
+        let sink = TelemetrySink::noop();
+        let chained = infer_batch_guarded_warm_instrumented(
+            &model,
+            &windows,
+            &guard,
+            17,
+            crate::inference::WarmStart::Chained { chunk: 3 },
+            &sink,
+        )
+        .unwrap();
+        let cold = infer_batch_guarded_warm_instrumented(
+            &model,
+            &windows,
+            &guard,
+            17,
+            crate::inference::WarmStart::Cold,
+            &sink,
+        )
+        .unwrap();
+        for ((cp, _, _), (kp, _, _)) in chained.iter().zip(&cold) {
+            assert_eq!(cp, kp, "chained must degrade to cold in the guarded batch");
+        }
     }
 }

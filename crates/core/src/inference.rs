@@ -427,6 +427,24 @@ pub enum WarmStart {
         /// `0` is treated as one chunk spanning the whole batch.
         chunk: usize,
     },
+    /// Every window anneals from a multigrid warm start: a
+    /// Louvain-coarsened replica of the machine (one node per community
+    /// of the free subgraph) is annealed cheaply and its equilibrium
+    /// prolonged onto the fine free block before the fine anneal (see
+    /// [`dsgl_ising::multigrid`]). Windows stay fully independent —
+    /// unlike [`WarmStart::Chained`] there is no cross-window coupling,
+    /// so this policy composes with request coalescing and batch
+    /// regrouping without changing a bit. The warm start is a pure
+    /// function of the machine; when coarsening is not applicable
+    /// (small or structureless free subgraph) a window silently falls
+    /// back to the cold start.
+    Multigrid {
+        /// Maximum coarse levels to build (`0` is treated as `1`).
+        levels: usize,
+        /// Coarse-solve convergence tolerance, rail fractions per ns
+        /// (typically much looser than the fine tolerance).
+        coarse_tol: f64,
+    },
 }
 
 /// [`infer_batch`] with a [`WarmStart`] policy.
@@ -477,6 +495,16 @@ pub fn infer_batch_warm_instrumented(
     let chunk = match warm {
         WarmStart::Cold => {
             return infer_batch_instrumented(model, samples, config, master_seed, sink)
+        }
+        WarmStart::Multigrid { levels, coarse_tol } => {
+            return infer_batch_multigrid_instrumented(
+                model,
+                samples,
+                config,
+                master_seed,
+                &dsgl_ising::MultigridOptions { levels, coarse_tol },
+                sink,
+            )
         }
         WarmStart::Chained { chunk } => {
             if chunk == 0 {
@@ -538,6 +566,73 @@ pub fn infer_batch_warm_instrumented(
         out
     });
     chunks.into_iter().flatten().collect()
+}
+
+/// The [`WarmStart::Multigrid`] batch path: windows stay independent
+/// (parallel per-window, like the cold path), each machine receives a
+/// multigrid warm start between construction and its fine anneal, with
+/// the Louvain hierarchy built once per batch and shared. The
+/// per-window RNG is consumed identically to the cold path — the warm
+/// start draws nothing — so the only difference from cold is the free
+/// block's starting point. Records [`dsgl_ising::multigrid::instruments::FINE_STEPS_SAVED`]
+/// (budget steps minus actual fine steps) for each window whose warm
+/// start applied.
+fn infer_batch_multigrid_instrumented(
+    model: &DsGlModel,
+    samples: &[Sample],
+    config: &AnnealConfig,
+    master_seed: u64,
+    opts: &dsgl_ising::MultigridOptions,
+    sink: &TelemetrySink,
+) -> Result<Vec<(Vec<f64>, AnnealReport)>, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyTrainingSet);
+    }
+    let layout = model.layout();
+    let total = layout.total();
+    // The Louvain hierarchy depends only on the coupling topology and
+    // the clamp mask — identical across every window of a batch — so it
+    // is built once from a probe machine and shared read-only by all
+    // windows. The probe RNG is a throwaway: per-window machines are
+    // re-seeded from `window_seed`, so per-window bits are unaffected.
+    let hierarchy = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, 0));
+        machine_for_sample(model, &samples[0], &mut rng)
+            .ok()
+            .and_then(|probe| dsgl_ising::multigrid::build_hierarchy(&probe, opts))
+    };
+    let work_per_window = total * total * 64;
+    let results = crate::threading::par_map(samples.len(), work_per_window, |i| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(window_seed(master_seed, i as u64));
+        machine_for_sample(model, &samples[i], &mut rng).map(|mut dspu| {
+            dspu.set_telemetry(sink.clone());
+            let warmed = hierarchy
+                .as_ref()
+                .and_then(|h| dsgl_ising::multigrid::warm_start_with(&mut dspu, h, opts, config))
+                .is_some();
+            let report = dspu.run(config, &mut rng);
+            if warmed {
+                record_fine_steps_saved(sink, config, &report);
+            }
+            (dspu.state()[layout.target_range()].to_vec(), report)
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Reports how many fine-level integration steps a warm start saved
+/// against the annealing budget (`max_time_ns / dt_ns`).
+pub(crate) fn record_fine_steps_saved(sink: &TelemetrySink, config: &AnnealConfig, report: &AnnealReport) {
+    if !sink.is_enabled() || config.dt_ns <= 0.0 {
+        return;
+    }
+    let budget_steps = (config.max_time_ns / config.dt_ns) as usize;
+    sink.counter_add(
+        dsgl_ising::multigrid::instruments::FINE_STEPS_SAVED,
+        budget_steps.saturating_sub(report.steps) as u64,
+    );
 }
 
 /// Evaluates annealed inference over a test set using [`infer_batch`]:
@@ -831,6 +926,180 @@ mod tests {
         assert_eq!(warm.samples, 10);
         assert!((warm.rmse - cold.rmse).abs() < 1e-3);
         assert!(warm.converged_fraction > 0.9);
+    }
+
+    /// Hand-built community model: 48 free targets in three blocks of
+    /// 16 with strong intra-block couplings, weak bridges, and a
+    /// persistence coupling to the clamped history frame. Trained
+    /// models on tiny layouts never give the coarsener anything to
+    /// grab, so the multigrid tests construct the structure directly.
+    fn community_model(seed: u64) -> (DsGlModel, Vec<Sample>) {
+        let n = 48;
+        let layout = VariableLayout::new(1, n, 1);
+        let mut model = DsGlModel::new(layout);
+        let mut rng = StdRng::seed_from_u64(seed);
+        {
+            let j = model.coupling_mut();
+            for b in 0..3 {
+                let (lo, hi) = (b * 16, (b + 1) * 16);
+                for a in lo..hi {
+                    for c in (a + 1)..hi {
+                        if rng.random::<f64>() < 0.4 {
+                            j.set(n + a, n + c, 0.2 + 0.2 * rng.random::<f64>());
+                        }
+                    }
+                }
+            }
+            for b in 0..2 {
+                j.set(n + (b + 1) * 16 - 1, n + (b + 1) * 16, 0.05);
+            }
+            for i in 0..n {
+                j.set(i, n + i, 0.6);
+            }
+        }
+        let row_sums: Vec<f64> = (0..2 * n).map(|v| model.coupling().row_abs_sum(v)).collect();
+        for (v, sum) in row_sums.into_iter().enumerate() {
+            model.h_mut()[v] = -(1.0 + sum);
+        }
+        let samples: Vec<Sample> = (0..8)
+            .map(|_| {
+                let hist: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 0.8 - 0.4).collect();
+                let target = vec![0.0; n];
+                Sample {
+                    history: hist,
+                    target,
+                }
+            })
+            .collect();
+        (model, samples)
+    }
+
+    #[test]
+    fn multigrid_batch_matches_cold_and_saves_steps() {
+        let (model, samples) = community_model(20);
+        let cfg = AnnealConfig::default();
+        let cold = infer_batch_warm(&model, &samples, &cfg, 6, WarmStart::Cold).unwrap();
+        let mg = infer_batch_warm(
+            &model,
+            &samples,
+            &cfg,
+            6,
+            WarmStart::Multigrid {
+                levels: 1,
+                coarse_tol: 1e-3,
+            },
+        )
+        .unwrap();
+        let cold_steps: usize = cold.iter().map(|(_, r)| r.steps).sum();
+        let mg_steps: usize = mg.iter().map(|(_, r)| r.steps).sum();
+        for ((pc, _), (pm, rm)) in cold.iter().zip(&mg) {
+            assert!(rm.converged);
+            let diff = crate::metrics::rmse(pc, pm);
+            assert!(diff < 5e-3, "multigrid vs cold prediction diff {diff}");
+        }
+        assert!(
+            mg_steps < cold_steps,
+            "multigrid warm start should save fine steps: {mg_steps} vs {cold_steps}"
+        );
+    }
+
+    #[test]
+    fn multigrid_batch_is_bit_deterministic() {
+        let (model, samples) = community_model(21);
+        let cfg = AnnealConfig::default();
+        let warm = WarmStart::Multigrid {
+            levels: 2,
+            coarse_tol: 1e-3,
+        };
+        let a = infer_batch_warm(&model, &samples, &cfg, 9, warm).unwrap();
+        let b = infer_batch_warm(&model, &samples, &cfg, 9, warm).unwrap();
+        let ser = crate::Threading::Sequential
+            .install(|| infer_batch_warm(&model, &samples, &cfg, 9, warm))
+            .unwrap();
+        for (((pa, ra), (pb, _)), (ps, rs)) in a.iter().zip(&b).zip(&ser) {
+            assert_eq!(pa, pb, "multigrid rerun must reproduce bits");
+            assert_eq!(pa, ps, "multigrid must be thread-count independent");
+            assert_eq!(ra.steps, rs.steps);
+        }
+    }
+
+    #[test]
+    fn multigrid_on_tiny_model_falls_back_to_cold_bits() {
+        // n = 3 free nodes is far below the coarsening floor, so the
+        // warm start must silently decline and leave every bit of the
+        // cold path untouched.
+        let (model, samples) = trained_model(22);
+        let cfg = AnnealConfig::default();
+        let cold =
+            infer_batch_warm(&model, &samples[..6], &cfg, 13, WarmStart::Cold).unwrap();
+        let mg = infer_batch_warm(
+            &model,
+            &samples[..6],
+            &cfg,
+            13,
+            WarmStart::Multigrid {
+                levels: 1,
+                coarse_tol: 1e-3,
+            },
+        )
+        .unwrap();
+        for ((pc, rc), (pm, rm)) in cold.iter().zip(&mg) {
+            assert_eq!(pc, pm, "fallback must be bit-identical to cold");
+            assert_eq!(rc.steps, rm.steps);
+        }
+    }
+
+    #[test]
+    fn multigrid_batch_records_mg_instruments() {
+        let (model, samples) = community_model(23);
+        let cfg = AnnealConfig::default();
+        let sink = TelemetrySink::enabled();
+        let mg = infer_batch_warm_instrumented(
+            &model,
+            &samples,
+            &cfg,
+            6,
+            WarmStart::Multigrid {
+                levels: 1,
+                coarse_tol: 1e-3,
+            },
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(mg.len(), samples.len());
+        let snap = sink.snapshot();
+        let levels = snap
+            .get(dsgl_ising::multigrid::instruments::LEVELS)
+            .expect("mg.levels recorded");
+        assert_eq!(levels.count as usize, samples.len());
+        assert!(levels.sum > 0.0, "at least one level per window");
+        assert!(
+            snap.counter(dsgl_ising::multigrid::instruments::COARSE_STEPS) > 0,
+            "coarse solves should run"
+        );
+        assert!(
+            snap.counter(dsgl_ising::multigrid::instruments::PROLONGATIONS) > 0,
+            "prolongations should run"
+        );
+        assert!(
+            snap.counter(dsgl_ising::multigrid::instruments::FINE_STEPS_SAVED) > 0,
+            "warm fine solves should come in under budget"
+        );
+        // The instrumented path reports the same bits as the plain one.
+        let plain = infer_batch_warm(
+            &model,
+            &samples,
+            &cfg,
+            6,
+            WarmStart::Multigrid {
+                levels: 1,
+                coarse_tol: 1e-3,
+            },
+        )
+        .unwrap();
+        for ((pi, _), (pp, _)) in mg.iter().zip(&plain) {
+            assert_eq!(pi, pp, "telemetry must not change inference bits");
+        }
     }
 
     #[test]

@@ -288,3 +288,115 @@ fn telemetry_sink_never_changes_inference_bits() {
         assert_eq!(snapshot.counter("guard.retries"), 0);
     }
 }
+
+/// 48 free targets in three blocks of 16 with strong intra-block
+/// couplings, weak bridges, and a persistence coupling into the clamped
+/// history frame — enough structure that the Louvain coarsener engages
+/// rather than falling back to a cold start.
+fn community_model(seed: u64) -> (DsGlModel, Vec<Sample>) {
+    let n = 48;
+    let layout = VariableLayout::new(1, n, 1);
+    let mut model = DsGlModel::new(layout);
+    let mut rng = StdRng::seed_from_u64(seed);
+    {
+        let j = model.coupling_mut();
+        for b in 0..3 {
+            let (lo, hi) = (b * 16, (b + 1) * 16);
+            for a in lo..hi {
+                for c in (a + 1)..hi {
+                    if rng.random::<f64>() < 0.4 {
+                        j.set(n + a, n + c, 0.2 + 0.2 * rng.random::<f64>());
+                    }
+                }
+            }
+        }
+        for b in 0..2 {
+            j.set(n + (b + 1) * 16 - 1, n + (b + 1) * 16, 0.05);
+        }
+        for i in 0..n {
+            j.set(i, n + i, 0.6);
+        }
+    }
+    let row_sums: Vec<f64> = (0..2 * n).map(|v| model.coupling().row_abs_sum(v)).collect();
+    for (v, sum) in row_sums.into_iter().enumerate() {
+        model.h_mut()[v] = -(1.0 + sum);
+    }
+    let windows: Vec<Sample> = (0..8)
+        .map(|_| Sample {
+            history: (0..n).map(|_| rng.random::<f64>() * 0.8 - 0.4).collect(),
+            target: vec![0.0; n],
+        })
+        .collect();
+    (model, windows)
+}
+
+#[test]
+fn multigrid_batch_is_bit_identical_across_policies() {
+    // The multigrid warm start promises the same contract as every
+    // other kernel: coarsening, coarse solves, and prolongation are
+    // all deterministic, so the threading policy may not change a bit.
+    let (model, windows) = community_model(41);
+    let cfg = AnnealConfig::default();
+    let warm = WarmStart::Multigrid {
+        levels: 2,
+        coarse_tol: 1e-3,
+    };
+    let infer_under = |policy: Threading| -> Vec<u64> {
+        policy
+            .install(|| inference::infer_batch_warm(&model, &windows, &cfg, 47, warm))
+            .unwrap()
+            .into_iter()
+            .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let reference = infer_under(POLICIES[0]);
+    for policy in &POLICIES[1..] {
+        assert_eq!(
+            infer_under(*policy),
+            reference,
+            "multigrid batch diverged under {policy:?}"
+        );
+    }
+    // Reruns under the same policy reproduce the reference exactly.
+    assert_eq!(infer_under(POLICIES[0]), reference);
+}
+
+#[test]
+fn guarded_multigrid_matches_unguarded_across_policies() {
+    // Fault-free guarded inference with the multigrid warm start stays
+    // a zero-cost wrapper under every threading policy.
+    let (model, windows) = community_model(43);
+    let cfg = AnnealConfig::default();
+    let guard = GuardedAnneal::new(cfg);
+    let warm = WarmStart::Multigrid {
+        levels: 1,
+        coarse_tol: 1e-3,
+    };
+    let plain: Vec<u64> = inference::infer_batch_warm(&model, &windows, &cfg, 53, warm)
+        .unwrap()
+        .into_iter()
+        .flat_map(|(pred, _)| pred.into_iter().map(|v| v.to_bits()))
+        .collect();
+    for policy in POLICIES {
+        let sink = TelemetrySink::noop();
+        let guarded = policy
+            .install(|| {
+                guard::infer_batch_guarded_warm_instrumented(
+                    &model, &windows, &guard, 53, warm, &sink,
+                )
+            })
+            .unwrap();
+        for (_, _, health) in &guarded {
+            assert!(health.healthy(), "guard fired on healthy hardware: {health:?}");
+            assert_eq!(health.retries, 0);
+        }
+        let bits: Vec<u64> = guarded
+            .into_iter()
+            .flat_map(|(pred, _, _)| pred.into_iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(
+            bits, plain,
+            "guarded multigrid diverged from unguarded under {policy:?}"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::csr::CsrGraph;
 use crate::error::GraphError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How duplicate edges are combined by a [`GraphBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,7 +34,10 @@ pub struct GraphBuilder {
     n: usize,
     rule: MergeRule,
     allow_self_loops: bool,
-    edges: HashMap<(u32, u32), f64>,
+    // Ordered map: edge iteration in `build` follows canonical key order
+    // regardless of insertion history, so builder output carries no
+    // hash-iteration-order dependence (determinism contract).
+    edges: BTreeMap<(u32, u32), f64>,
 }
 
 impl GraphBuilder {
@@ -44,7 +47,7 @@ impl GraphBuilder {
             n,
             rule: MergeRule::Sum,
             allow_self_loops: false,
-            edges: HashMap::new(),
+            edges: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,393 @@
+//! Deterministic multigrid coarsening: community partitions as explicit
+//! restriction/prolongation operators.
+//!
+//! The multigrid annealing pipeline (DESIGN "Multi-resolution annealing")
+//! solves a cheap coarse problem first and prolongs its equilibrium to
+//! the fine level as a warm start. This module supplies the grid-transfer
+//! machinery: a [`Coarsening`] wraps a community assignment and exposes
+//!
+//! - **restriction** — fine-level vectors aggregated per block, either
+//!   summed ([`Coarsening::restrict_sum`], the right rule for additive
+//!   quantities like self-reaction fields `h`) or averaged
+//!   ([`Coarsening::restrict_mean`], the right rule for intensive
+//!   quantities like node voltages);
+//! - **prolongation** — coarse-level vectors injected back piecewise
+//!   constant ([`Coarsening::prolong`]);
+//! - **graph aggregation** — the coarse graph whose super-node couplings
+//!   are the summed block couplings ([`Coarsening::coarse_graph`]), with
+//!   intra-block weight kept as a self-loop.
+//!
+//! Everything here is a pure function of its inputs: block indices come
+//! from [`Communities::from_assignment`]'s first-appearance renumbering,
+//! aggregation accumulates in fine-index order, and the seeded helpers
+//! ([`louvain_coarsening`], [`louvain_hierarchy`]) drive Louvain from an
+//! explicit seed — so a coarsening is reproducible bit-for-bit across
+//! reruns, platforms, and thread counts.
+
+use crate::community::Communities;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::louvain::Louvain;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A fine→coarse grid transfer derived from a community partition.
+///
+/// # Example
+///
+/// ```
+/// use dsgl_graph::{Coarsening, Communities};
+///
+/// let comms = Communities::from_assignment(vec![0, 0, 1, 1, 1]);
+/// let c = Coarsening::from_communities(&comms);
+/// assert_eq!(c.coarse_count(), 2);
+/// let sums = c.restrict_sum(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(sums, vec![3.0, 12.0]);
+/// let back = c.prolong(&[0.5, -0.5]).unwrap();
+/// assert_eq!(back, vec![0.5, 0.5, -0.5, -0.5, -0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coarsening {
+    /// Fine node → coarse block (compact, first-appearance order).
+    assignment: Vec<usize>,
+    /// Fine nodes per coarse block.
+    counts: Vec<usize>,
+}
+
+impl Coarsening {
+    /// Builds the transfer operators from a community partition.
+    pub fn from_communities(communities: &Communities) -> Self {
+        let assignment = communities.labels().to_vec();
+        let mut counts = vec![0usize; communities.count()];
+        for &c in &assignment {
+            counts[c] += 1;
+        }
+        Coarsening { assignment, counts }
+    }
+
+    /// Number of fine-level nodes.
+    pub fn fine_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of coarse-level blocks.
+    pub fn coarse_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The coarse block containing fine node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= fine_count()`.
+    pub fn block_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// Number of fine nodes in coarse block `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= coarse_count()`.
+    pub fn block_size(&self, c: usize) -> usize {
+        self.counts[c]
+    }
+
+    /// The full fine→coarse assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Whether this coarsening does not reduce the problem (every block
+    /// is a singleton, or there is at most one block for 2+ nodes would
+    /// still reduce — only the singleton case is trivial).
+    pub fn is_trivial(&self) -> bool {
+        self.coarse_count() == self.fine_count()
+    }
+
+    /// Restriction by block sums: `coarse[A] = Σ_{i ∈ A} fine[i]`,
+    /// accumulated in ascending fine-index order (deterministic bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when
+    /// `fine.len() != fine_count()`.
+    pub fn restrict_sum(&self, fine: &[f64]) -> Result<Vec<f64>, GraphError> {
+        if fine.len() != self.fine_count() {
+            return Err(GraphError::DimensionMismatch {
+                what: "fine vector",
+                expected: self.fine_count(),
+                actual: fine.len(),
+            });
+        }
+        let mut coarse = vec![0.0; self.coarse_count()];
+        for (i, &v) in fine.iter().enumerate() {
+            coarse[self.assignment[i]] += v;
+        }
+        Ok(coarse)
+    }
+
+    /// Restriction by block means: `coarse[A] = (Σ_{i ∈ A} fine[i]) / |A|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when
+    /// `fine.len() != fine_count()`.
+    pub fn restrict_mean(&self, fine: &[f64]) -> Result<Vec<f64>, GraphError> {
+        let mut coarse = self.restrict_sum(fine)?;
+        for (v, &count) in coarse.iter_mut().zip(&self.counts) {
+            if count > 0 {
+                *v /= count as f64;
+            }
+        }
+        Ok(coarse)
+    }
+
+    /// Prolongation by piecewise-constant injection:
+    /// `fine[i] = coarse[block_of(i)]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when
+    /// `coarse.len() != coarse_count()`.
+    pub fn prolong(&self, coarse: &[f64]) -> Result<Vec<f64>, GraphError> {
+        if coarse.len() != self.coarse_count() {
+            return Err(GraphError::DimensionMismatch {
+                what: "coarse vector",
+                expected: self.coarse_count(),
+                actual: coarse.len(),
+            });
+        }
+        Ok(self.assignment.iter().map(|&c| coarse[c]).collect())
+    }
+
+    /// The aggregated coarse graph: super-node couplings are the summed
+    /// block couplings (`J̃_AB = Σ_{i∈A, j∈B} w_ij` over undirected fine
+    /// edges), and intra-block weight is kept as a self-loop on the
+    /// super-node. Weights may be signed; accumulation order is the
+    /// graph's deterministic `edges()` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when
+    /// `graph.node_count() != fine_count()`.
+    pub fn coarse_graph(&self, graph: &CsrGraph) -> Result<CsrGraph, GraphError> {
+        if graph.node_count() != self.fine_count() {
+            return Err(GraphError::DimensionMismatch {
+                what: "fine graph",
+                expected: self.fine_count(),
+                actual: graph.node_count(),
+            });
+        }
+        let mut merged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for (u, v, w) in graph.edges() {
+            let (cu, cv) = (self.assignment[u], self.assignment[v]);
+            let key = if cu <= cv { (cu, cv) } else { (cv, cu) };
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        let pairs = merged.into_iter().flat_map(|((u, v), w)| {
+            if u == v {
+                vec![(u, v, w)]
+            } else {
+                vec![(u, v, w), (v, u, w)]
+            }
+        });
+        Ok(CsrGraph::from_directed_pairs(self.coarse_count(), pairs))
+    }
+}
+
+/// One seeded Louvain coarsening level: runs [`Louvain`] on `graph` with
+/// an [`rand::rngs::StdRng`] built from `seed` and wraps the partition.
+/// Edge weights must be non-negative (cluster `|J|` when coarsening a
+/// coupling matrix). Pure in `(graph, seed, louvain)` — the visit-order
+/// shuffle is the only randomness and it is fully seeded.
+pub fn louvain_coarsening(graph: &CsrGraph, seed: u64, louvain: &Louvain) -> Coarsening {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Coarsening::from_communities(&louvain.run(graph, &mut rng))
+}
+
+/// A multigrid hierarchy: up to `levels` successive seeded Louvain
+/// coarsenings, each applied to the previous level's aggregated graph
+/// (level seeds are derived as `seed + level`). Stops early when a level
+/// no longer reduces the node count. Returns `(coarsening, coarse
+/// graph)` pairs ordered fine→coarse.
+pub fn louvain_hierarchy(
+    graph: &CsrGraph,
+    levels: usize,
+    seed: u64,
+    louvain: &Louvain,
+) -> Vec<(Coarsening, CsrGraph)> {
+    let mut out = Vec::new();
+    let mut level_graph = graph.clone();
+    for level in 0..levels {
+        let coarsening = louvain_coarsening(&level_graph, seed.wrapping_add(level as u64), louvain);
+        if coarsening.is_trivial() || coarsening.coarse_count() == 0 {
+            break;
+        }
+        let coarse = coarsening
+            .coarse_graph(&level_graph)
+            .expect("coarsening was built from this graph");
+        let reduced = coarsening.coarse_count() < coarsening.fine_count();
+        out.push((coarsening, coarse.clone()));
+        level_graph = coarse;
+        if !reduced {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn coarsening(assignment: Vec<usize>) -> Coarsening {
+        Coarsening::from_communities(&Communities::from_assignment(assignment))
+    }
+
+    #[test]
+    fn counts_and_blocks() {
+        let c = coarsening(vec![0, 0, 1, 2, 1]);
+        assert_eq!(c.fine_count(), 5);
+        assert_eq!(c.coarse_count(), 3);
+        assert_eq!(c.block_of(4), 1);
+        assert_eq!(c.block_size(0), 2);
+        assert_eq!(c.block_size(1), 2);
+        assert_eq!(c.block_size(2), 1);
+        assert!(!c.is_trivial());
+        assert!(coarsening(vec![0, 1, 2]).is_trivial());
+    }
+
+    #[test]
+    fn restriction_rules() {
+        let c = coarsening(vec![0, 1, 0, 1]);
+        let sums = c.restrict_sum(&[1.0, 10.0, 3.0, 30.0]).unwrap();
+        assert_eq!(sums, vec![4.0, 40.0]);
+        let means = c.restrict_mean(&[1.0, 10.0, 3.0, 30.0]).unwrap();
+        assert_eq!(means, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed() {
+        let c = coarsening(vec![0, 0, 1]);
+        assert!(matches!(
+            c.restrict_sum(&[1.0]),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            c.prolong(&[1.0, 2.0, 3.0]),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+        let g = CsrGraph::empty(7);
+        assert!(matches!(
+            c.coarse_graph(&g),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn coarse_graph_aggregates_blocks() {
+        // 0-1 intra(A), 1-2 bridge(A-B), 2-3 intra(B), signed weights.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, -3.0), (2, 3, 4.0)]).unwrap();
+        let c = coarsening(vec![0, 0, 1, 1]);
+        let agg = c.coarse_graph(&g).unwrap();
+        assert_eq!(agg.node_count(), 2);
+        assert_eq!(agg.edge_weight(0, 0), Some(2.0));
+        assert_eq!(agg.edge_weight(0, 1), Some(-3.0));
+        assert_eq!(agg.edge_weight(1, 1), Some(4.0));
+        assert!((agg.total_weight() - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_coarsening_is_reproducible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::stochastic_block_model(&[20, 20, 20], 0.5, 0.02, &mut rng);
+        let a = louvain_coarsening(&g, 17, &Louvain::new());
+        let b = louvain_coarsening(&g, 17, &Louvain::new());
+        assert_eq!(a, b);
+        assert!(a.coarse_count() < g.node_count());
+    }
+
+    #[test]
+    fn hierarchy_shrinks_monotonically() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::stochastic_block_model(&[25, 25, 25, 25], 0.4, 0.01, &mut rng);
+        let levels = louvain_hierarchy(&g, 3, 5, &Louvain::new());
+        assert!(!levels.is_empty());
+        let mut prev = g.node_count();
+        for (c, coarse) in &levels {
+            assert_eq!(c.fine_count(), prev);
+            assert!(c.coarse_count() <= prev);
+            assert_eq!(coarse.node_count(), c.coarse_count());
+            prev = c.coarse_count();
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = coarsening(vec![]);
+        assert_eq!(c.fine_count(), 0);
+        assert_eq!(c.coarse_count(), 0);
+        assert_eq!(c.restrict_sum(&[]).unwrap(), Vec::<f64>::new());
+        assert_eq!(c.prolong(&[]).unwrap(), Vec::<f64>::new());
+        assert!(louvain_hierarchy(&CsrGraph::empty(0), 2, 0, &Louvain::new()).is_empty());
+    }
+
+    proptest! {
+        /// prolong ∘ restrict_mean is the identity on piecewise-constant
+        /// vectors, and restrict_sum of a prolonged vector recovers the
+        /// block value scaled by the block size.
+        #[test]
+        fn prolong_restrict_round_trip(
+            assignment in proptest::collection::vec(0usize..6, 32),
+            len in 1usize..32,
+            values in proptest::collection::vec(-1e3f64..1e3, 6),
+        ) {
+            let c = coarsening(assignment[..len].to_vec());
+            let coarse: Vec<f64> = (0..c.coarse_count()).map(|a| values[a % values.len()]).collect();
+            let fine = c.prolong(&coarse).unwrap();
+            // Means of constant blocks are exact (sum of k copies of v
+            // divides back to v up to fp round-off).
+            let means = c.restrict_mean(&fine).unwrap();
+            for (m, v) in means.iter().zip(&coarse) {
+                prop_assert!((m - v).abs() <= 1e-12 * v.abs().max(1.0));
+            }
+            let sums = c.restrict_sum(&fine).unwrap();
+            for (a, (s, v)) in sums.iter().zip(&coarse).enumerate() {
+                let expect = c.block_size(a) as f64 * v;
+                prop_assert!((s - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+            }
+        }
+
+        /// restrict_sum preserves the total mass of any fine vector.
+        #[test]
+        fn restriction_preserves_block_sums(
+            assignment in proptest::collection::vec(0usize..5, 40),
+            len in 1usize..40,
+            fine in proptest::collection::vec(-1e3f64..1e3, 40),
+        ) {
+            let n = len;
+            let c = coarsening(assignment[..len].to_vec());
+            let coarse = c.restrict_sum(&fine[..n]).unwrap();
+            let fine_total: f64 = fine[..n].iter().sum();
+            let coarse_total: f64 = coarse.iter().sum();
+            prop_assert!((fine_total - coarse_total).abs() <= 1e-9 * fine_total.abs().max(1.0));
+        }
+
+        /// Aggregated coarse graphs preserve total edge weight.
+        #[test]
+        fn coarse_graph_preserves_total_weight(
+            seed in 0u64..1000,
+            labels in proptest::collection::vec(0usize..4, 12),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(12, 0.4, &mut rng);
+            let c = coarsening(labels);
+            let agg = c.coarse_graph(&g).unwrap();
+            prop_assert!((agg.total_weight() - g.total_weight()).abs() < 1e-9);
+        }
+    }
+}

@@ -31,6 +31,16 @@ pub enum GraphError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A vector or graph did not match the expected node/block count
+    /// (grid-transfer operators are shape-checked, never truncated).
+    DimensionMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -48,6 +58,11 @@ impl fmt::Display for GraphError {
             GraphError::InfeasiblePartition { reason } => {
                 write!(f, "infeasible partition: {reason}")
             }
+            GraphError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
         }
     }
 }
@@ -66,6 +81,11 @@ mod tests {
             GraphError::SelfLoop { node: 1 },
             GraphError::InfeasiblePartition {
                 reason: "capacity too small".into(),
+            },
+            GraphError::DimensionMismatch {
+                what: "fine vector",
+                expected: 4,
+                actual: 2,
             },
         ];
         for v in variants {

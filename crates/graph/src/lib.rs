@@ -12,7 +12,11 @@
 //! - [`louvain`]: the Louvain community-detection algorithm the paper adopts
 //!   for extracting communities from pruned coupling matrices;
 //! - [`partition`]: grouping of communities into per-PE "super-communities"
-//!   with capacity limits and locality-aware redistribution (paper Fig. 5/6).
+//!   with capacity limits and locality-aware redistribution (paper Fig. 5/6);
+//! - [`coarsen`]: deterministic multigrid coarsening — community
+//!   partitions as explicit restriction/prolongation operators plus
+//!   aggregated coarse graphs, the grid-transfer layer of the multigrid
+//!   annealing pipeline.
 //!
 //! # Example
 //!
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod coarsen;
 pub mod community;
 pub mod csr;
 pub mod error;
@@ -41,6 +46,7 @@ pub mod modularity;
 pub mod partition;
 
 pub use builder::GraphBuilder;
+pub use coarsen::{louvain_coarsening, louvain_hierarchy, Coarsening};
 pub use community::Communities;
 pub use csr::CsrGraph;
 pub use error::GraphError;

@@ -6,13 +6,12 @@
 //! local moving until no gain, then graph aggregation, repeated until the
 //! partition stabilises.
 
-use crate::builder::{GraphBuilder, MergeRule};
 use crate::community::Communities;
 use crate::csr::CsrGraph;
 use crate::modularity::modularity;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configurable Louvain runner.
 ///
@@ -72,6 +71,14 @@ impl Louvain {
         self
     }
 
+    /// Maximum local-move sweeps per level. Lower values trade partition
+    /// quality for speed — useful when Louvain runs inside a latency
+    /// budget (e.g. as the multigrid coarsener on 100k+ node graphs).
+    pub fn max_sweeps(mut self, s: usize) -> Self {
+        self.max_sweeps = s.max(1);
+        self
+    }
+
     /// Runs Louvain on `graph`, shuffling node visit order with `rng`.
     ///
     /// Edge weights must be non-negative (use `|J|` when clustering a
@@ -114,6 +121,15 @@ impl Louvain {
         let mut tot: Vec<f64> = (0..n).map(|u| graph.weighted_degree(u)).collect();
         let mut order: Vec<usize> = (0..n).collect();
         let mut any_move = false;
+        // Scratch accumulator for the weights from a node to each
+        // neighbouring community: a stamped dense array instead of a
+        // HashMap, so candidate enumeration never depends on hash
+        // iteration order (the determinism contract of the multigrid
+        // coarsener) and the inner loop stays allocation-free.
+        let mut k_to = vec![0.0f64; n];
+        let mut stamp = vec![0u64; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut epoch = 0u64;
 
         for _ in 0..self.max_sweeps {
             order.shuffle(rng);
@@ -121,26 +137,36 @@ impl Louvain {
             for &u in &order {
                 let ku = graph.weighted_degree(u);
                 let cu = label[u];
-                // Weights from u to each neighbouring community.
-                let mut k_to: HashMap<usize, f64> = HashMap::new();
+                // Weights from u to each neighbouring community,
+                // accumulated in the CSR's sorted neighbour order.
+                epoch += 1;
+                touched.clear();
                 for (v, w) in graph.neighbors(u) {
                     if v != u {
-                        *k_to.entry(label[v]).or_insert(0.0) += w;
+                        let c = label[v];
+                        if stamp[c] != epoch {
+                            stamp[c] = epoch;
+                            k_to[c] = 0.0;
+                            touched.push(c);
+                        }
+                        k_to[c] += w;
                     }
                 }
                 // Remove u from its community for gain evaluation.
                 tot[cu] -= ku;
-                let stay_gain =
-                    gain(*k_to.get(&cu).unwrap_or(&0.0), tot[cu], ku, m, self.resolution);
+                let k_cu = if stamp[cu] == epoch { k_to[cu] } else { 0.0 };
+                let stay_gain = gain(k_cu, tot[cu], ku, m, self.resolution);
                 let mut best_c = cu;
                 let mut best_gain = stay_gain;
-                let mut cands: Vec<(&usize, &f64)> = k_to.iter().collect();
-                cands.sort_by_key(|(c, _)| **c); // determinism
-                for (&c, &k) in cands {
+                // Candidates ascend by community id: seeded visit order
+                // plus index-ordered tie-breaking is the whole of the
+                // algorithm's nondeterminism surface.
+                touched.sort_unstable();
+                for &c in &touched {
                     if c == cu {
                         continue;
                     }
-                    let g = gain(k, tot[c], ku, m, self.resolution);
+                    let g = gain(k_to[c], tot[c], ku, m, self.resolution);
                     if g > best_gain + self.min_gain {
                         best_gain = g;
                         best_c = c;
@@ -175,16 +201,25 @@ fn gain(k_uc: f64, tot_c: f64, ku: f64, m: f64, gamma: f64) -> f64 {
 }
 
 /// Phase 2: builds the aggregated community graph. Intra-community weight
-/// becomes a self-loop; inter-community weights are summed.
+/// becomes a self-loop; inter-community weights are summed. Community
+/// labels are `< partition.count()` by construction, so aggregation is
+/// infallible — merged weights accumulate in the graph's deterministic
+/// `edges()` order.
 fn aggregate(graph: &CsrGraph, partition: &Communities) -> CsrGraph {
-    let mut builder = GraphBuilder::new(partition.count())
-        .merge_rule(MergeRule::Sum)
-        .allow_self_loops();
+    let mut merged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for (u, v, w) in graph.edges() {
         let (cu, cv) = (partition.label(u), partition.label(v));
-        builder.add_edge(cu, cv, w).expect("community labels valid");
+        let key = if cu <= cv { (cu, cv) } else { (cv, cu) };
+        *merged.entry(key).or_insert(0.0) += w;
     }
-    builder.build()
+    let pairs = merged.into_iter().flat_map(|((u, v), w)| {
+        if u == v {
+            vec![(u, v, w)]
+        } else {
+            vec![(u, v, w), (v, u, w)]
+        }
+    });
+    CsrGraph::from_directed_pairs(partition.count(), pairs)
 }
 
 /// Runs Louvain and reports `(partition, modularity)` in one call.

@@ -137,9 +137,13 @@ impl Partitioner {
                 let Some(pe) = self.pick_pe(&free, chunk.len(), &parent_pes[parent], center)
                 else {
                     // No PE fits the whole remainder: split to the roomiest PE.
-                    let pe = (0..pe_count)
-                        .max_by_key(|&p| free[p])
-                        .expect("grid is non-empty");
+                    // The constructor guarantees a non-empty grid, but the
+                    // no-panic policy prefers a typed error over an expect.
+                    let pe = (0..pe_count).max_by_key(|&p| free[p]).ok_or_else(|| {
+                        GraphError::InfeasiblePartition {
+                            reason: "PE grid is empty".to_owned(),
+                        }
+                    })?;
                     let take = free[pe].min(chunk.len());
                     debug_assert!(take > 0, "capacity accounting broken");
                     let rest = chunk.split_off(take);
@@ -209,10 +213,11 @@ fn bfs_order(graph: &CsrGraph, members: &[usize]) -> Vec<usize> {
             .sum()
     };
     let mut remaining: Vec<usize> = members.to_vec();
+    // total_cmp is a total order even on non-finite weights, so the sort
+    // cannot panic whatever the edge data holds.
     remaining.sort_by(|&a, &b| {
         intra_degree(b)
-            .partial_cmp(&intra_degree(a))
-            .expect("finite degrees")
+            .total_cmp(&intra_degree(a))
             .then(a.cmp(&b))
     });
     let mut visited: HashSet<usize> = HashSet::new();
@@ -232,8 +237,7 @@ fn bfs_order(graph: &CsrGraph, members: &[usize]) -> Vec<usize> {
                 .collect();
             neigh.sort_by(|a, b| {
                 b.1.abs()
-                    .partial_cmp(&a.1.abs())
-                    .expect("finite weights")
+                    .total_cmp(&a.1.abs())
                     .then(a.0.cmp(&b.0))
             });
             for (v, _) in neigh {

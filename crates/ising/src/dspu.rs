@@ -95,6 +95,46 @@ impl RealValuedDspu {
         })
     }
 
+    /// Builds a machine directly from a sparse coupling — the
+    /// constructor for large decomposed systems (100k+ nodes) where a
+    /// dense [`Coupling`] would not fit in memory. Pair with
+    /// [`SparseCoupling::from_entries`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RealValuedDspu::new`]:
+    /// [`IsingError::DimensionMismatch`] when `h.len() != coupling.n()`,
+    /// [`IsingError::NonNegativeSelfReaction`] when any `hᵢ >= 0`, and
+    /// [`IsingError::NonFinite`] for non-finite `h`.
+    pub fn from_sparse(coupling: SparseCoupling, h: Vec<f64>) -> Result<Self, IsingError> {
+        let n = coupling.n();
+        if h.len() != n {
+            return Err(IsingError::DimensionMismatch {
+                what: "h",
+                expected: n,
+                actual: h.len(),
+            });
+        }
+        if h.iter().any(|v| !v.is_finite()) {
+            return Err(IsingError::NonFinite { what: "h" });
+        }
+        if let Some((node, &value)) = h.iter().enumerate().find(|(_, &v)| v >= 0.0) {
+            return Err(IsingError::NonNegativeSelfReaction { node, value });
+        }
+        Ok(RealValuedDspu {
+            coupling,
+            h,
+            state: vec![0.0; n],
+            free: vec![true; n],
+            rail: 1.0,
+            capacitance: crate::RC_NS,
+            workspace: Workspace::new(),
+            telemetry: crate::telemetry::TelemetrySink::noop(),
+            tracing: crate::tracing::TraceScope::noop(),
+            cancel: None,
+        })
+    }
+
     /// Attaches a telemetry sink: every subsequent annealing run reports
     /// its `anneal.*` instruments (steps, simulated time, residual,
     /// active-set occupancy, rail saturations) into it. The default

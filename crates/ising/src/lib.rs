@@ -62,6 +62,7 @@ pub mod error;
 pub mod fault;
 pub mod hamiltonian;
 pub mod lockstep;
+pub mod multigrid;
 pub mod noise;
 pub(crate) mod par;
 pub mod sparse;
@@ -85,6 +86,10 @@ pub use engine::{AdaptiveConfig, EngineMode};
 pub use error::IsingError;
 pub use fault::{FaultModel, StuckNode};
 pub use lockstep::run_lockstep;
+pub use multigrid::{
+    build_hierarchy, multigrid_warm_start, warm_start_with, MultigridHierarchy, MultigridOptions,
+    MultigridReport,
+};
 pub use noise::NoiseModel;
 pub use sparse::{SparseCoupling, TiledCoupling};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, TelemetrySink};

@@ -1,6 +1,7 @@
 //! Service configuration: worker pool size, coalescing, admission, SLO,
 //! supervision (watchdog, crash retries, brownout), and chaos injection.
 
+use dsgl_core::inference::WarmStart;
 use dsgl_ising::fault::FaultModel;
 use std::time::Duration;
 
@@ -12,8 +13,13 @@ use crate::ServeError;
 /// The defaults serve correctly out of the box: one worker, batches of
 /// up to 8 coalesced requests, a 64-deep admission queue, a 200 µs
 /// batch-forming linger, no deadline (never degrade on latency), and a
-/// fault-free substrate. None of these knobs can change forecast bits —
-/// they only move latency, throughput, and shed/degrade behaviour.
+/// fault-free substrate. The scheduling knobs can never change forecast
+/// bits — they only move latency, throughput, and shed/degrade
+/// behaviour. The two knobs that *do* shape forecasts do so
+/// deterministically per request, independent of load and batching:
+/// [`faults`](Self::faults) (explicit substrate degradation) and
+/// [`warm_start`](Self::warm_start) (a per-window pure function of the
+/// machine — see its field docs).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads pulling batches off the queue (each owns a
@@ -64,6 +70,16 @@ pub struct ServeConfig {
     /// The recorder is always on — events are rare failure edges, never
     /// per-request work — so this only bounds post-mortem memory.
     pub flight_capacity: usize,
+    /// How each served window seeds its machine (default
+    /// [`WarmStart::Cold`], the bit-exact historical behaviour).
+    /// [`WarmStart::Multigrid`] warm-starts every window from a
+    /// Louvain-coarsened coarse solve; because the warm start is a pure
+    /// per-window function of the machine (internally seeded, zero
+    /// caller-RNG draws), request coalescing and batch regrouping remain
+    /// bit-invisible. [`WarmStart::Chained`] couples windows *within a
+    /// batch*, which would make forecasts depend on how requests
+    /// happened to coalesce — [`validate`](Self::validate) rejects it.
+    pub warm_start: WarmStart,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +96,7 @@ impl Default for ServeConfig {
             brownout: None,
             chaos: ChaosConfig::none(),
             flight_capacity: 256,
+            warm_start: WarmStart::Cold,
         }
     }
 }
@@ -151,6 +168,19 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the per-window warm-start policy ([`WarmStart::Chained`] is
+    /// rejected by [`validate`](Self::validate) — see the field docs).
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Convenience for
+    /// [`warm_start`](Self::warm_start)`(WarmStart::Multigrid {..})`.
+    pub fn multigrid(self, levels: usize, coarse_tol: f64) -> Self {
+        self.warm_start(WarmStart::Multigrid { levels, coarse_tol })
+    }
+
     /// Rejects configurations the service cannot run.
     ///
     /// # Errors
@@ -191,6 +221,20 @@ impl ServeConfig {
                 reason: "hang chaos requires a watchdog (nothing else can unwedge the worker)"
                     .to_owned(),
             });
+        }
+        if let WarmStart::Chained { .. } = self.warm_start {
+            return Err(ServeError::InvalidConfig {
+                reason: "chained warm starts couple windows within a coalesced batch, making \
+                         forecasts depend on request grouping; use Cold or Multigrid"
+                    .to_owned(),
+            });
+        }
+        if let WarmStart::Multigrid { coarse_tol, .. } = self.warm_start {
+            if !coarse_tol.is_finite() || coarse_tol <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: "multigrid coarse tolerance must be finite and positive".to_owned(),
+                });
+            }
         }
         Ok(())
     }
@@ -357,6 +401,35 @@ mod tests {
             .watchdog(Duration::from_millis(50))
             .chaos(ChaosConfig::none().hang_on_seed(7, 1));
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn warm_start_policies_are_vetted() {
+        // Default stays cold, and multigrid is an accepted policy.
+        assert_eq!(ServeConfig::default().warm_start, WarmStart::Cold);
+        let cfg = ServeConfig::default().multigrid(2, 1e-3);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.warm_start,
+            WarmStart::Multigrid {
+                levels: 2,
+                coarse_tol: 1e-3
+            }
+        );
+        // Chained couples windows across the coalescing boundary.
+        let cfg = ServeConfig::default().warm_start(WarmStart::Chained { chunk: 4 });
+        assert!(matches!(
+            cfg.validate(),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // Degenerate coarse tolerances are caught at config time.
+        for tol in [0.0, -1.0, f64::NAN] {
+            let cfg = ServeConfig::default().multigrid(1, tol);
+            assert!(matches!(
+                cfg.validate(),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
     }
 
     #[test]

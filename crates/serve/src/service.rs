@@ -2,7 +2,7 @@
 //! and the supervision layer (panic isolation, hung-anneal watchdog,
 //! graduated brownout admission).
 
-use dsgl_core::guard::{infer_batch_guarded_seeded_traced, RetryPolicy};
+use dsgl_core::guard::{infer_batch_guarded_seeded_warm_traced, RetryPolicy};
 use dsgl_core::tracing::{chrome_trace_json, prometheus_text};
 use dsgl_core::{
     CancelToken, CoreError, DsGlModel, FlightDump, FlightRecorder, GuardedAnneal, HealthReport,
@@ -970,7 +970,7 @@ fn serve_group(
     } else {
         Vec::new()
     };
-    let results = infer_batch_guarded_seeded_traced(
+    let results = infer_batch_guarded_seeded_warm_traced(
         &shared.model,
         &samples,
         guard,
@@ -980,6 +980,7 @@ fn serve_group(
         pool,
         token,
         &scopes,
+        shared.config.warm_start,
     );
     match results {
         Ok(results) => {

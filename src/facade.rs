@@ -62,7 +62,9 @@
 //! # }
 //! ```
 
-use dsgl_core::guard::{infer_batch_guarded_instrumented, infer_dense_guarded_faulted_instrumented};
+use dsgl_core::guard::{
+    infer_batch_guarded_warm_instrumented, infer_dense_guarded_faulted_instrumented,
+};
 use dsgl_core::inference::{
     infer_batch_warm_instrumented, infer_dense_imputation, infer_dense_instrumented, WarmStart,
 };
@@ -134,6 +136,20 @@ impl ForecasterBuilder {
     pub fn warm_start(mut self, warm: WarmStart) -> Self {
         self.warm_start = warm;
         self
+    }
+
+    /// Convenience for
+    /// [`warm_start`](ForecasterBuilder::warm_start)`(WarmStart::Multigrid {..})`:
+    /// every window anneals from a Louvain-coarsened coarse solve
+    /// prolonged onto the fine machine (see [`dsgl_ising::multigrid`]).
+    /// Windows stay independent — the multigrid policy composes with
+    /// batching, guarding and serving without changing a bit — and
+    /// large community-structured graphs converge in a fraction of the
+    /// cold-start steps. `levels` caps the coarsening depth (`0` acts
+    /// as `1`); `coarse_tol` is the coarse-solve tolerance, typically
+    /// much looser than the fine one (e.g. `1e-3`).
+    pub fn multigrid(self, levels: usize, coarse_tol: f64) -> Self {
+        self.warm_start(WarmStart::Multigrid { levels, coarse_tol })
     }
 
     /// Retry policy for the guarded inference paths
@@ -366,8 +382,11 @@ impl Forecaster {
     /// builder's retry policy and reports its health alongside the
     /// prediction. Windows whose guard never fires are bit-identical to
     /// the unguarded cold-start batch under every threading policy.
-    /// (The guarded batch always cold-starts; warm chaining would let
-    /// one window's degraded equilibrium seed the next.)
+    /// A [`WarmStart::Multigrid`] policy carries over (each window
+    /// warm-starts independently before its guard runs);
+    /// [`WarmStart::Chained`] does not — the guarded batch silently
+    /// cold-starts instead, since warm chaining would let one window's
+    /// degraded equilibrium seed the next.
     ///
     /// # Errors
     ///
@@ -386,11 +405,18 @@ impl Forecaster {
                 target: vec![0.0; target_len],
             })
             .collect();
-        let results = infer_batch_guarded_instrumented(
+        let warm = match self.warm_start {
+            WarmStart::Multigrid { levels, coarse_tol } => {
+                WarmStart::Multigrid { levels, coarse_tol }
+            }
+            _ => WarmStart::Cold,
+        };
+        let results = infer_batch_guarded_warm_instrumented(
             &self.model,
             &samples,
             &self.guard,
             master_seed,
+            warm,
             &self.telemetry,
         )?;
         Ok(results

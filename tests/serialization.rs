@@ -272,6 +272,68 @@ fn serve_instruments_and_stats_schema_is_frozen() {
 }
 
 #[test]
+fn warm_start_policy_and_mg_instruments_schema_is_frozen() {
+    use dsgl::core::inference::WarmStart;
+
+    // The mg.* instrument names are a frozen interface, like serve.*:
+    // dashboards and the scaling bench key on them.
+    assert_eq!(dsgl::ising::multigrid::instruments::LEVELS, "mg.levels");
+    assert_eq!(
+        dsgl::ising::multigrid::instruments::COARSE_STEPS,
+        "mg.coarse_steps"
+    );
+    assert_eq!(
+        dsgl::ising::multigrid::instruments::PROLONGATIONS,
+        "mg.prolongations"
+    );
+    assert_eq!(
+        dsgl::ising::multigrid::instruments::FINE_STEPS_SAVED,
+        "mg.fine_steps_saved"
+    );
+
+    // Every warm-start policy round-trips through JSON.
+    for warm in [
+        WarmStart::Cold,
+        WarmStart::Chained { chunk: 4 },
+        WarmStart::Multigrid {
+            levels: 2,
+            coarse_tol: 1e-3,
+        },
+    ] {
+        let json = serde_json::to_string(&warm).unwrap();
+        let back: WarmStart = serde_json::from_str(&json).unwrap();
+        assert_eq!(warm, back);
+    }
+    // Additivity: the variants that predate `Multigrid` keep their
+    // encodings, so configs serialized before it existed still load.
+    assert_eq!(serde_json::to_string(&WarmStart::Cold).unwrap(), "\"Cold\"");
+    let legacy: WarmStart = serde_json::from_str(r#"{"Chained":{"chunk":6}}"#).unwrap();
+    assert_eq!(legacy, WarmStart::Chained { chunk: 6 });
+    // And the multigrid variant's field names are pinned.
+    let mg: WarmStart =
+        serde_json::from_str(r#"{"Multigrid":{"levels":3,"coarse_tol":0.001}}"#).unwrap();
+    assert_eq!(
+        mg,
+        WarmStart::Multigrid {
+            levels: 3,
+            coarse_tol: 1e-3
+        }
+    );
+
+    // An mg-instrumented run exports through the ordinary schema-v1
+    // snapshot, grouped under its own family.
+    let sink = dsgl::core::TelemetrySink::enabled();
+    sink.record(dsgl::ising::multigrid::instruments::LEVELS, 2.0);
+    sink.counter_add(dsgl::ising::multigrid::instruments::COARSE_STEPS, 120);
+    sink.counter_add(dsgl::ising::multigrid::instruments::PROLONGATIONS, 1);
+    let snapshot = sink.snapshot();
+    assert!(snapshot.families().contains(&"mg".to_owned()));
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: dsgl::core::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snapshot, back);
+}
+
+#[test]
 fn span_records_and_flight_dumps_schema_is_frozen() {
     use dsgl::core::tracing::{FlightDump, FlightEvent, SpanArg, SpanRecord, TRACE_SCHEMA_VERSION};
     use serde::Serialize as _;
